@@ -1,0 +1,551 @@
+(* Benchmark harness: regenerates every experiment of DESIGN.md
+   (Section 4, "Experiment index").  The paper (SIGMOD 1982) reports no
+   measured tables — its evaluation is the worked Examples 2.1-4.7 — so
+   each experiment materializes one of the paper's qualitative claims as
+   a measured table: who wins, by what factor, and where the effect
+   comes from (scans, intermediate sizes, value-list storage).
+
+     dune exec bench/main.exe *)
+
+open Relalg
+open Pascalr
+
+let section id title =
+  Fmt.pr "@.============================================================@.";
+  Fmt.pr "%s — %s@." id title;
+  Fmt.pr "============================================================@."
+
+(* Wall-clock timing; result of [f] is returned alongside milliseconds. *)
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let time_median ?(repeat = 3) f =
+  let times = List.init repeat (fun _ -> snd (time f)) in
+  match List.sort compare times with
+  | [] -> 0.0
+  | ts -> List.nth ts (List.length ts / 2)
+
+(* University database scaled so the unoptimized combination phase stays
+   tractable at the largest scale it is asked to run. *)
+let uni_params s =
+  {
+    Workload.University.default_params with
+    Workload.University.n_employees = 10 * s;
+    n_papers = 15 * s;
+    n_courses = 6 * s;
+    n_timetable = 20 * s;
+    seed = 42 + s;
+  }
+
+let strategies =
+  [
+    ("palermo", Strategy.palermo);
+    ("s1", Strategy.s1);
+    ("s1+s2", Strategy.s12);
+    ("s1+s2+s3", Strategy.s123);
+    ("s1+s2+s3+s4", Strategy.s1234);
+  ]
+
+let sum_sizes_with_prefix prefix intermediates =
+  List.fold_left
+    (fun acc (key, size) ->
+      if String.length key >= String.length prefix
+         && String.sub key 0 (String.length prefix) = prefix
+      then acc + size
+      else acc)
+    0 intermediates
+
+(* ------------------------------------------------------------------ *)
+(* B-SCALE: the headline — all strategies vs. naive across database
+   scale on the running query (Example 2.1). *)
+
+let bench_scale () =
+  section "B-SCALE" "running query: all strategies across scale";
+  Fmt.pr
+    "(the paper's cost model is relation READS: the scans columns; wall@.";
+  Fmt.pr " time of the in-memory substrate is reported alongside)@.";
+  Fmt.pr "%-6s %-6s | %10s %8s | %10s %10s %10s %10s %10s | %8s@." "scale"
+    "|emp|" "naive(ms)" "scans" "palermo" "s1" "s1+2" "s1+2+3" "s1+2+3+4"
+    "scans4";
+  let max_palermo_scale = 2 in
+  List.iter
+    (fun s ->
+      let db = Workload.University.generate (uni_params s) in
+      let q = Workload.Queries.running_query db in
+      Database.reset_counters db;
+      let naive_ms = time_median ~repeat:1 (fun () -> Naive_eval.run db q) in
+      let naive_scans = Database.total_scans db in
+      let cell (_, st) =
+        let feasible =
+          s <= max_palermo_scale
+          || (st.Strategy.range_extension && s <= 4)
+          || st.Strategy.quantifier_push
+        in
+        if feasible then
+          Some
+            (time_median ~repeat:1 (fun () -> Phased_eval.run ~strategy:st db q))
+        else None
+      in
+      let cells = List.map cell strategies in
+      let full_scans =
+        (Phased_eval.run_report ~strategy:Strategy.s1234 db q).Phased_eval.scans
+      in
+      Fmt.pr "%-6d %-6d | %10.2f %8d |" s
+        (Relation.cardinality (Database.find_relation db "employees"))
+        naive_ms naive_scans;
+      List.iter
+        (function
+          | Some ms -> Fmt.pr " %10.2f" ms
+          | None -> Fmt.pr " %10s" "-")
+        cells;
+      Fmt.pr " | %8d@." full_scans)
+    [ 1; 2; 4; 8 ];
+  Fmt.pr "(palermo/s1/s1+2 omitted beyond scale %d: their padded n-tuple@." 2;
+  Fmt.pr " products grow with the full Cartesian volume)@."
+
+(* ------------------------------------------------------------------ *)
+(* B-S1: strategy 1's claim — "each range relation is read no more than
+   once".  Scan counts per database relation, Palermo vs S1. *)
+
+let bench_s1 () =
+  section "B-S1" "scan counts per relation (Example 4.3)";
+  let db = Workload.University.generate (uni_params 2) in
+  Fmt.pr "%-12s | %-12s | %8s %8s@." "query" "relation" "palermo" "s1";
+  List.iter
+    (fun (qname, q) ->
+      let counts strategy =
+        let _ = Phased_eval.run_report ~strategy db q in
+        List.map
+          (fun r -> (Relation.name r, Relation.scan_count r))
+          (Database.relations db)
+      in
+      let palermo = counts Strategy.palermo in
+      let s1 = counts Strategy.s1 in
+      List.iter
+        (fun (rel, c_palermo) ->
+          let c_s1 = List.assoc rel s1 in
+          if c_palermo > 0 || c_s1 > 0 then
+            Fmt.pr "%-12s | %-12s | %8d %8d@." qname rel c_palermo c_s1)
+        palermo)
+    [
+      ("running", Workload.Queries.running_query db);
+      ("existential", Workload.Queries.existential_query db);
+      ("universal", Workload.Queries.universal_query db);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* B-S2: monadic terms restrict indirect joins while reading the
+   relation (Example 4.2): total indirect-join entries with and without
+   the restriction. *)
+
+let bench_s2 () =
+  section "B-S2" "indirect join sizes, unrestricted vs monadically restricted";
+  Fmt.pr "%-6s | %14s %16s | %12s@." "scale" "ij entries(s1)"
+    "ij entries(s1+2)" "reduction";
+  List.iter
+    (fun s ->
+      let db = Workload.University.generate (uni_params s) in
+      let q = Workload.Queries.running_query db in
+      let pair_volume strategy =
+        let report = Phased_eval.run_report ~strategy db q in
+        sum_sizes_with_prefix "pair:" report.Phased_eval.intermediates
+      in
+      let unrestricted = pair_volume Strategy.s1 in
+      let restricted = pair_volume Strategy.s12 in
+      Fmt.pr "%-6d | %14d %16d | %11.1f%%@." s unrestricted restricted
+        (100.0
+        *. (1.0 -. (float_of_int restricted /. float_of_int (max 1 unrestricted)))))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* B-S3: extended range expressions (Example 4.5): conjunction count,
+   combination volume and time across the professor selectivity. *)
+
+let bench_s3 () =
+  section "B-S3" "range extension vs selectivity of estatus=professor";
+  Fmt.pr "%-6s | %6s %6s | %12s %12s | %10s %10s@." "prof%" "conj" "conj3"
+    "max-ntuple" "max-ntuple3" "ms(s1+2)" "ms(s1+2+3)";
+  List.iter
+    (fun prob ->
+      let params =
+        { (uni_params 2) with Workload.University.prob_professor = prob }
+      in
+      let db = Workload.University.generate params in
+      let q = Workload.Queries.running_query db in
+      let report2 = Phased_eval.run_report ~strategy:Strategy.s12 db q in
+      let ms2 =
+        time_median ~repeat:1 (fun () -> Phased_eval.run ~strategy:Strategy.s12 db q)
+      in
+      let report3 = Phased_eval.run_report ~strategy:Strategy.s123 db q in
+      let ms3 =
+        time_median ~repeat:1 (fun () ->
+            Phased_eval.run ~strategy:Strategy.s123 db q)
+      in
+      Fmt.pr "%-6.0f | %6d %6d | %12d %12d | %10.2f %10.2f@." (100.0 *. prob)
+        (List.length report2.Phased_eval.plan.Plan.conjs)
+        (List.length report3.Phased_eval.plan.Plan.conjs)
+        report2.Phased_eval.max_ntuple report3.Phased_eval.max_ntuple ms2 ms3)
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+(* ------------------------------------------------------------------ *)
+(* B-S4: quantifier evaluation in the collection phase (Example 4.7):
+   the combination phase's n-tuple volume collapses. *)
+
+let bench_s4 () =
+  section "B-S4" "quantifier pushing (Example 4.7): combination collapse";
+  Fmt.pr "%-6s | %8s %8s | %12s %12s | %10s %10s@." "scale" "prefix3"
+    "prefix4" "max-ntuple3" "max-ntuple4" "ms(s123)" "ms(s1234)";
+  List.iter
+    (fun s ->
+      let db = Workload.University.generate (uni_params s) in
+      let q = Workload.Queries.running_query db in
+      let r3 = Phased_eval.run_report ~strategy:Strategy.s123 db q in
+      let ms3 =
+        if s <= 4 then
+          Fmt.str "%10.2f"
+            (time_median ~repeat:1 (fun () ->
+                 Phased_eval.run ~strategy:Strategy.s123 db q))
+        else Fmt.str "%10s" "-"
+      in
+      let r4 = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+      let ms4 =
+        time_median (fun () -> Phased_eval.run ~strategy:Strategy.s1234 db q)
+      in
+      Fmt.pr "%-6d | %8d %8d | %12d %12d | %s %10.2f@." s
+        (List.length r3.Phased_eval.plan.Plan.prefix)
+        (List.length r4.Phased_eval.plan.Plan.prefix)
+        r3.Phased_eval.max_ntuple r4.Phased_eval.max_ntuple ms3 ms4)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* B-MM: the < <= > >= special case — only min/max of the value list is
+   stored (Section 4.4). *)
+
+let bench_minmax () =
+  section "B-MM" "order-comparison value lists store only min/max";
+  Fmt.pr "%-14s | %10s | %12s %12s | %10s@." "query" "|papers|" "full-list"
+    "stored" "ms(s1234)";
+  List.iter
+    (fun s ->
+      let db = Workload.University.generate (uni_params s) in
+      List.iter
+        (fun (qname, q) ->
+          let report = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+          let stored =
+            sum_sizes_with_prefix "vlist:" report.Phased_eval.intermediates
+          in
+          let papers = Database.find_relation db "papers" in
+          let full =
+            Value_list.stored_size (Value_list.of_column papers "penr")
+          in
+          let ms =
+            time_median (fun () ->
+                Phased_eval.run ~strategy:Strategy.s1234 db q)
+          in
+          Fmt.pr "%-14s | %10d | %12d %12d | %10.3f@." qname
+            (Relation.cardinality papers)
+            full stored ms)
+        [
+          ("minmax some", Workload.Queries.minmax_some_query db);
+          ("minmax all", Workload.Queries.minmax_all_query db);
+        ])
+    [ 2; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* B-EQ: ALL-with-= and SOME-with-<> store at most one value. *)
+
+let bench_eq_ne () =
+  section "B-EQ" "ALL-= / SOME-<> value lists store at most one value";
+  Fmt.pr "%-14s | %10s | %12s | %8s@." "query" "|papers|" "stored" "answer";
+  let db = Workload.University.generate (uni_params 4) in
+  List.iter
+    (fun (qname, q) ->
+      let report = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+      let stored =
+        sum_sizes_with_prefix "vlist:" report.Phased_eval.intermediates
+      in
+      Fmt.pr "%-14s | %10d | %12d | %8d@." qname
+        (Relation.cardinality (Database.find_relation db "papers"))
+        stored
+        (Relation.cardinality report.Phased_eval.result))
+    [
+      ("all eq", Workload.Queries.all_eq_query db);
+      ("some ne", Workload.Queries.some_ne_query db);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* B-EMPTY: runtime adaptation of the standard form (Example 2.2). *)
+
+let bench_empty () =
+  section "B-EMPTY" "empty-range adaptation: correctness and overhead";
+  Fmt.pr "%-10s | %10s %12s | %12s %12s@." "papers" "answer" "agree-naive"
+    "ms(s1234)" "ms(naive)";
+  List.iter
+    (fun empty ->
+      let db = Workload.University.generate (uni_params 4) in
+      if empty then Relation.clear (Database.find_relation db "papers");
+      let q = Workload.Queries.running_query db in
+      let naive, naive_ms = time (fun () -> Naive_eval.run db q) in
+      let result, ms =
+        time (fun () -> Phased_eval.run ~strategy:Strategy.s1234 db q)
+      in
+      Fmt.pr "%-10s | %10d %12b | %12.2f %12.2f@."
+        (if empty then "empty" else "populated")
+        (Relation.cardinality result)
+        (Relation.equal_set result naive)
+        ms naive_ms)
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* B-DIV: universal quantification on suppliers-parts — division in the
+   combination phase vs the transformed evaluation. *)
+
+let bench_division () =
+  section "B-DIV" "division queries (suppliers-parts)";
+  Fmt.pr "%-6s | %-20s | %10s %10s %10s %10s@." "scale" "query" "naive"
+    "palermo" "s1+2+3" "s1+2+3+4";
+  List.iter
+    (fun s ->
+      let db =
+        Workload.Suppliers.generate (Workload.Suppliers.scaled ~seed:(7 + s) s)
+      in
+      List.iter
+        (fun (qname, q) ->
+          let naive_ms = time_median ~repeat:1 (fun () -> Naive_eval.run db q) in
+          let run st =
+            time_median ~repeat:1 (fun () -> Phased_eval.run ~strategy:st db q)
+          in
+          let palermo =
+            if s <= 2 then Fmt.str "%10.2f" (run Strategy.palermo)
+            else Fmt.str "%10s" "-"
+          in
+          Fmt.pr "%-6d | %-20s | %10.2f %s %10.2f %10.2f@." s qname naive_ms
+            palermo (run Strategy.s123) (run Strategy.s1234))
+        [
+          ("ships all parts", Workload.Suppliers.ships_all_parts db);
+          ("ships all red", Workload.Suppliers.ships_all_red_parts db);
+          ("no red part", Workload.Suppliers.ships_no_red_part db);
+        ])
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* B-PAGE: the 1982 cost model made real — page reads through a buffer
+   pool over the paged storage substrate.  The naive evaluator's
+   repeated scans thrash a small pool; the collected evaluation reads
+   each relation once. *)
+
+let bench_page_io () =
+  section "B-PAGE" "page I/O through the buffer pool (running query, scale 2)";
+  Fmt.pr "%-12s | %13s %8s | %14s %8s@." "evaluator" "reads(pool 4)"
+    "fetches" "reads(pool 32)" "fetches";
+  let run_with pool_pages eval =
+    let db = Workload.University.generate (uni_params 2) in
+    let q = Workload.Queries.running_query db in
+    let pool = Database.attach_storage db ~pool_pages in
+    eval db q;
+    let s = Buffer_pool.stats pool in
+    (s.Buffer_pool.misses, s.Buffer_pool.fetches)
+  in
+  let row name eval =
+    let m4, f4 = run_with 4 eval in
+    let m32, f32 = run_with 32 eval in
+    Fmt.pr "%-12s | %13d %8d | %14d %8d@." name m4 f4 m32 f32
+  in
+  row "naive" (fun db q -> ignore (Naive_eval.run db q));
+  List.iter
+    (fun (name, st) ->
+      row name (fun db q -> ignore (Phased_eval.run ~strategy:st db q)))
+    strategies;
+  (* The gap widens with scale: naive re-reads relations per enclosing
+     binding. *)
+  Fmt.pr "@.scale 8, pool 6 pages (database ~16 pages):@.";
+  let run4 eval =
+    let db = Workload.University.generate (uni_params 8) in
+    let q = Workload.Queries.running_query db in
+    let pool = Database.attach_storage db ~pool_pages:6 in
+    eval db q;
+    (Buffer_pool.stats pool).Buffer_pool.misses
+  in
+  Fmt.pr "%-12s | %8d page reads@." "naive"
+    (run4 (fun db q -> ignore (Naive_eval.run db q)));
+  Fmt.pr "%-12s | %8d page reads@." "s1+s2+s3+s4"
+    (run4 (fun db q ->
+         ignore (Phased_eval.run ~strategy:Strategy.s1234 db q)))
+
+(* ------------------------------------------------------------------ *)
+(* B-IDX: permanent indexes (Section 3.2: "The first step can be
+   omitted, if permanent indexes exist"). *)
+
+let bench_permanent_indexes () =
+  section "B-IDX" "permanent indexes omit index-building scans";
+  Fmt.pr "(indexes registered: timetable.tcnr, timetable.tenr, papers.penr)@.";
+  Fmt.pr "%-12s | %-8s | %8s %8s@." "query" "strategy" "scans" "scans+ix";
+  List.iter
+    (fun (qname, make_q) ->
+      List.iter
+        (fun (sname, strategy) ->
+          let db = Workload.University.generate (uni_params 4) in
+          let q = make_q db in
+          let r0 = Phased_eval.run_report ~strategy db q in
+          ignore (Database.register_index db "timetable" ~on:"tcnr");
+          ignore (Database.register_index db "timetable" ~on:"tenr");
+          ignore (Database.register_index db "papers" ~on:"penr");
+          let r1 = Phased_eval.run_report ~strategy db q in
+          Fmt.pr "%-12s | %-8s | %8d %8d@." qname sname r0.Phased_eval.scans
+            r1.Phased_eval.scans)
+        [ ("palermo", Strategy.palermo); ("s1+2", Strategy.s12) ])
+    [
+      ("existential", Workload.Queries.existential_query);
+      ("universal", Workload.Queries.universal_query);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* B-CNF: range extensions in conjunctive normal form (Section 4.3's
+   future-work remark) on a query whose ALL variable carries a
+   two-atom pure-monadic conjunction. *)
+
+let cnf_query db =
+  ignore db;
+  let open Calculus in
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "enr") ];
+    body =
+      f_all "p" (base "papers")
+        (f_or
+           (f_and
+              (ne (attr "p" "pyear") (cint 1977))
+              (gt (attr "p" "penr") (cint 5)))
+           (eq (attr "p" "penr") (attr "e" "enr")));
+  }
+
+let bench_cnf () =
+  section "B-CNF" "CNF range extensions: conjunction count and volume";
+  Fmt.pr "%-6s | %6s %6s | %12s %12s | %10s %10s@." "scale" "conj" "conjC"
+    "max-ntuple" "max-ntupleC" "ms(s123)" "ms(s123c)";
+  List.iter
+    (fun s ->
+      let db = Workload.University.generate (uni_params s) in
+      let q = cnf_query db in
+      let r3 = Phased_eval.run_report ~strategy:Strategy.s123 db q in
+      let ms3 =
+        time_median ~repeat:1 (fun () ->
+            Phased_eval.run ~strategy:Strategy.s123 db q)
+      in
+      let rc = Phased_eval.run_report ~strategy:Strategy.s123c db q in
+      let msc =
+        time_median ~repeat:1 (fun () ->
+            Phased_eval.run ~strategy:Strategy.s123c db q)
+      in
+      Fmt.pr "%-6d | %6d %6d | %12d %12d | %10.2f %10.2f@." s
+        (List.length r3.Phased_eval.plan.Plan.conjs)
+        (List.length rc.Phased_eval.plan.Plan.conjs)
+        r3.Phased_eval.max_ntuple rc.Phased_eval.max_ntuple ms3 msc)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* B-JOIN: the combination phase's join operation, three ways (the
+   paper's references [6,9]): hash vs sort-merge vs nested loop on
+   reference-relation-shaped inputs. *)
+
+let bench_joins () =
+  section "B-JOIN" "join algorithms for the combination phase";
+  Fmt.pr "%-8s | %10s %10s %12s@." "rows" "hash(ms)" "merge(ms)" "nested(ms)";
+  let schema_l =
+    Schema.make
+      [ Schema.attr "a" Vtype.int_full; Schema.attr "x" Vtype.int_full ]
+      ~key:[]
+  in
+  let schema_r =
+    Schema.make
+      [ Schema.attr "b" Vtype.int_full; Schema.attr "y" Vtype.int_full ]
+      ~key:[]
+  in
+  List.iter
+    (fun n ->
+      let rng = Workload.Prng.create (n + 17) in
+      let mk schema =
+        let rel = Relation.create schema in
+        for i = 1 to n do
+          Relation.insert rel
+            (Tuple.of_list
+               [ Value.int (Workload.Prng.in_range rng 1 (n / 4)); Value.int i ])
+        done;
+        rel
+      in
+      let a = mk schema_l and b = mk schema_r in
+      let t name f = (name, time_median ~repeat:1 f) in
+      let results =
+        [
+          t "hash" (fun () -> Algebra.equi_join ~on:[ ("a", "b") ] a b);
+          t "merge" (fun () -> Algebra.merge_join ~on:[ ("a", "b") ] a b);
+          t "nested" (fun () ->
+              Algebra.nested_loop_join ~on:[ ("a", "b") ] a b);
+        ]
+      in
+      Fmt.pr "%-8d | %10.2f %10.2f %12.2f@." n
+        (List.assoc "hash" results)
+        (List.assoc "merge" results)
+        (List.assoc "nested" results))
+    [ 200; 800; 2000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmark of the headline comparison at one scale. *)
+
+let bench_bechamel () =
+  section "B-MICRO" "bechamel estimates (ns/run), running query, scale 1";
+  let open Bechamel in
+  let open Toolkit in
+  let db = Workload.University.generate (uni_params 1) in
+  let q = Workload.Queries.running_query db in
+  let tests =
+    Test.make_grouped ~name:"running-query"
+      (Test.make ~name:"naive" (Staged.stage (fun () -> Naive_eval.run db q))
+      :: List.map
+           (fun (name, st) ->
+             Test.make ~name
+               (Staged.stage (fun () -> Phased_eval.run ~strategy:st db q)))
+           strategies)
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some (est :: _) -> est
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      Fmt.pr "%-32s %14.0f ns/run (%8.3f ms)@." name ns (ns /. 1e6))
+    (List.sort (fun (_, a) (_, b) -> compare a b) rows)
+
+let () =
+  Fmt.pr "PASCAL/R query processing strategies — experiment harness@.";
+  Fmt.pr "(Jarke & Schmidt, SIGMOD 1982; see DESIGN.md section 4)@.";
+  bench_scale ();
+  bench_s1 ();
+  bench_s2 ();
+  bench_s3 ();
+  bench_s4 ();
+  bench_minmax ();
+  bench_eq_ne ();
+  bench_empty ();
+  bench_division ();
+  bench_page_io ();
+  bench_permanent_indexes ();
+  bench_cnf ();
+  bench_joins ();
+  bench_bechamel ();
+  Fmt.pr "@.done.@."

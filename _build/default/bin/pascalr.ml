@@ -1,0 +1,323 @@
+(* pascalr — command-line driver for the PASCAL/R query processor.
+
+   Subcommands:
+     run       evaluate a query against a generated sample database
+     explain   show the transformation pipeline and evaluation plan
+     plan      show the cost-based planner's decision
+     normalize show the standard form (prenex + DNF) of a query
+     script    execute a statement-level PASCAL/R program
+
+   Queries are given in the paper's concrete syntax, either inline
+   (--query), from a file (--file), or one of the named built-ins
+   (--example).  Databases are the generated university or
+   suppliers-parts instances. *)
+
+open Relalg
+open Pascalr
+open Cmdliner
+
+(* ----------------------------------------------------------------- *)
+(* Database selection *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
+(* --schema declarations.pas [--load rel=data.csv ...] *)
+let make_custom_db schema_path loads =
+  let db = Pascalr_lang.Elaborate.database_of_string (read_file schema_path) in
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None -> failwith ("--load expects REL=PATH, got " ^ spec)
+      | Some i ->
+        let rel_name = String.sub spec 0 i in
+        let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+        let target = Database.find_relation db rel_name in
+        let loaded =
+          Csv_io.of_string ~name:(rel_name ^ "_csv")
+            (Relation.schema target) (read_file path)
+        in
+        Relation.iter (Relation.insert target) loaded)
+    loads;
+  db
+
+let make_db kind scale seed =
+  match kind with
+  | "university" ->
+    Workload.University.generate
+      { (Workload.University.scaled scale) with Workload.University.seed = seed }
+  | "suppliers" ->
+    Workload.Suppliers.generate
+      { (Workload.Suppliers.scaled scale) with Workload.Suppliers.seed = seed }
+  | other -> failwith ("unknown database kind: " ^ other)
+
+let named_query db = function
+  | "running" | "example-2.1" -> Workload.Queries.running_query db
+  | "example-4.5" -> Workload.Queries.example_4_5 db
+  | "example-4.7" -> Workload.Queries.example_4_7 db
+  | "existential" -> Workload.Queries.existential_query db
+  | "universal" -> Workload.Queries.universal_query db
+  | "ships-all-parts" -> Workload.Suppliers.ships_all_parts db
+  | "ships-all-red" -> Workload.Suppliers.ships_all_red_parts db
+  | "no-red-part" -> Workload.Suppliers.ships_no_red_part db
+  | other -> failwith ("unknown example query: " ^ other)
+
+let resolve_query db ~query ~file ~example =
+  match query, file, example with
+  | Some src, None, None -> Pascalr_lang.Elaborate.query_of_string db src
+  | None, Some path, None ->
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    Pascalr_lang.Elaborate.query_of_string db src
+  | None, None, Some name -> named_query db name
+  | None, None, None -> named_query db "running"
+  | _ -> failwith "give at most one of --query, --file, --example"
+
+let strategy_of_string = function
+  | "palermo" -> Strategy.palermo
+  | "s1" -> Strategy.s1
+  | "s12" -> Strategy.s12
+  | "s123" -> Strategy.s123
+  | "s1234" | "full" -> Strategy.full
+  | other -> failwith ("unknown strategy: " ^ other)
+
+(* ----------------------------------------------------------------- *)
+(* Common options *)
+
+let db_arg =
+  Arg.(
+    value
+    & opt string "university"
+    & info [ "d"; "database" ] ~docv:"KIND"
+        ~doc:"Sample database: university or suppliers.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "s"; "scale" ] ~docv:"N" ~doc:"Database scale factor.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let query_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"SRC" ~doc:"Query in PASCAL/R syntax.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"PATH" ~doc:"Read the query from a file.")
+
+let example_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "example" ] ~docv:"NAME"
+        ~doc:
+          "Built-in query: running, example-4.5, example-4.7, existential, \
+           universal, ships-all-parts, ships-all-red, no-red-part.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:
+          "Evaluation strategy: palermo, s1, s12, s123, s1234/full.  Default: \
+           let the planner choose.")
+
+(* ----------------------------------------------------------------- *)
+(* Subcommands *)
+
+let schema_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schema" ] ~docv:"PATH"
+        ~doc:"Use a PASCAL/R declaration file instead of a sample database.")
+
+let load_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "load" ] ~docv:"REL=CSV"
+        ~doc:"Load a CSV file into a declared relation (with --schema).")
+
+let with_setup kind scale seed schema loads query file example k =
+  try
+    let db =
+      match schema with
+      | Some path -> make_custom_db path loads
+      | None ->
+        if loads <> [] then failwith "--load requires --schema";
+        make_db kind scale seed
+    in
+    let q = resolve_query db ~query ~file ~example in
+    (match Wellformed.check_query db q with
+    | Ok () -> ()
+    | Error e -> failwith ("ill-formed query: " ^ e.Wellformed.message));
+    k db q;
+    0
+  with
+  | Failure msg
+  | Pascalr_lang.Elaborate.Elab_error msg ->
+    Fmt.epr "pascalr: %s@." msg;
+    1
+  | Pascalr_lang.Parser.Parse_error (msg, pos) ->
+    Fmt.epr "pascalr: parse error at line %d, column %d: %s@."
+      pos.Pascalr_lang.Token.line pos.Pascalr_lang.Token.column msg;
+    1
+  | Pascalr_lang.Lexer.Lex_error (msg, pos) ->
+    Fmt.epr "pascalr: lexical error at line %d, column %d: %s@."
+      pos.Pascalr_lang.Token.line pos.Pascalr_lang.Token.column msg;
+    1
+
+let run_cmd =
+  let go kind scale seed schema loads query file example strategy verbose =
+    with_setup kind scale seed schema loads query file example (fun db q ->
+        Fmt.pr "query: %a@.@." Calculus.pp_query q;
+        let t0 = Unix.gettimeofday () in
+        let decision, report =
+          match strategy with
+          | Some s ->
+            let st = strategy_of_string s in
+            (None, Phased_eval.run_report ~strategy:st db q)
+          | None ->
+            let d = Planner.choose db q in
+            (Some d, Phased_eval.run_report ~strategy:d.Planner.d_strategy db q)
+        in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        (match decision with
+        | Some d -> Fmt.pr "planner: %a@.@." Strategy.pp d.Planner.d_strategy
+        | None -> ());
+        Fmt.pr "%a@.@." Relation.pp report.Phased_eval.result;
+        Fmt.pr "%d elements in %.2f ms; %d scans, %d probes, max n-tuple %d@."
+          (Relation.cardinality report.Phased_eval.result)
+          ms report.Phased_eval.scans report.Phased_eval.probes
+          report.Phased_eval.max_ntuple;
+        if verbose then begin
+          Fmt.pr "@.intermediate structures:@.";
+          List.iter
+            (fun (key, size) -> Fmt.pr "  %6d  %s@." size key)
+            report.Phased_eval.intermediates
+        end)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show intermediates.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Evaluate a query")
+    Term.(
+      const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
+      $ query_arg $ file_arg $ example_arg $ strategy_arg $ verbose)
+
+let explain_cmd =
+  let go kind scale seed schema loads query file example strategy =
+    with_setup kind scale seed schema loads query file example (fun db q ->
+        let st =
+          match strategy with
+          | Some s -> strategy_of_string s
+          | None -> (Planner.choose db q).Planner.d_strategy
+        in
+        Fmt.pr "%s@." (Explain.explain ~strategy:st db q))
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the evaluation plan")
+    Term.(
+      const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
+      $ query_arg $ file_arg $ example_arg $ strategy_arg)
+
+let plan_cmd =
+  let go kind scale seed schema loads query file example =
+    with_setup kind scale seed schema loads query file example (fun db q ->
+        let d = Planner.choose db q in
+        Fmt.pr "%a@." Planner.pp_decision d)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show the planner's strategy decision")
+    Term.(
+      const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
+      $ query_arg $ file_arg $ example_arg)
+
+let normalize_cmd =
+  let go kind scale seed schema loads query file example =
+    with_setup kind scale seed schema loads query file example (fun db q ->
+        Fmt.pr "=== as written ===@.%a@.@." Calculus.pp_query q;
+        let sf = Standard_form.compile db q in
+        Fmt.pr "=== standard form (adapted, prenex + DNF) ===@.%a@.@."
+          Standard_form.pp sf;
+        let sf3 = Range_ext.apply db sf in
+        Fmt.pr "=== with extended range expressions (S3) ===@.%a@.@."
+          Standard_form.pp sf3;
+        let plan = Quant_push.apply db (Plan.of_standard_form sf3) in
+        Fmt.pr "=== with pushed quantifiers (S4) ===@.%a@." Plan.pp plan)
+  in
+  Cmd.v
+    (Cmd.info "normalize" ~doc:"Show the transformation pipeline")
+    Term.(
+      const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
+      $ query_arg $ file_arg $ example_arg)
+
+(* Execute a statement-level PASCAL/R program (declarations + BEGIN ...
+   END), e.g. the paper's Example 4.3; prints the named relations
+   afterwards. *)
+let script_cmd =
+  let go path show =
+    try
+      let db = Pascalr_lang.Interp.run_string (read_file path) in
+      (match show with
+      | [] ->
+        Fmt.pr "relations after execution: %a@."
+          (Fmt.list ~sep:Fmt.comma Fmt.string)
+          (Database.relation_names db)
+      | names ->
+        List.iter
+          (fun n -> Fmt.pr "%a@." Relation.pp (Database.find_relation db n))
+          names);
+      0
+    with
+    | Failure msg
+    | Pascalr_lang.Elaborate.Elab_error msg
+    | Pascalr_lang.Interp.Runtime_error msg ->
+      Fmt.epr "pascalr: %s@." msg;
+      1
+    | Pascalr_lang.Parser.Parse_error (msg, pos) ->
+      Fmt.epr "pascalr: parse error at line %d, column %d: %s@."
+        pos.Pascalr_lang.Token.line pos.Pascalr_lang.Token.column msg;
+      1
+    | Relalg.Errors.Unknown_relation r ->
+      Fmt.epr "pascalr: unknown relation %s@." r;
+      1
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"PASCAL/R program file.")
+  in
+  let show =
+    Arg.(
+      value & opt_all string []
+      & info [ "show" ] ~docv:"REL" ~doc:"Print this relation afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "script" ~doc:"Execute a statement-level PASCAL/R program")
+    Term.(const go $ path $ show)
+
+let () =
+  let info =
+    Cmd.info "pascalr" ~version:"1.0.0"
+      ~doc:"PASCAL/R relational query processing strategies (SIGMOD 1982)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; explain_cmd; plan_cmd; normalize_cmd; script_cmd ]))

@@ -1,0 +1,1 @@
+examples/empty_relations.ml: Database Fmt Lemma1 List Naive_eval Pascalr Phased_eval Relalg Relation Standard_form Strategy Workload

@@ -1,0 +1,1 @@
+examples/empty_relations.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Fmt List Pascalr Pascalr_lang Relalg Relation Tuple Value

@@ -1,0 +1,1 @@
+examples/references.ml: Database Errors Fmt Index Reference Relalg Relation Schema Tuple Value Vtype Workload

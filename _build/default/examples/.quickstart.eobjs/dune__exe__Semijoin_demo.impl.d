@@ -1,0 +1,1 @@
+examples/semijoin_demo.ml: Database Fmt List Pascalr Phased_eval Relalg Relation Semijoin Strategy Value Workload

@@ -1,0 +1,1 @@
+examples/storage_demo.ml: Buffer_pool Csv_io Database Fmt List Naive_eval Pascalr Phased_eval Relalg Relation Schema Strategy Vtype Workload

@@ -1,0 +1,1 @@
+examples/strategy_tour.ml: Database Fmt List Naive_eval Pascalr Phased_eval Planner Relalg Relation Strategy Unix Workload

@@ -1,0 +1,1 @@
+examples/suppliers.ml: Algebra Calculus Database Fmt List Naive_eval Pascalr Phased_eval Relalg Relation Strategy Tuple Value Workload

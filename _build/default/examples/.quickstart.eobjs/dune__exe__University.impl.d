@@ -1,0 +1,1 @@
+examples/university.ml: Calculus Database Explain Fmt List Naive_eval Pascalr Pascalr_lang Phased_eval Plan Quant_push Range_ext Relalg Relation Standard_form Strategy Workload

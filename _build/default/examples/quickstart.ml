@@ -1,0 +1,77 @@
+(* Quickstart: declare a database in PASCAL/R syntax, load some data,
+   run a query with every evaluation strategy.
+
+     dune exec examples/quickstart.exe *)
+
+open Relalg
+
+let schema_src =
+  {|
+TYPE colortype = (red, green, blue);
+
+VAR fruits : RELATION <fid> OF
+      RECORD
+        fid : 1..100;
+        fname : PACKED ARRAY [1..20] OF char;
+        fcolor : colortype
+      END;
+    baskets : RELATION <bid, bfid> OF
+      RECORD
+        bid : 1..100;
+        bfid : 1..100
+      END;
+|}
+
+let () =
+  (* 1. Declare the schema by parsing PASCAL/R declarations. *)
+  let db = Pascalr_lang.Elaborate.database_of_string schema_src in
+  let fruits = Database.find_relation db "fruits" in
+  let baskets = Database.find_relation db "baskets" in
+  let color = Database.find_enum db "colortype" in
+
+  (* 2. Load data with the PASCAL/R insertion operator (:+). *)
+  let fruit fid name c =
+    Relation.insert fruits
+      (Tuple.of_list [ Value.int fid; Value.str name; Value.enum color c ])
+  in
+  let basket bid fid =
+    Relation.insert baskets (Tuple.of_list [ Value.int bid; Value.int fid ])
+  in
+  fruit 1 "apple" "red";
+  fruit 2 "kiwi" "green";
+  fruit 3 "cherry" "red";
+  fruit 4 "plum" "blue";
+  basket 1 1;
+  basket 1 2;
+  basket 1 3;
+  basket 2 3;
+  basket 3 2;
+  basket 3 4;
+
+  (* 3. A selection with a universal quantifier: baskets all of whose
+     fruits are red... expressed over basket entries b: there is no
+     entry of the same basket with a non-red fruit. *)
+  let query_src =
+    {|[<b.bid> OF EACH b IN baskets:
+        ALL x IN baskets
+          ((x.bid <> b.bid)
+           OR SOME f IN [EACH f IN fruits: f.fcolor = red] (f.fid = x.bfid))]|}
+  in
+  let query = Pascalr_lang.Elaborate.query_of_string db query_src in
+  Fmt.pr "query:@.%a@.@." Pascalr.Calculus.pp_query query;
+
+  (* 4. Evaluate with the naive reference evaluator and with every
+     strategy preset of the paper. *)
+  let reference = Pascalr.Naive_eval.run db query in
+  Fmt.pr "naive answer: %a@."
+    (Fmt.list ~sep:Fmt.comma Value.pp)
+    (List.map (fun t -> Tuple.get t 0) (Relation.to_list reference));
+  List.iter
+    (fun (name, strategy) ->
+      let r = Pascalr.Phased_eval.run ~strategy db query in
+      Fmt.pr "%-12s same answer: %b@." name (Relation.equal_set r reference))
+    Pascalr.Strategy.all_presets;
+
+  (* 5. Ask the planner what it would do. *)
+  let decision = Pascalr.Planner.choose db query in
+  Fmt.pr "@.planner:@.%a@." Pascalr.Planner.pp_decision decision

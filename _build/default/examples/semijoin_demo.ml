@@ -1,0 +1,75 @@
+(* Semi-join programs from the predicate-calculus point of view (paper
+   Sections 4.4/5): query graph, tree test, Bernstein/Chiu full reducer,
+   and the universal (ALL) extension.
+
+     dune exec examples/semijoin_demo.exe *)
+
+open Relalg
+open Pascalr
+open Pascalr.Calculus
+
+let () =
+  let db = Workload.University.generate Workload.University.default_params in
+  let prof = Workload.Queries.professor db in
+  let soph = Workload.Queries.sophomore db in
+
+  (* The existential branch of the running query as a conjunctive
+     chain query: employees - timetable - courses. *)
+  let conj =
+    [
+      { lhs = attr "e" "estatus"; op = Value.Eq; rhs = const prof };
+      { lhs = attr "c" "clevel"; op = Value.Le; rhs = const soph };
+      { lhs = attr "e" "enr"; op = Value.Eq; rhs = attr "t" "tenr" };
+      { lhs = attr "c" "cnr"; op = Value.Eq; rhs = attr "t" "tcnr" };
+    ]
+  in
+  let ranges =
+    [ ("e", base "employees"); ("t", base "timetable"); ("c", base "courses") ]
+  in
+  (match Semijoin.graph_of_conjunction [ "e"; "t"; "c" ] conj with
+  | None -> Fmt.pr "not a conjunctive equality query@."
+  | Some g ->
+    Fmt.pr "query graph: %a@." Semijoin.pp_graph g;
+    Fmt.pr "tree query: %b@." (Semijoin.is_tree g));
+  (match Semijoin.reduce db ranges conj with
+  | None -> ()
+  | Some red ->
+    Fmt.pr "@.full reducer schedule:@.";
+    List.iter (fun s -> Fmt.pr "  %a@." Semijoin.pp_step s) red.Semijoin.red_steps;
+    Fmt.pr "@.reduction (monadic filters included):@.";
+    List.iter
+      (fun (v, before) ->
+        let after = List.assoc v red.Semijoin.red_after in
+        Fmt.pr "  %-2s: %4d -> %4d elements@." v before after)
+      red.Semijoin.red_before);
+
+  (* The universal extension. *)
+  Fmt.pr "@.=== ALL as anti-semijoin ===@.";
+  let employees = Database.find_relation db "employees" in
+  let papers = Database.find_relation db "papers" in
+  let non_authors =
+    Semijoin.all_ne_reduce ~outer_attr:"enr" ~inner_attr:"penr" employees papers
+  in
+  Fmt.pr "employees with ALL p (enr <> penr), i.e. no papers: %d of %d@."
+    (Relation.cardinality non_authors)
+    (Relation.cardinality employees);
+  let single_author =
+    Semijoin.all_eq_reduce ~outer_attr:"enr" ~inner_attr:"penr" employees papers
+  in
+  Fmt.pr
+    "employees with ALL p (enr = penr), i.e. sole author of every paper: %d@."
+    (Relation.cardinality single_author);
+
+  (* The same through the full query pipeline with the S4 value lists. *)
+  let q =
+    {
+      free = [ ("e", base "employees") ];
+      select = [ ("e", "enr") ];
+      body = f_all "p" (base "papers") (ne (attr "e" "enr") (attr "p" "penr"));
+    }
+  in
+  let report = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+  Fmt.pr
+    "@.pipeline with S4: %d employees, %d scans (value-list evaluation)@."
+    (Relation.cardinality report.Phased_eval.result)
+    report.Phased_eval.scans

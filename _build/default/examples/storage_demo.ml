@@ -1,0 +1,60 @@
+(* The paged storage substrate: CSV loading, heap-file pages, and the
+   buffer pool's view of different evaluators — the 1982 cost model in
+   action.
+
+     dune exec examples/storage_demo.exe *)
+
+open Relalg
+open Pascalr
+
+let csv_parts =
+  "pnr,pname,pcolor,pweight\n\
+   1,cog,red,12\n\
+   2,bolt,green,17\n\
+   3,screw,blue,17\n\
+   4,cam,red,12\n\
+   5,gear,red,19\n"
+
+let () =
+  (* 1. Load a relation from CSV against a declared schema. *)
+  let color = Vtype.enum "colortype" [| "red"; "green"; "blue" |] in
+  let parts_schema =
+    Schema.make
+      [
+        Schema.attr "pnr" (Vtype.int_range 1 999);
+        Schema.attr "pname" (Vtype.string_width 10);
+        Schema.attr "pcolor" color;
+        Schema.attr "pweight" (Vtype.int_range 1 100);
+      ]
+      ~key:[ "pnr" ]
+  in
+  let parts = Csv_io.of_string ~name:"parts" parts_schema csv_parts in
+  Fmt.pr "loaded from CSV:@.%a@.@." Relation.pp parts;
+  Fmt.pr "round trip:@.%s@." (Csv_io.to_string parts);
+
+  (* 2. Attach paged storage to a generated database and watch the
+     buffer pool. *)
+  let db = Workload.University.generate (Workload.University.scaled 2) in
+  let pool = Database.attach_storage db ~pool_pages:6 in
+  List.iter
+    (fun rel ->
+      match Relation.backing_pages rel with
+      | Some pages ->
+        Fmt.pr "%-10s: %4d elements on %2d pages@." (Relation.name rel)
+          (Relation.cardinality rel) pages
+      | None -> ())
+    (Database.relations db);
+
+  let q = Workload.Queries.running_query db in
+  let show name run =
+    Buffer_pool.reset_stats pool;
+    run ();
+    Fmt.pr "%-14s %a@." name Buffer_pool.pp_stats (Buffer_pool.stats pool)
+  in
+  Fmt.pr "@.buffer pool (6 frames) during evaluation:@.";
+  show "naive" (fun () -> ignore (Naive_eval.run db q));
+  show "s1+s2+s3+s4" (fun () ->
+      ignore (Phased_eval.run ~strategy:Strategy.s1234 db q));
+  Fmt.pr
+    "@.the collected evaluation reads each relation once; the naive@.";
+  Fmt.pr "evaluator's nested re-scans thrash the small pool.@."

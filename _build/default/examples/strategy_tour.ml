@@ -1,0 +1,60 @@
+(* A guided tour of the four optimization strategies on one query,
+   showing the transformation each performs and its measured effect.
+
+     dune exec examples/strategy_tour.exe *)
+
+open Relalg
+open Pascalr
+
+(* Sized so the unoptimized Palermo combination stays around 10^5
+   n-tuples — big enough to show the orders-of-magnitude gap, small
+   enough to run in seconds. *)
+let demo_params =
+  {
+    Workload.University.default_params with
+    Workload.University.n_employees = 20;
+    n_papers = 30;
+    n_courses = 12;
+    n_timetable = 40;
+  }
+
+let () =
+  let db = Workload.University.generate demo_params in
+  let q = Workload.Queries.running_query db in
+  let reference = Naive_eval.run db q in
+
+  Fmt.pr "database: employees %d, papers %d, courses %d, timetable %d@.@."
+    (Relation.cardinality (Database.find_relation db "employees"))
+    (Relation.cardinality (Database.find_relation db "papers"))
+    (Relation.cardinality (Database.find_relation db "courses"))
+    (Relation.cardinality (Database.find_relation db "timetable"));
+
+  Fmt.pr "strategy        scans   probes   max n-tuple   wall (ms)   correct@.";
+  Fmt.pr "--------------- ------- -------- ------------- ----------- -------@.";
+  List.iter
+    (fun (name, strategy) ->
+      let t0 = Unix.gettimeofday () in
+      let report = Phased_eval.run_report ~strategy db q in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      Fmt.pr "%-15s %7d %8d %13d %11.2f %7b@." name report.Phased_eval.scans
+        report.Phased_eval.probes report.Phased_eval.max_ntuple ms
+        (Relation.equal_set report.Phased_eval.result reference))
+    Strategy.all_presets;
+
+  Fmt.pr "@.What each strategy did:@.";
+  Fmt.pr
+    "S1  groups all join-term evaluations over a relation into one scan@.";
+  Fmt.pr
+    "S2  lets monadic terms (estatus=professor, clevel<=sophomore) restrict@.";
+  Fmt.pr "    the indirect joins while the relation is being read@.";
+  Fmt.pr
+    "S3  moves those monadic terms into the range expressions, shrinking@.";
+  Fmt.pr "    every structure built over the variable and dropping a whole@.";
+  Fmt.pr "    conjunction of the DNF matrix (3 -> 2)@.";
+  Fmt.pr
+    "S4  evaluates the quantifiers of p, c and t in the collection phase@.";
+  Fmt.pr
+    "    via value lists, emptying the combination phase's prefix@.";
+
+  let d = Planner.choose db q in
+  Fmt.pr "@.planner decision:@.%a@." Planner.pp_decision d

@@ -1,0 +1,1 @@
+lib/core/calculus.ml: Fmt List Map Relalg Set String Value

@@ -1,0 +1,1 @@
+lib/core/calculus.mli: Fmt Map Relalg Set Value

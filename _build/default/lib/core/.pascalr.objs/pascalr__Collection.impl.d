@@ -1,0 +1,1 @@
+lib/core/collection.ml: Calculus Database Fmt Hashtbl Index List Naive_eval Normalize Option Plan Reference Relalg Relation Schema Strategy String Tuple Value Value_list Var_map Var_set Vtype

@@ -1,0 +1,1 @@
+lib/core/collection.mli: Calculus Database Plan Relalg Relation Schema Strategy

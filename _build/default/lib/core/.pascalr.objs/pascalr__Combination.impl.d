@@ -1,0 +1,1 @@
+lib/core/combination.ml: Algebra Calculus Collection List Normalize Plan Relalg Relation Schema String Vtype

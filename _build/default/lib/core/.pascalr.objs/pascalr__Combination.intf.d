@@ -1,0 +1,1 @@
+lib/core/combination.mli: Collection Plan Relalg Relation

@@ -1,0 +1,1 @@
+lib/core/construction.ml: Calculus Database List Plan Relalg Relation Schema Tuple Wellformed

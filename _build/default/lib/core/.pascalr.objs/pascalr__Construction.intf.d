@@ -1,0 +1,1 @@
+lib/core/construction.mli: Database Plan Relalg Relation

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Calculus Float Fmt List Option Plan Relalg Stats String Value

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Calculus Fmt Plan Stats

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Calculus Fmt List Normalize Phased_eval Plan Relalg Strategy String Value Var_set

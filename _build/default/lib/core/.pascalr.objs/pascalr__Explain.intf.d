@@ -1,0 +1,1 @@
+lib/core/explain.mli: Calculus Database Plan Relalg Strategy

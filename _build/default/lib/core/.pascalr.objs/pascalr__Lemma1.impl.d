@@ -1,0 +1,1 @@
+lib/core/lemma1.ml: Calculus List Standard_form Var_set

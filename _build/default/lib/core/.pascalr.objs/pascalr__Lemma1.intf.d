@@ -1,0 +1,1 @@
+lib/core/lemma1.mli: Calculus Database Relalg

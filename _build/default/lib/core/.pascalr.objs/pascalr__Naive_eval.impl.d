@@ -1,0 +1,1 @@
+lib/core/naive_eval.ml: Calculus Database Format List Relalg Relation Schema Tuple Value Var_map Wellformed

@@ -1,0 +1,1 @@
+lib/core/naive_eval.mli: Calculus Database Relalg Relation Schema Tuple Var_map

@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Calculus Fmt List Relalg Value Var_set

@@ -1,0 +1,1 @@
+lib/core/onesort.ml: Calculus Database List Naive_eval Relalg Relation Schema String Tuple Value Var_map

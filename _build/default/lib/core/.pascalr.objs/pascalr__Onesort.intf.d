@@ -1,0 +1,1 @@
+lib/core/onesort.mli: Calculus Database Relalg Schema Tuple Var_map

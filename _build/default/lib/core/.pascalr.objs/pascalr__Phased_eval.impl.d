@@ -1,0 +1,1 @@
+lib/core/phased_eval.ml: Calculus Collection Combination Construction Database List Logs Plan Quant_push Range_ext Relalg Relation Standard_form Strategy

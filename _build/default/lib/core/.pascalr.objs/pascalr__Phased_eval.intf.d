@@ -1,0 +1,1 @@
+lib/core/phased_eval.mli: Calculus Database Plan Relalg Relation Strategy

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Calculus Fmt List Normalize Relalg Standard_form String Value Var_set

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Calculus Fmt Normalize Relalg Standard_form Value Var_set

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Calculus Cost Fmt List Normalize Phased_eval Plan Quant_push Range_ext Standard_form Stats Strategy String

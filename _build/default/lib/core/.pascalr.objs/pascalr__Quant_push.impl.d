@@ -1,0 +1,1 @@
+lib/core/quant_push.ml: Calculus Fun List Normalize Option Plan Relalg String Value Var_set

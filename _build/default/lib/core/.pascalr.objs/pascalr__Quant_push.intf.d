@@ -1,0 +1,1 @@
+lib/core/quant_push.mli: Database Normalize Plan Relalg

@@ -1,0 +1,1 @@
+lib/core/range_ext.ml: Calculus List Normalize Relalg Standard_form String Value Var_set

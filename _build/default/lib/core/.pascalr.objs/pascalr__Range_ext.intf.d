@@ -1,0 +1,1 @@
+lib/core/range_ext.mli: Database Relalg Standard_form

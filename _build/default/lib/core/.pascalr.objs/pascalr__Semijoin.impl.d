@@ -1,0 +1,1 @@
+lib/core/semijoin.ml: Algebra Calculus Database Fmt Hashtbl List Naive_eval Normalize Option Plan Relalg Relation String Tuple Value Value_list Var_map

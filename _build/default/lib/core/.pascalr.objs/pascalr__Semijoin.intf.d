@@ -1,0 +1,1 @@
+lib/core/semijoin.mli: Calculus Database Fmt Normalize Relalg Relation

@@ -1,0 +1,1 @@
+lib/core/standard_form.ml: Calculus Database Fmt List Naive_eval Normalize Relalg Relation String Var_map Var_set

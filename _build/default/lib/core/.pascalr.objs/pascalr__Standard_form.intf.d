@@ -1,0 +1,1 @@
+lib/core/standard_form.mli: Calculus Database Fmt Normalize Relalg

@@ -1,0 +1,1 @@
+lib/core/stats.ml: Array Database Errors Float Fmt Hashtbl List Relalg Relation Schema Tuple Value Value_key

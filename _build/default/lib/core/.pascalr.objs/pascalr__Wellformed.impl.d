@@ -1,0 +1,1 @@
+lib/core/wellformed.ml: Calculus Database Fmt Format List Relalg Relation Result Schema String Value Var_map Var_set Vtype

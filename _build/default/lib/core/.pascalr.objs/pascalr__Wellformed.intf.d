@@ -1,0 +1,1 @@
+lib/core/wellformed.mli: Calculus Database Relalg Schema Var_map

@@ -1,0 +1,766 @@
+(* The COLLECTION PHASE (paper Section 3.3, strategies 1, 2 and 4 of
+   Section 4).
+
+   This phase "evaluates range expressions and single join terms.  The
+   results are single lists and indirect joins for all monadic and
+   dyadic join terms in the selection expression.  This phase performs
+   data compression (records to references) and data reduction (testing
+   join terms)."
+
+   All intermediate results are memoized by a stable textual key so that
+   identical work — same join term under the same restrictions — is done
+   once.  Two execution modes share the same builders:
+
+   - lazy (Palermo baseline): every requested structure performs its own
+     scan of its source relation;
+   - strategy 1 ([parallel_scan]): a scheduling pre-pass groups every
+     pending structure by source relation and executes all structures of
+     a relation in a single scan, honouring build-before-probe
+     dependencies (an indirect join can only probe an index that has
+     already been materialized — Example 4.3 reads timetable before
+     courses and employees).
+
+   Strategy 2 ([monadic_restrict]) changes which structures a
+   conjunction requests: monadic join terms and derived predicates
+   become filters of the indirect joins (and partial indexes) instead of
+   separate single lists.  Strategy 4's derived predicates are evaluated
+   here through value lists (module {!Relalg.Value_list}). *)
+
+open Relalg
+open Calculus
+
+type entry =
+  | E_rel of Relation.t
+  | E_index of Index.t
+  | E_vlist of Value_list.t * bool  (* value list, monadics-hold-for-all flag *)
+
+type t = {
+  db : Database.t;
+  strategy : Strategy.t;
+  plan : Plan.t;
+  schemas : Schema.t Var_map.t;
+  cache : (string, entry) Hashtbl.t;
+  mutable perm_installed : bool;
+}
+
+type component =
+  | C_single of var * Relation.t
+  | C_pair of var * var * Relation.t
+
+(* ------------------------------------------------------------------ *)
+(* Setup *)
+
+let var_schemas db (plan : Plan.t) =
+  let bind acc (v, (r : range)) =
+    let rel = Database.find_relation db r.range_rel in
+    Var_map.add v (Relation.schema rel) acc
+  in
+  let acc = List.fold_left bind Var_map.empty plan.Plan.free in
+  List.fold_left
+    (fun acc e -> bind acc (e.Normalize.v, e.Normalize.range))
+    acc plan.Plan.prefix
+
+let create db strategy plan =
+  {
+    db;
+    strategy;
+    plan;
+    schemas = var_schemas db plan;
+    cache = Hashtbl.create 64;
+    perm_installed = false;
+  }
+
+let var_schema t v = Var_map.find v t.schemas
+
+let range_of_exn t v =
+  match Plan.range_of t.plan v with
+  | Some r -> r
+  | None -> invalid_arg ("Collection: variable without a range: " ^ v)
+
+let single_schema t v =
+  let r = range_of_exn t v in
+  Schema.make [ Schema.attr v (Vtype.reference r.range_rel) ] ~key:[]
+
+let pair_schema t v1 v2 =
+  let r1 = range_of_exn t v1 and r2 = range_of_exn t v2 in
+  Schema.make
+    [
+      Schema.attr v1 (Vtype.reference r1.range_rel);
+      Schema.attr v2 (Vtype.reference r2.range_rel);
+    ]
+    ~key:[]
+
+(* ------------------------------------------------------------------ *)
+(* Per-tuple predicates *)
+
+(* Truth of a monadic atom on one element of variable [v]. *)
+let monadic_holds schema v tuple (a : atom) =
+  let value = function
+    | O_const c -> c
+    | O_attr (v', at) ->
+      if String.equal v' v then Tuple.get_by_name schema tuple at
+      else invalid_arg "Collection.monadic_holds: foreign variable"
+  in
+  Value.apply a.op (value a.lhs) (value a.rhs)
+
+let restriction_holds t (range : range) schema tuple =
+  match range.restriction with
+  | None -> true
+  | Some (rv, f) ->
+    Naive_eval.holds t.db
+      (Var_map.add rv { Naive_eval.tuple; schema } Var_map.empty)
+      f
+
+(* ------------------------------------------------------------------ *)
+(* Cache plumbing *)
+
+let find_rel t key =
+  match Hashtbl.find_opt t.cache key with
+  | Some (E_rel r) -> Some r
+  | Some (E_index _ | E_vlist _) | None -> None
+
+let find_index t key =
+  match Hashtbl.find_opt t.cache key with
+  | Some (E_index i) -> Some i
+  | Some (E_rel _ | E_vlist _) | None -> None
+
+let find_vlist t key =
+  match Hashtbl.find_opt t.cache key with
+  | Some (E_vlist (vl, ok)) -> Some (vl, ok)
+  | Some (E_rel _ | E_index _) | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Structure specifications.
+
+   A spec describes one intermediate structure: its cache key, the
+   relation whose scan produces it, the keys it depends on, and how to
+   start it (returning a per-tuple action and a finisher).  Both the
+   lazy mode and the strategy-1 scheduler execute specs; the only
+   difference is how scans are shared. *)
+
+type spec = {
+  sp_key : string;
+  sp_rel : string;  (* relation scanned to build this structure *)
+  sp_deps : string list;
+  sp_start : t -> (Tuple.t -> unit) * (unit -> entry);
+}
+
+(* Storage policy of a value list, from the paper's Section 4.4 special
+   cases. *)
+let storage_for quant op =
+  match quant, op with
+  | _, (Value.Lt | Value.Le | Value.Gt | Value.Ge) -> Value_list.Bounds
+  | Normalize.Q_all, Value.Eq | Normalize.Q_some, Value.Ne ->
+    Value_list.At_most_one
+  | Normalize.Q_all, Value.Ne | Normalize.Q_some, Value.Eq -> Value_list.Full
+
+let vlist_key (p : Plan.pushed) = "vlist:" ^ Plan.pushed_id p
+
+(* Predicate of an already-built derived structure: decides, for one
+   value of the outer variable's component, whether the pushed
+   quantifier holds. *)
+let pushed_predicate_of_entry (p : Plan.pushed) (vl, m_ok) v =
+  match p.Plan.p_quant with
+  | Normalize.Q_some ->
+    Value_list.quant_holds ~quant:Value_list.Q_some p.Plan.p_op v vl
+  | Normalize.Q_all ->
+    m_ok && Value_list.quant_holds ~quant:Value_list.Q_all p.Plan.p_op v vl
+
+(* Specs for value lists, recursively including nested ones. *)
+let rec vlist_specs t (p : Plan.pushed) : spec list =
+  let nested = List.concat_map (vlist_specs t) p.Plan.p_nested in
+  let key = vlist_key p in
+  let range = p.Plan.p_range in
+  let rel = Database.find_relation t.db range.range_rel in
+  let schema = Relation.schema rel in
+  let start t =
+    let vl = Value_list.create ~storage:(storage_for p.Plan.p_quant p.Plan.p_op) () in
+    let m_ok = ref true in
+    let nested_preds =
+      List.map
+        (fun (n : Plan.pushed) ->
+          match find_vlist t (vlist_key n) with
+          | Some e ->
+            let pred = pushed_predicate_of_entry n e in
+            fun tuple -> pred (Tuple.get_by_name schema tuple n.Plan.p_outer_attr)
+          | None -> invalid_arg "Collection: nested value list not built")
+        p.Plan.p_nested
+    in
+    let qualifies tuple =
+      List.for_all (monadic_holds schema p.Plan.p_var tuple) p.Plan.p_monadic
+      && List.for_all (fun pred -> pred tuple) nested_preds
+    in
+    let per_tuple tuple =
+      if restriction_holds t range schema tuple then
+        match p.Plan.p_quant with
+        | Normalize.Q_some ->
+          (* Only qualifying elements enter the list. *)
+          if qualifies tuple then
+            Value_list.add vl (Tuple.get_by_name schema tuple p.Plan.p_inner_attr)
+        | Normalize.Q_all ->
+          (* Every range element enters the list; monadic/nested terms
+             must hold for all of them. *)
+          Value_list.add vl (Tuple.get_by_name schema tuple p.Plan.p_inner_attr);
+          if not (qualifies tuple) then m_ok := false
+    in
+    (per_tuple, fun () -> E_vlist (vl, !m_ok))
+  in
+  nested
+  @ [
+      {
+        sp_key = key;
+        sp_rel = range.range_rel;
+        sp_deps = List.map (fun n -> vlist_key n) p.Plan.p_nested;
+        sp_start = start;
+      };
+    ]
+
+(* Base single list of a variable: its (restricted) range expression
+   evaluated to a reference relation [<@v>]. *)
+let base_key v = "base:" ^ v
+
+let base_spec t v : spec =
+  let range = range_of_exn t v in
+  let rel = Database.find_relation t.db range.range_rel in
+  let schema = Relation.schema rel in
+  let start t =
+    let out = Relation.create ~name:("sl_" ^ v) (single_schema t v) in
+    let per_tuple tuple =
+      if restriction_holds t range schema tuple then
+        Relation.insert out (Tuple.of_list [ Reference.value_of_tuple rel tuple ])
+    in
+    (per_tuple, fun () -> E_rel out)
+  in
+  { sp_key = base_key v; sp_rel = range.range_rel; sp_deps = []; sp_start = start }
+
+(* Filtered single list: references of v's range elements satisfying a
+   set of monadic atoms and derived predicates. *)
+let single_key v atoms derived =
+  Fmt.str "single:%s:%s:[%s]" v (Plan.atoms_id atoms)
+    (String.concat ";" (List.map Plan.derived_id derived))
+
+let single_spec t v atoms (derived : (var * Plan.pushed) list) : spec list =
+  let range = range_of_exn t v in
+  let rel = Database.find_relation t.db range.range_rel in
+  let schema = Relation.schema rel in
+  let vspecs = List.concat_map (fun (_, p) -> vlist_specs t p) derived in
+  let key = single_key v atoms derived in
+  let start t =
+    let out = Relation.create ~name:("sl_" ^ v) (single_schema t v) in
+    let dpreds =
+      List.map
+        (fun ((_, p) : var * Plan.pushed) ->
+          match find_vlist t (vlist_key p) with
+          | Some e ->
+            let pred = pushed_predicate_of_entry p e in
+            fun tuple -> pred (Tuple.get_by_name schema tuple p.Plan.p_outer_attr)
+          | None -> invalid_arg "Collection: derived value list not built")
+        derived
+    in
+    let per_tuple tuple =
+      if
+        restriction_holds t range schema tuple
+        && List.for_all (monadic_holds schema v tuple) atoms
+        && List.for_all (fun pred -> pred tuple) dpreds
+      then
+        Relation.insert out (Tuple.of_list [ Reference.value_of_tuple rel tuple ])
+    in
+    (per_tuple, fun () -> E_rel out)
+  in
+  vspecs
+  @ [
+      {
+        sp_key = key;
+        sp_rel = range.range_rel;
+        sp_deps = List.map (fun (_, p) -> vlist_key p) derived;
+        sp_start = start;
+      };
+    ]
+
+(* (Partial) index over the component of a variable's range relation,
+   filtered by the variable's range restriction, monadic atoms and
+   derived predicates. *)
+let index_key v attr atoms derived =
+  Fmt.str "index:%s.%s:%s:[%s]" v attr (Plan.atoms_id atoms)
+    (String.concat ";" (List.map Plan.derived_id derived))
+
+(* Seed the cache with the database's permanent indexes (paper Section
+   3.2: "The first step can be omitted, if permanent indexes exist").
+   A permanent index stands in only for an unfiltered index over an
+   unrestricted range. *)
+let install_permanent_indexes t =
+  if not t.perm_installed then begin
+    t.perm_installed <- true;
+    List.iter
+      (fun v ->
+        match Plan.range_of t.plan v with
+        | Some r when r.restriction = None ->
+          List.iter
+            (fun (rel, attr) ->
+              if String.equal rel r.range_rel then
+                match Database.permanent_index t.db rel ~on:attr with
+                | Some idx ->
+                  Hashtbl.replace t.cache (index_key v attr [] []) (E_index idx)
+                | None -> ())
+            (Database.permanent_index_list t.db)
+        | Some _ | None -> ())
+      (Plan.variable_order t.plan)
+  end
+
+let index_spec t v attr atoms derived : spec list =
+  let range = range_of_exn t v in
+  let rel = Database.find_relation t.db range.range_rel in
+  let schema = Relation.schema rel in
+  let vspecs = List.concat_map (fun (_, p) -> vlist_specs t p) derived in
+  let key = index_key v attr atoms derived in
+  let start t =
+    let idx = Index.create rel ~on:[ attr ] in
+    let dpreds =
+      List.map
+        (fun ((_, p) : var * Plan.pushed) ->
+          match find_vlist t (vlist_key p) with
+          | Some e ->
+            let pred = pushed_predicate_of_entry p e in
+            fun tuple -> pred (Tuple.get_by_name schema tuple p.Plan.p_outer_attr)
+          | None -> invalid_arg "Collection: derived value list not built")
+        derived
+    in
+    let per_tuple tuple =
+      if
+        restriction_holds t range schema tuple
+        && List.for_all (monadic_holds schema v tuple) atoms
+        && List.for_all (fun pred -> pred tuple) dpreds
+      then Index.add idx rel tuple
+    in
+    (per_tuple, fun () -> E_index idx)
+  in
+  vspecs
+  @ [
+      {
+        sp_key = key;
+        sp_rel = range.range_rel;
+        sp_deps = List.map (fun (_, p) -> vlist_key p) derived;
+        sp_start = start;
+      };
+    ]
+
+(* Indirect join for one dyadic join term: a reference relation of
+   element pairs satisfying it (Section 3.2).  The later variable in the
+   canonical order is indexed, the earlier one probes — the direction
+   used by Example 4.3 (timetable and papers are indexed; courses and
+   employees probe). *)
+
+type pair_shape = {
+  ps_atom : atom;
+  ps_probe : var;
+  ps_probe_attr : string;
+  ps_probe_op : Value.comparison;  (* oriented: indexed_value op probe_value *)
+  ps_index : var;
+  ps_index_attr : string;
+}
+
+let pair_shape t (a : atom) =
+  let order = Plan.variable_order t.plan in
+  let position v =
+    let rec go i = function
+      | [] -> invalid_arg ("Collection: variable not in order: " ^ v)
+      | x :: rest -> if String.equal x v then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  match a.lhs, a.rhs with
+  | O_attr (v1, a1), O_attr (v2, a2) when not (String.equal v1 v2) ->
+    if position v1 <= position v2 then
+      (* v1 probes the index on v2; truth: probe op indexed, i.e.
+         indexed (flip op) probe. *)
+      {
+        ps_atom = a;
+        ps_probe = v1;
+        ps_probe_attr = a1;
+        ps_probe_op = Value.flip_comparison a.op;
+        ps_index = v2;
+        ps_index_attr = a2;
+      }
+    else
+      (* v2 probes; truth: indexed op probe. *)
+      {
+        ps_atom = a;
+        ps_probe = v2;
+        ps_probe_attr = a2;
+        ps_probe_op = a.op;
+        ps_index = v1;
+        ps_index_attr = a1;
+      }
+  | _ -> invalid_arg "Collection.pair_shape: not a dyadic join term"
+
+let pair_key shape probe_atoms probe_derived index_atoms index_derived mutual =
+  Fmt.str "pair:%s:probe[%s|%s]:index[%s|%s]:mutual[%s]"
+    (Plan.atom_id shape.ps_atom)
+    (Plan.atoms_id probe_atoms)
+    (String.concat ";" (List.map Plan.derived_id probe_derived))
+    (Plan.atoms_id index_atoms)
+    (String.concat ";" (List.map Plan.derived_id index_derived))
+    (String.concat ";" (List.map (fun m -> Plan.atom_id m.ps_atom) mutual))
+
+(* [mutual] lists the OTHER dyadic join terms of the same conjunction
+   that probe from the same variable — paper Section 4.2: "this
+   technique also allows two indirect joins to restrict each other".
+   While scanning the probe relation, an element only contributes pairs
+   if it also has a match in every mutual atom's index. *)
+let pair_spec t shape ~probe_atoms ~probe_derived ~index_atoms ~index_derived
+    ~mutual : spec list =
+  let v = shape.ps_probe in
+  let range = range_of_exn t v in
+  let rel = Database.find_relation t.db range.range_rel in
+  let schema = Relation.schema rel in
+  let idx_specs = index_spec t shape.ps_index shape.ps_index_attr index_atoms index_derived in
+  let idx_key = index_key shape.ps_index shape.ps_index_attr index_atoms index_derived in
+  (* Mutual atoms contribute their (unfiltered-by-this-conjunction's-
+     probe-side) indexes as dependencies. *)
+  let mutual_with_keys =
+    List.map
+      (fun (m, m_index_atoms, m_index_derived) ->
+        (m, index_key m.ps_index m.ps_index_attr m_index_atoms m_index_derived,
+         index_spec t m.ps_index m.ps_index_attr m_index_atoms m_index_derived))
+      mutual
+  in
+  let vspecs = List.concat_map (fun (_, p) -> vlist_specs t p) probe_derived in
+  let key =
+    pair_key shape probe_atoms probe_derived index_atoms index_derived
+      (List.map (fun (m, _, _) -> m) mutual)
+  in
+  let start t =
+    let idx =
+      match find_index t idx_key with
+      | Some i -> i
+      | None -> invalid_arg "Collection: index not built before probe"
+    in
+    let mutual_checks =
+      List.map
+        (fun (m, m_key, _) ->
+          match find_index t m_key with
+          | Some mi ->
+            fun tuple ->
+              Index.exists_matching mi m.ps_probe_op
+                (Tuple.get_by_name schema tuple m.ps_probe_attr)
+          | None -> invalid_arg "Collection: mutual index not built")
+        mutual_with_keys
+    in
+    let out =
+      Relation.create
+        ~name:("ij_" ^ shape.ps_probe ^ "_" ^ shape.ps_index)
+        (pair_schema t shape.ps_probe shape.ps_index)
+    in
+    let dpreds =
+      List.map
+        (fun ((_, p) : var * Plan.pushed) ->
+          match find_vlist t (vlist_key p) with
+          | Some e ->
+            let pred = pushed_predicate_of_entry p e in
+            fun tuple -> pred (Tuple.get_by_name schema tuple p.Plan.p_outer_attr)
+          | None -> invalid_arg "Collection: derived value list not built")
+        probe_derived
+    in
+    let per_tuple tuple =
+      if
+        restriction_holds t range schema tuple
+        && List.for_all (monadic_holds schema v tuple) probe_atoms
+        && List.for_all (fun pred -> pred tuple) dpreds
+        && List.for_all (fun check -> check tuple) mutual_checks
+      then begin
+        let probe_value = Tuple.get_by_name schema tuple shape.ps_probe_attr in
+        let probe_ref = Reference.value_of_tuple rel tuple in
+        Index.fold_matching idx shape.ps_probe_op probe_value
+          (fun () r ->
+            Relation.insert out (Tuple.of_list [ probe_ref; Value.VRef r ]))
+          ()
+      end
+    in
+    (per_tuple, fun () -> E_rel out)
+  in
+  vspecs @ idx_specs
+  @ List.concat_map (fun (_, _, specs) -> specs) mutual_with_keys
+  @ [
+      {
+        sp_key = key;
+        sp_rel = range.range_rel;
+        sp_deps =
+          (idx_key :: List.map (fun (_, k, _) -> k) mutual_with_keys)
+          @ List.map (fun (_, p) -> vlist_key p) probe_derived;
+        sp_start = start;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Conjunction components.
+
+   With strategy 2, a conjunction's monadic atoms and derived predicates
+   filter its indirect joins directly (and the partial indexes feeding
+   them); variables with no dyadic term get one merged single list.
+   Without it, each atom and each derived predicate materializes its own
+   unrestricted structure. *)
+
+type comp_spec =
+  | CS_single of { key : string; v : var; specs : spec list }
+  | CS_pair of { key : string; v1 : var; v2 : var; specs : spec list }
+
+let conj_comp_specs t (conj : Plan.conj) : comp_spec list =
+  let atoms = conj.Plan.atoms in
+  let monadic v = Plan.monadic_over v atoms in
+  let derived v =
+    List.filter (fun (vm, _) -> String.equal vm v) conj.Plan.derived
+  in
+  let dyadics = List.filter is_dyadic atoms in
+  let vars = Var_set.elements (Plan.conj_vars conj) in
+  if t.strategy.Strategy.monadic_restrict then
+    let pair_specs =
+      List.map
+        (fun a ->
+          let shape = pair_shape t a in
+          let probe_atoms = monadic shape.ps_probe
+          and probe_derived = derived shape.ps_probe
+          and index_atoms = monadic shape.ps_index
+          and index_derived = derived shape.ps_index in
+          (* Mutual restriction (Section 4.2): every other dyadic term
+             of this conjunction probing from the same variable filters
+             this indirect join's probe side through its own index. *)
+          let mutual =
+            List.filter_map
+              (fun a2 ->
+                if Calculus.equal_atom a2 a then None
+                else
+                  let s2 = pair_shape t a2 in
+                  if String.equal s2.ps_probe shape.ps_probe then
+                    Some (s2, monadic s2.ps_index, derived s2.ps_index)
+                  else None)
+              dyadics
+          in
+          CS_pair
+            {
+              key =
+                pair_key shape probe_atoms probe_derived index_atoms
+                  index_derived
+                  (List.map (fun (m, _, _) -> m) mutual);
+              v1 = shape.ps_probe;
+              v2 = shape.ps_index;
+              specs =
+                pair_spec t shape ~probe_atoms ~probe_derived ~index_atoms
+                  ~index_derived ~mutual;
+            })
+        dyadics
+    in
+    let single_specs =
+      List.filter_map
+        (fun v ->
+          let m = monadic v and d = derived v in
+          let has_dyadic =
+            List.exists (fun a -> Var_set.mem v (atom_vars a)) dyadics
+          in
+          if has_dyadic || (m = [] && d = []) then None
+          else
+            Some
+              (CS_single
+                 { key = single_key v m d; v; specs = single_spec t v m d }))
+        vars
+    in
+    single_specs @ pair_specs
+  else
+    (* Baseline: one structure per atom / derived predicate. *)
+    let singles =
+      List.filter_map
+        (fun a ->
+          if is_monadic a then
+            match Var_set.choose_opt (atom_vars a) with
+            | Some v ->
+              Some
+                (CS_single
+                   {
+                     key = single_key v [ a ] [];
+                     v;
+                     specs = single_spec t v [ a ] [];
+                   })
+            | None -> None
+          else None)
+        atoms
+    in
+    let derived_singles =
+      List.map
+        (fun (vm, p) ->
+          CS_single
+            {
+              key = single_key vm [] [ (vm, p) ];
+              v = vm;
+              specs = single_spec t vm [] [ (vm, p) ];
+            })
+        conj.Plan.derived
+    in
+    let pairs =
+      List.map
+        (fun a ->
+          let shape = pair_shape t a in
+          CS_pair
+            {
+              key = pair_key shape [] [] [] [] [];
+              v1 = shape.ps_probe;
+              v2 = shape.ps_index;
+              specs =
+                pair_spec t shape ~probe_atoms:[] ~probe_derived:[]
+                  ~index_atoms:[] ~index_derived:[] ~mutual:[];
+            })
+        dyadics
+    in
+    singles @ derived_singles @ pairs
+
+(* All specs needed by the plan: base single lists for the variables the
+   combination phase will actually ask for — ALL variables (division
+   divisors) and variables missing from some conjunction (padding) —
+   plus every conjunction's components. *)
+let all_specs t =
+  let base_needed v =
+    List.exists
+      (fun (e : Normalize.prefix_entry) ->
+        String.equal e.Normalize.v v && e.Normalize.q = Normalize.Q_all)
+      t.plan.Plan.prefix
+    || List.exists
+         (fun c -> not (Var_set.mem v (Plan.conj_vars c)))
+         t.plan.Plan.conjs
+  in
+  let bases =
+    List.map (base_spec t)
+      (List.filter base_needed (Plan.variable_order t.plan))
+  in
+  let comps =
+    List.concat_map
+      (fun conj ->
+        List.concat_map
+          (function CS_single { specs; _ } | CS_pair { specs; _ } -> specs)
+          (conj_comp_specs t conj))
+      t.plan.Plan.conjs
+  in
+  (* Deduplicate by key, keeping first occurrence. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun sp ->
+      if Hashtbl.mem seen sp.sp_key then false
+      else begin
+        Hashtbl.add seen sp.sp_key ();
+        true
+      end)
+    (bases @ comps)
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+(* Lazy execution of one spec: recursively ensure dependencies (each
+   with its own scan), then scan this spec's relation alone. *)
+let rec execute_lazy t (specs_by_key : (string, spec) Hashtbl.t) (sp : spec) =
+  if not (Hashtbl.mem t.cache sp.sp_key) then begin
+    List.iter
+      (fun dep ->
+        match Hashtbl.find_opt specs_by_key dep with
+        | Some dsp -> execute_lazy t specs_by_key dsp
+        | None ->
+          if not (Hashtbl.mem t.cache dep) then
+            invalid_arg ("Collection: unknown dependency " ^ dep))
+      sp.sp_deps;
+    let rel = Database.find_relation t.db sp.sp_rel in
+    let per_tuple, finish = sp.sp_start t in
+    Relation.scan per_tuple rel;
+    Hashtbl.replace t.cache sp.sp_key (finish ())
+  end
+
+(* Strategy-1 execution: repeatedly pick the relation with the most
+   currently-executable pending structures and build them all in one
+   scan.  Dependencies (index before probe, nested value list before its
+   user) hold because a structure only becomes executable once its
+   dependencies are in the cache. *)
+let execute_grouped t specs =
+  let pending = ref (List.filter (fun sp -> not (Hashtbl.mem t.cache sp.sp_key)) specs) in
+  let executable sp =
+    List.for_all (fun d -> Hashtbl.mem t.cache d) sp.sp_deps
+  in
+  while !pending <> [] do
+    let ready = List.filter executable !pending in
+    if ready = [] then invalid_arg "Collection: dependency cycle";
+    (* Group by relation; pick the relation with the most ready specs. *)
+    let by_rel = Hashtbl.create 8 in
+    List.iter
+      (fun sp ->
+        let cur = Option.value (Hashtbl.find_opt by_rel sp.sp_rel) ~default:[] in
+        Hashtbl.replace by_rel sp.sp_rel (sp :: cur))
+      ready;
+    let best_rel, best =
+      Hashtbl.fold
+        (fun rel sps (brel, bsps) ->
+          if List.length sps > List.length bsps then (rel, sps) else (brel, bsps))
+        by_rel ("", [])
+    in
+    let rel = Database.find_relation t.db best_rel in
+    let started = List.map (fun sp -> (sp, sp.sp_start t)) best in
+    Relation.scan
+      (fun tuple -> List.iter (fun (_, (per_tuple, _)) -> per_tuple tuple) started)
+      rel;
+    List.iter
+      (fun (sp, (_, finish)) -> Hashtbl.replace t.cache sp.sp_key (finish ()))
+      started;
+    let done_keys = List.map (fun (sp, _) -> sp.sp_key) started in
+    pending :=
+      List.filter (fun sp -> not (List.mem sp.sp_key done_keys)) !pending
+  done
+
+let specs_table specs =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun sp -> if not (Hashtbl.mem tbl sp.sp_key) then Hashtbl.add tbl sp.sp_key sp) specs;
+  tbl
+
+(* Run the collection phase.  With strategy 1 every structure is built
+   up front in grouped scans; otherwise structures are built lazily, one
+   scan each, as the combination phase requests them. *)
+let run t =
+  install_permanent_indexes t;
+  if t.strategy.Strategy.parallel_scan then execute_grouped t (all_specs t)
+
+let ensure t sp =
+  install_permanent_indexes t;
+  if not (Hashtbl.mem t.cache sp.sp_key) then begin
+    let tbl = specs_table (all_specs t) in
+    execute_lazy t tbl sp
+  end
+
+let base_list t v =
+  let sp = base_spec t v in
+  ensure t sp;
+  match find_rel t sp.sp_key with
+  | Some r -> r
+  | None -> invalid_arg "Collection.base_list: missing"
+
+let components t (conj : Plan.conj) =
+  List.map
+    (fun cs ->
+      match cs with
+      | CS_single { key; v; specs } ->
+        List.iter (ensure t) specs;
+        (match find_rel t key with
+        | Some r -> C_single (v, r)
+        | None -> invalid_arg "Collection.components: missing single")
+      | CS_pair { key; v1; v2; specs } ->
+        List.iter (ensure t) specs;
+        (match find_rel t key with
+        | Some r -> C_pair (v1, v2, r)
+        | None -> invalid_arg "Collection.components: missing pair"))
+    (conj_comp_specs t conj)
+
+(* Sizes of all materialized intermediate structures, for the
+   experiments on intermediate-result growth. *)
+let intermediate_sizes t =
+  Hashtbl.fold
+    (fun key entry acc ->
+      let size =
+        match entry with
+        | E_rel r -> Relation.cardinality r
+        | E_index i -> Index.entry_count i
+        | E_vlist (vl, _) -> Value_list.stored_size vl
+      in
+      (key, size) :: acc)
+    t.cache []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

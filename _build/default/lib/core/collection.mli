@@ -1,0 +1,41 @@
+(** The collection phase (paper Section 3.3): evaluate range expressions
+    and single join terms into single lists, indexes, indirect joins and
+    value lists, with memoization so identical work is done once.
+
+    Two execution modes share the same builders: lazy (one scan per
+    structure — the Palermo baseline) and strategy 1's grouped scans
+    (all structures over a relation in one pass, honouring
+    index-before-probe dependencies).  Strategy 2 folds monadic terms
+    and derived predicates into the indirect joins; strategy 4's derived
+    predicates are evaluated through {!Relalg.Value_list}. *)
+
+open Relalg
+open Calculus
+
+type t
+
+type component =
+  | C_single of var * Relation.t
+      (** single list: reference relation [<@v>] *)
+  | C_pair of var * var * Relation.t
+      (** indirect join: reference relation [<@v1, @v2>] *)
+
+val create : Database.t -> Strategy.t -> Plan.t -> t
+
+val run : t -> unit
+(** With strategy 1, build every structure of the plan up front in
+    grouped scans; otherwise a no-op (structures build lazily). *)
+
+val base_list : t -> var -> Relation.t
+(** The variable's (restricted) range expression as a single list —
+    used for padding and as the division divisor. *)
+
+val components : t -> Plan.conj -> component list
+(** The structures covering one conjunction's atoms and derived
+    predicates (shape depends on strategy 2). *)
+
+val var_schema : t -> var -> Schema.t
+
+val intermediate_sizes : t -> (string * int) list
+(** Cardinality (or stored size) of every materialized structure, by
+    memo key — the intermediate-growth metric of the experiments. *)

@@ -1,0 +1,15 @@
+(** The combination phase (paper Section 3.3): combine each
+    conjunction's reference structures into n-tuples, union the
+    disjuncts, and eliminate quantifiers right to left — projection for
+    SOME, division for ALL. *)
+
+open Relalg
+
+val evaluate : Collection.t -> Plan.t -> Relation.t
+(** Returns the reference relation over the free variables, in
+    declaration order.  Precondition: every prefix range is non-empty
+    (established by {!Standard_form.adapt_query}). *)
+
+val evaluate_with_stats : Collection.t -> Plan.t -> Relation.t * int
+(** Also returns the cardinality of the largest n-tuple relation built —
+    the combinatorial-growth metric. *)

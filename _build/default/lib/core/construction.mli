@@ -1,0 +1,10 @@
+(** The construction phase (paper Section 3.3): dereference the
+    surviving reference n-tuples and project on the component
+    selection. *)
+
+open Relalg
+
+val run : ?name:string -> Database.t -> Plan.t -> Relation.t -> Relation.t
+(** [run db plan refs] dereferences each free variable's column of
+    [refs] and projects the plan's component selection; the result uses
+    {!Wellformed.result_schema}. *)

@@ -1,0 +1,18 @@
+(** Cardinality/cost estimation over plans: per-conjunction n-tuple
+    volume (the combination phase's combinatorial growth) and
+    collection-phase scan volume. *)
+
+open Calculus
+
+type estimate = {
+  e_conj_sizes : float list;
+  e_combination : float;  (** sum of the estimated n-tuple cardinalities *)
+  e_collection : float;  (** elements scanned by the collection phase *)
+}
+
+val restricted_cardinality : Stats.t -> range -> float
+val formula_selectivity : Stats.t -> string -> formula -> float
+val atom_selectivity : Stats.t -> string -> atom -> float
+val conj_cardinality : Stats.t -> Plan.t -> Plan.conj -> float
+val estimate : Stats.t -> Plan.t -> estimate
+val pp : estimate Fmt.t

@@ -1,0 +1,10 @@
+(** Plan explanation in the paper's element-oriented statement style
+    (Examples 4.3 and 4.7). *)
+
+open Relalg
+
+val explain_plan : Plan.t -> string
+
+val explain : ?strategy:Strategy.t -> Database.t -> Calculus.query -> string
+(** Prepare the query under [strategy] (default {!Strategy.full}) and
+    render the resulting plan. *)

@@ -1,0 +1,20 @@
+(** Ground-truth evaluator: direct tuple-substitution semantics with
+    nested scans and no intermediate structures.  All optimized
+    strategies are validated against it. *)
+
+open Relalg
+open Calculus
+
+exception Eval_error of string
+
+type binding = { tuple : Tuple.t; schema : Schema.t }
+type benv = binding Var_map.t
+
+val holds : Database.t -> benv -> formula -> bool
+(** Truth of a formula under an environment binding its free variables. *)
+
+val closed_holds : Database.t -> formula -> bool
+
+val run : ?name:string -> Database.t -> query -> Relation.t
+(** Evaluate a selection; the result relation uses
+    {!Wellformed.result_schema}. *)

@@ -1,0 +1,155 @@
+(* Logic normalization: negation normal form, prenex form, disjunctive
+   normal form (paper Section 2: "the PASCAL/R compiler transforms each
+   selection expression into prenex normal form with a matrix in
+   disjunctive normal form").
+
+   Prenexing moves quantifiers over AND and OR; by Lemma 1 this is only
+   an equivalence when all range relations are non-empty, so callers must
+   adapt empty ranges first (see {!Standard_form.adapt_query}). *)
+
+open Relalg
+open Calculus
+
+(* Constant folding of ground atoms. *)
+let fold_atom a =
+  match a.lhs, a.rhs with
+  | O_const x, O_const y ->
+    if Value.apply a.op x y then F_true else F_false
+  | (O_attr _ | O_const _), _ -> F_atom a
+
+(* Negation normal form.  NOT is pushed to the atoms and absorbed into
+   the comparison operator (NOT (x < y) = x >= y); NOT SOME becomes ALL
+   NOT and vice versa — these De Morgan duals hold unconditionally in the
+   many-sorted calculus. *)
+let rec nnf = function
+  | F_true -> F_true
+  | F_false -> F_false
+  | F_atom a -> fold_atom a
+  | F_and (a, b) -> f_and (nnf a) (nnf b)
+  | F_or (a, b) -> f_or (nnf a) (nnf b)
+  | F_some (v, r, f) -> (
+    match nnf f with
+    | F_false -> F_false
+    | f' -> F_some (v, r, f'))
+  | F_all (v, r, f) -> (
+    match nnf f with
+    | F_true -> F_true
+    | f' -> F_all (v, r, f'))
+  | F_not f -> nnf_neg f
+
+and nnf_neg = function
+  | F_true -> F_false
+  | F_false -> F_true
+  | F_atom a -> fold_atom { a with op = Value.negate_comparison a.op }
+  | F_not f -> nnf f
+  | F_and (a, b) -> f_or (nnf_neg a) (nnf_neg b)
+  | F_or (a, b) -> f_and (nnf_neg a) (nnf_neg b)
+  | F_some (v, r, f) -> (
+    match nnf_neg f with
+    | F_true -> F_true
+    | f' -> F_all (v, r, f'))
+  | F_all (v, r, f) -> (
+    match nnf_neg f with
+    | F_false -> F_false
+    | f' -> F_some (v, r, f'))
+
+type quant = Q_some | Q_all
+
+let quant_to_string = function Q_some -> "SOME" | Q_all -> "ALL"
+
+type prefix_entry = { q : quant; v : var; range : range }
+
+(* Prenex transformation of an NNF formula with pairwise-distinct bound
+   variables.  Quantifiers are emitted in textual (left-to-right) order,
+   matching the paper's Example 2.2.  Valid for non-empty ranges. *)
+let rec prenex = function
+  | (F_true | F_false | F_atom _) as f -> ([], f)
+  | F_and (a, b) ->
+    let pa, ma = prenex a and pb, mb = prenex b in
+    (pa @ pb, f_and ma mb)
+  | F_or (a, b) ->
+    let pa, ma = prenex a and pb, mb = prenex b in
+    (pa @ pb, f_or ma mb)
+  | F_some (v, r, f) ->
+    let p, m = prenex f in
+    ({ q = Q_some; v; range = r } :: p, m)
+  | F_all (v, r, f) ->
+    let p, m = prenex f in
+    ({ q = Q_all; v; range = r } :: p, m)
+  | F_not _ -> invalid_arg "Normalize.prenex: formula not in NNF"
+
+(* A conjunction of join terms, and a matrix in disjunctive normal form.
+   The empty conjunction is TRUE; the empty disjunction is FALSE. *)
+type conjunction = atom list
+type dnf = conjunction list
+
+let conj_mem atom conj = List.exists (equal_atom_mirrored atom) conj
+
+let conj_add atom conj = if conj_mem atom conj then conj else atom :: conj
+
+(* A conjunction containing an atom and its complement is contradictory. *)
+let contradictory conj =
+  List.exists
+    (fun a ->
+      conj_mem { a with op = Value.negate_comparison a.op } conj)
+    conj
+
+let conj_equal c1 c2 =
+  List.length c1 = List.length c2
+  && List.for_all (fun a -> conj_mem a c2) c1
+
+(* A conjunction subsumes another if it is a subset of it: then the
+   larger one is redundant in a disjunction. *)
+let conj_subsumes smaller larger =
+  List.for_all (fun a -> conj_mem a larger) smaller
+
+let add_disjunct dnf conj =
+  if List.exists (fun c -> conj_subsumes c conj) dnf then dnf
+  else conj :: List.filter (fun c -> not (conj_subsumes conj c)) dnf
+
+(* DNF of a quantifier-free NNF matrix. *)
+let dnf_of_matrix matrix =
+  let rec go = function
+    | F_true -> [ [] ]
+    | F_false -> []
+    | F_atom a -> [ [ a ] ]
+    | F_or (x, y) -> go x @ go y
+    | F_and (x, y) ->
+      let dx = go x and dy = go y in
+      List.concat_map
+        (fun cx ->
+          List.filter_map
+            (fun cy ->
+              let merged = List.fold_left (fun acc a -> conj_add a acc) cx cy in
+              if contradictory merged then None else Some merged)
+            dy)
+        dx
+    | F_not _ | F_some _ | F_all _ ->
+      invalid_arg "Normalize.dnf_of_matrix: not a quantifier-free NNF matrix"
+  in
+  let raw = go matrix in
+  let deduped = List.fold_left add_disjunct [] raw in
+  if List.exists (fun c -> c = []) deduped then [ [] ] else List.rev deduped
+
+let conj_vars (conj : conjunction) =
+  List.fold_left
+    (fun acc a -> Var_set.union acc (atom_vars a))
+    Var_set.empty conj
+
+let dnf_vars (d : dnf) =
+  List.fold_left (fun acc c -> Var_set.union acc (conj_vars c)) Var_set.empty d
+
+let formula_of_conj (conj : conjunction) =
+  Calculus.conj (List.map (fun a -> F_atom a) conj)
+
+let formula_of_dnf (d : dnf) = disj (List.map formula_of_conj d)
+
+let pp_conjunction ppf conj =
+  match conj with
+  | [] -> Fmt.string ppf "true"
+  | _ -> Fmt.pf ppf "@[<hov>%a@]" (Fmt.list ~sep:(Fmt.any " AND@ ") pp_atom) conj
+
+let pp_dnf ppf = function
+  | [] -> Fmt.string ppf "false"
+  | d ->
+    Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:(Fmt.any "@,OR ") pp_conjunction) d

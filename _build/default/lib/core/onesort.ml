@@ -1,0 +1,95 @@
+(* Reduction of the many-sorted calculus to a one-sorted calculus
+   (paper Section 2, after A. Schmidt 1938): range expressions become
+   another type of atomic formula, and
+
+     SOME rec IN rel (W)  becomes  SOME rec ((rec IN rel) AND W)
+     ALL rec IN rel (W)   becomes  ALL rec (NOT (rec IN rel) OR W)
+
+   The one-sorted quantifiers range over the whole universe — here the
+   tagged union of all database relation elements.  This module exists
+   to validate Lemma 1 and the transformation rules against an
+   independent semantics. *)
+
+open Relalg
+open Calculus
+
+type os_formula =
+  | OS_true
+  | OS_false
+  | OS_atom of atom
+  | OS_range of var * range  (* the new atomic formula: rec IN rel *)
+  | OS_not of os_formula
+  | OS_and of os_formula * os_formula
+  | OS_or of os_formula * os_formula
+  | OS_some of var * os_formula  (* unrestricted, over the universe *)
+  | OS_all of var * os_formula
+
+(* The translation. *)
+let rec translate = function
+  | F_true -> OS_true
+  | F_false -> OS_false
+  | F_atom a -> OS_atom a
+  | F_not f -> OS_not (translate f)
+  | F_and (a, b) -> OS_and (translate a, translate b)
+  | F_or (a, b) -> OS_or (translate a, translate b)
+  | F_some (v, r, f) -> OS_some (v, OS_and (OS_range (v, r), translate f))
+  | F_all (v, r, f) -> OS_all (v, OS_or (OS_not (OS_range (v, r)), translate f))
+
+(* A universe element is a tuple tagged with its source relation. *)
+type element = { el_rel : string; el_schema : Schema.t; el_tuple : Tuple.t }
+
+let universe db =
+  List.concat_map
+    (fun rel ->
+      let schema = Relation.schema rel in
+      Relation.fold
+        (fun acc t ->
+          { el_rel = Relation.name rel; el_schema = schema; el_tuple = t }
+          :: acc)
+        [] rel)
+    (Database.relations db)
+
+type env = element Var_map.t
+
+let operand_value env = function
+  | O_const c -> c
+  | O_attr (v, a) -> (
+    match Var_map.find_opt v env with
+    | None -> invalid_arg ("Onesort: unbound variable " ^ v)
+    | Some el -> Tuple.get_by_name el.el_schema el.el_tuple a)
+
+(* Truth under an environment and an explicit universe.  Connectives
+   short-circuit left to right, which is what makes the guarded
+   translation well-defined: an atom over a variable bound to an element
+   of the wrong sort is never reached, because its guard (the range
+   atom) fails first. *)
+let rec eval db universe env = function
+  | OS_true -> true
+  | OS_false -> false
+  | OS_atom a ->
+    Value.apply a.op (operand_value env a.lhs) (operand_value env a.rhs)
+  | OS_range (v, range) -> (
+    match Var_map.find_opt v env with
+    | None -> invalid_arg ("Onesort: unbound variable " ^ v)
+    | Some el ->
+      String.equal el.el_rel range.range_rel
+      &&
+      (match range.restriction with
+      | None -> true
+      | Some (rv, f) ->
+        Naive_eval.holds db
+          (Var_map.add rv
+             { Naive_eval.tuple = el.el_tuple; schema = el.el_schema }
+             Var_map.empty)
+          f))
+  | OS_not f -> not (eval db universe env f)
+  | OS_and (a, b) -> eval db universe env a && eval db universe env b
+  | OS_or (a, b) -> eval db universe env a || eval db universe env b
+  | OS_some (v, f) ->
+    List.exists (fun el -> eval db universe (Var_map.add v el env) f) universe
+  | OS_all (v, f) ->
+    List.for_all (fun el -> eval db universe (Var_map.add v el env) f) universe
+
+(* Truth of a closed many-sorted formula under the one-sorted semantics
+   of its translation. *)
+let closed_holds db f = eval db (universe db) Var_map.empty (translate f)

@@ -1,0 +1,36 @@
+(** Reduction of the many-sorted calculus to a one-sorted calculus
+    (paper Section 2, after A. Schmidt 1938): range expressions become
+    atomic formulas, quantifiers range over the tagged union of all
+    relation elements.  Used to validate Lemma 1 and the transformation
+    rules against an independent semantics. *)
+
+open Relalg
+open Calculus
+
+type os_formula =
+  | OS_true
+  | OS_false
+  | OS_atom of atom
+  | OS_range of var * range  (** the new atomic formula [rec IN rel] *)
+  | OS_not of os_formula
+  | OS_and of os_formula * os_formula
+  | OS_or of os_formula * os_formula
+  | OS_some of var * os_formula  (** over the whole universe *)
+  | OS_all of var * os_formula
+
+val translate : formula -> os_formula
+(** [SOME rec IN rel (W)] becomes [SOME rec ((rec IN rel) AND W)];
+    [ALL rec IN rel (W)] becomes [ALL rec (NOT (rec IN rel) OR W)]. *)
+
+type element = { el_rel : string; el_schema : Schema.t; el_tuple : Tuple.t }
+
+val universe : Database.t -> element list
+(** All relation elements, tagged with their source relation. *)
+
+type env = element Var_map.t
+
+val eval : Database.t -> element list -> env -> os_formula -> bool
+
+val closed_holds : Database.t -> formula -> bool
+(** Truth of a closed many-sorted formula under the one-sorted semantics
+    of its translation. *)

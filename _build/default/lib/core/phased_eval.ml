@@ -1,0 +1,90 @@
+(* The full PASCAL/R query evaluation pipeline (paper Sections 2-4):
+
+   1. runtime adaptation of empty ranges (Section 2);
+   2. compilation to standard form — prenex + DNF (Section 2);
+   3. strategy 3: extended range expressions (Section 4.3);
+   4. strategy 4: quantifier evaluation in the collection phase (4.4);
+   5. collection phase — single lists, indexes, indirect joins, value
+      lists (Section 3.3; strategies 1 and 2 of Sections 4.1/4.2);
+   6. combination phase — n-tuple reference relations, union,
+      right-to-left quantifier elimination (Section 3.3);
+   7. construction phase — dereference and component selection. *)
+
+open Relalg
+
+let src = Logs.Src.create "pascalr.eval" ~doc:"PASCAL/R evaluation pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type report = {
+  result : Relation.t;
+  plan : Plan.t;
+  scans : int;  (* counted full relation scans of the database *)
+  probes : int;  (* key lookups against database relations *)
+  max_ntuple : int;  (* largest combined n-tuple relation *)
+  intermediates : (string * int) list;
+      (* sizes of all collection-phase structures *)
+}
+
+let prepare db strategy query =
+  let adapted = Standard_form.adapt_query db query in
+  if not (Calculus.equal_formula adapted.Calculus.body query.Calculus.body)
+  then
+    Log.debug (fun m ->
+        m "empty-range adaptation rewrote the query to %a" Calculus.pp_query
+          adapted);
+  let sf = Standard_form.of_query adapted in
+  Log.debug (fun m ->
+      m "standard form: %d conjunctions, prefix %d"
+        (List.length sf.Standard_form.matrix)
+        (List.length sf.Standard_form.prefix));
+  let sf =
+    if strategy.Strategy.range_extension || strategy.Strategy.cnf_extension
+    then begin
+      let sf' = Range_ext.apply ~cnf:strategy.Strategy.cnf_extension db sf in
+      Log.debug (fun m ->
+          m "range extension: %d -> %d conjunctions"
+            (List.length sf.Standard_form.matrix)
+            (List.length sf'.Standard_form.matrix));
+      sf'
+    end
+    else sf
+  in
+  let plan = Plan.of_standard_form sf in
+  if strategy.Strategy.quantifier_push then begin
+    let plan' = Quant_push.apply db plan in
+    Log.debug (fun m ->
+        m "quantifier pushing: prefix %d -> %d"
+          (List.length plan.Plan.prefix)
+          (List.length plan'.Plan.prefix));
+    plan'
+  end
+  else plan
+
+let run ?name ?(strategy = Strategy.full) db query =
+  let plan = prepare db strategy query in
+  let coll = Collection.create db strategy plan in
+  Collection.run coll;
+  let refs = Combination.evaluate coll plan in
+  Construction.run ?name db plan refs
+
+(* Run with instrumentation.  Scan/probe counters of the database
+   relations are reset first, so the report reflects this query alone. *)
+let run_report ?name ?(strategy = Strategy.full) db query =
+  Database.reset_counters db;
+  let plan = prepare db strategy query in
+  let coll = Collection.create db strategy plan in
+  Collection.run coll;
+  let refs, max_ntuple = Combination.evaluate_with_stats coll plan in
+  let result = Construction.run ?name db plan refs in
+  {
+    result;
+    plan;
+    scans = Database.total_scans db;
+    probes =
+      List.fold_left
+        (fun acc r -> acc + Relation.probe_count r)
+        0 (Database.relations db);
+    max_ntuple;
+    intermediates = Collection.intermediate_sizes coll;
+  }

@@ -1,0 +1,28 @@
+(** The full PASCAL/R evaluation pipeline: adaptation, standard form,
+    strategies 3 and 4, then the collection / combination / construction
+    phases (paper Sections 2-4). *)
+
+open Relalg
+open Calculus
+
+type report = {
+  result : Relation.t;
+  plan : Plan.t;  (** the plan after all enabled transformations *)
+  scans : int;  (** counted full scans of database relations *)
+  probes : int;  (** key lookups against database relations *)
+  max_ntuple : int;  (** largest combined n-tuple relation *)
+  intermediates : (string * int) list;
+      (** sizes of all collection-phase structures, by memo key *)
+}
+
+val prepare : Database.t -> Strategy.t -> query -> Plan.t
+(** Adaptation + standard form + enabled transformations, without
+    evaluating. *)
+
+val run : ?name:string -> ?strategy:Strategy.t -> Database.t -> query -> Relation.t
+(** Evaluate; [strategy] defaults to {!Strategy.full}. *)
+
+val run_report :
+  ?name:string -> ?strategy:Strategy.t -> Database.t -> query -> report
+(** Evaluate with instrumentation; resets the database scan/probe
+    counters first. *)

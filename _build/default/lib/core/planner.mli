@@ -1,0 +1,21 @@
+(** Cost-based strategy selection — the paper's Section 5 "ongoing
+    research" direction, implemented as an extension: analyse the query
+    against database statistics and enable the strategies that apply,
+    with a written justification per decision. *)
+
+open Relalg
+open Calculus
+
+type decision = {
+  d_strategy : Strategy.t;
+  d_reasons : (string * string) list;  (** strategy tag -> justification *)
+  d_before : Cost.estimate;  (** bare standard form *)
+  d_after : Cost.estimate;  (** transformed plan *)
+}
+
+val choose : Database.t -> query -> decision
+
+val run : ?name:string -> Database.t -> query -> decision * Relation.t
+(** Plan, then evaluate with the chosen strategy. *)
+
+val pp_decision : decision Fmt.t

@@ -1,0 +1,132 @@
+(* The standard form: a selection expression in prenex normal form with a
+   DNF matrix — the "standardized starting point for optimization" of
+   paper Section 2.
+
+   Compilation assumes all range relations non-empty; {!adapt_query}
+   performs the paper's runtime adaptation by simplifying quantifiers
+   over ranges that are actually empty in the live database *before*
+   prenexing (Example 2.2: with papers = [], the query collapses to
+   the professors test). *)
+
+open Relalg
+open Calculus
+
+type t = {
+  free : (var * range) list;
+  select : (var * string) list;
+  prefix : Normalize.prefix_entry list;
+  matrix : Normalize.dnf;
+}
+
+(* Is a range empty in the live database?  For an extended range the
+   restriction is evaluated per element (one scan). *)
+let range_is_empty db (range : range) =
+  let rel = Database.find_relation db range.range_rel in
+  match range.restriction with
+  | None -> Relation.is_empty rel
+  | Some (v, f) ->
+    let schema = Relation.schema rel in
+    not
+      (Relation.scan_fold
+         (fun acc tuple ->
+           acc
+           || Naive_eval.holds db
+                (Var_map.add v { Naive_eval.tuple; schema } Var_map.empty)
+                f)
+         false rel)
+
+(* Runtime adaptation: replace quantifiers over empty ranges by their
+   truth values (SOME over [] is false, ALL over [] is true), recursively
+   and with constant propagation.  After this pass every remaining
+   quantifier ranges over a non-empty relation, which legitimizes the
+   prenex transformation. *)
+let rec adapt_formula db = function
+  | (F_true | F_false | F_atom _) as f -> f
+  | F_not f -> f_not (adapt_formula db f)
+  | F_and (a, b) -> f_and (adapt_formula db a) (adapt_formula db b)
+  | F_or (a, b) -> f_or (adapt_formula db a) (adapt_formula db b)
+  | F_some (v, r, f) ->
+    if range_is_empty db r then F_false
+    else (
+      match adapt_formula db f with
+      | F_false -> F_false
+      | F_true -> F_true (* non-empty range: SOME of true is true *)
+      | f' -> F_some (v, r, f'))
+  | F_all (v, r, f) ->
+    if range_is_empty db r then F_true
+    else (
+      match adapt_formula db f with
+      | F_true -> F_true
+      | F_false -> F_false (* non-empty range: ALL of false is false *)
+      | f' -> F_all (v, r, f'))
+
+let adapt_query db q = { q with body = adapt_formula db q.body }
+
+(* Compile a query to standard form under the non-empty assumption. *)
+let of_query (q : query) =
+  let reserved =
+    List.fold_left
+      (fun acc (v, _) -> Var_set.add v acc)
+      Var_set.empty q.free
+  in
+  let body = distinct_bound_vars reserved q.body in
+  let body = Normalize.nnf body in
+  let prefix, matrix_formula = Normalize.prenex body in
+  let matrix = Normalize.dnf_of_matrix matrix_formula in
+  (* Quantifiers whose variable no longer occurs in the matrix (their
+     atoms were pruned) are vacuous over non-empty ranges. *)
+  let used = Normalize.dnf_vars matrix in
+  let prefix =
+    List.filter (fun e -> Var_set.mem e.Normalize.v used) prefix
+  in
+  { free = q.free; select = q.select; prefix; matrix }
+
+(* Adapt, then compile: the full runtime pipeline entry point. *)
+let compile db q = of_query (adapt_query db q)
+
+(* Rebuild a query from a standard form; used to cross-check every
+   transformation against the naive evaluator. *)
+let to_query (sf : t) =
+  let matrix = Normalize.formula_of_dnf sf.matrix in
+  let body =
+    List.fold_right
+      (fun { Normalize.q; v; range } acc ->
+        match q with
+        | Normalize.Q_some -> F_some (v, range, acc)
+        | Normalize.Q_all -> F_all (v, range, acc))
+      sf.prefix matrix
+  in
+  { free = sf.free; select = sf.select; body }
+
+(* All variables of the form, free first then prefix order — the
+   canonical column order of the combination phase's n-tuples. *)
+let variable_order (sf : t) =
+  List.map fst sf.free @ List.map (fun e -> e.Normalize.v) sf.prefix
+
+let range_of (sf : t) v =
+  match List.assoc_opt v sf.free with
+  | Some r -> Some r
+  | None ->
+    List.find_map
+      (fun e -> if String.equal e.Normalize.v v then Some e.Normalize.range else None)
+      sf.prefix
+
+let conjunction_count (sf : t) = List.length sf.matrix
+
+let pp ppf (sf : t) =
+  let pp_sel ppf (v, a) = Fmt.pf ppf "%s.%s" v a in
+  let pp_free ppf (v, r) = Fmt.pf ppf "EACH %s IN %a" v pp_range r in
+  let pp_prefix ppf e =
+    Fmt.pf ppf "%s %s IN %a"
+      (Normalize.quant_to_string e.Normalize.q)
+      e.Normalize.v pp_range e.Normalize.range
+  in
+  Fmt.pf ppf "@[<v2>[<%a> OF %a:@ %a@ %a]@]"
+    (Fmt.list ~sep:Fmt.comma pp_sel)
+    sf.select
+    (Fmt.list ~sep:Fmt.comma pp_free)
+    sf.free
+    (Fmt.list ~sep:Fmt.sp pp_prefix)
+    sf.prefix Normalize.pp_dnf sf.matrix
+
+let to_string sf = Fmt.str "%a" pp sf

@@ -1,0 +1,41 @@
+(** The standard form: prenex normal form with a DNF matrix (paper
+    Section 2), plus the runtime adaptation for empty range relations. *)
+
+open Relalg
+open Calculus
+
+type t = {
+  free : (var * range) list;
+  select : (var * string) list;
+  prefix : Normalize.prefix_entry list;
+  matrix : Normalize.dnf;
+}
+
+val range_is_empty : Database.t -> range -> bool
+(** Emptiness against the live database; evaluates extended-range
+    restrictions (one counted scan). *)
+
+val adapt_formula : Database.t -> formula -> formula
+val adapt_query : Database.t -> query -> query
+(** Replace quantifiers over empty ranges by their truth values so that
+    the subsequent prenex transformation is an equivalence. *)
+
+val of_query : query -> t
+(** Compile under the non-empty-ranges assumption (the paper's
+    compile-time transformation). *)
+
+val compile : Database.t -> query -> t
+(** [adapt_query] then [of_query]: the runtime pipeline entry point. *)
+
+val to_query : t -> query
+(** Rebuild a query; [run (to_query (compile db q)) = run q] on [db]. *)
+
+val variable_order : t -> var list
+(** Free variables first, then the prefix order — the canonical column
+    order of the combination phase's n-tuples. *)
+
+val range_of : t -> var -> range option
+val conjunction_count : t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string

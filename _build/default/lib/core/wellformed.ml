@@ -1,0 +1,127 @@
+(* Well-formedness of queries against a database schema: every range
+   names a catalogued relation, every operand resolves to an attribute of
+   its variable's range relation, both sides of a join term live in
+   comparable domains, quantifiers do not shadow, and the component
+   selection projects existing attributes of free variables. *)
+
+open Relalg
+open Calculus
+
+type error = { message : string }
+
+let errf fmt = Format.kasprintf (fun message -> Error { message }) fmt
+
+let ( let* ) r f = Result.bind r f
+
+let rec check_list f = function
+  | [] -> Ok ()
+  | x :: xs ->
+    let* () = f x in
+    check_list f xs
+
+(* Environment: variable -> schema of its range relation. *)
+type env = Schema.t Var_map.t
+
+let operand_type db (env : env) = function
+  | O_const c ->
+    ignore db;
+    Ok
+      (match c with
+      | Value.VInt _ -> Vtype.int_full
+      | Value.VStr _ -> Vtype.string_any
+      | Value.VBool _ -> Vtype.boolean
+      | Value.VEnum (info, _) -> Vtype.TEnum info
+      | Value.VRef r -> Vtype.reference r.Value.target)
+  | O_attr (v, a) -> (
+    match Var_map.find_opt v env with
+    | None -> errf "unbound variable %s" v
+    | Some schema ->
+      if Schema.mem schema a then Ok (Schema.type_of schema a)
+      else errf "variable %s has no component %s" v a)
+
+let check_atom db env atom =
+  let* lt = operand_type db env atom.lhs in
+  let* rt = operand_type db env atom.rhs in
+  if Vtype.comparable lt rt then Ok ()
+  else
+    errf "join term %s compares %s with %s"
+      (Fmt.str "%a" pp_atom atom)
+      (Vtype.to_string lt) (Vtype.to_string rt)
+
+let rec check_range db _env v range =
+  match Database.find_relation_opt db range.range_rel with
+  | None -> errf "unknown range relation %s" range.range_rel
+  | Some rel -> (
+    let schema = Relation.schema rel in
+    match range.restriction with
+    | None -> Ok schema
+    | Some (rv, f) ->
+      let fv = free_vars f in
+      if not (Var_set.subset fv (Var_set.singleton rv)) then
+        errf "range restriction of %s mentions foreign variables %s" v
+          (String.concat ", "
+             (Var_set.elements (Var_set.remove rv fv)))
+      else
+        let inner_env = Var_map.add rv schema Var_map.empty in
+        let* () = check_formula db inner_env f in
+        Ok schema)
+
+and check_formula db (env : env) = function
+  | F_true | F_false -> Ok ()
+  | F_atom a -> check_atom db env a
+  | F_not f -> check_formula db env f
+  | F_and (a, b) | F_or (a, b) ->
+    let* () = check_formula db env a in
+    check_formula db env b
+  | F_some (v, r, f) | F_all (v, r, f) ->
+    if Var_map.mem v env then errf "quantifier shadows variable %s" v
+    else
+      let* schema = check_range db env v r in
+      check_formula db (Var_map.add v schema env) f
+
+let check_query db q =
+  let* env =
+    List.fold_left
+      (fun acc (v, r) ->
+        let* env = acc in
+        if Var_map.mem v env then errf "duplicate free variable %s" v
+        else
+          let* schema = check_range db env v r in
+          Ok (Var_map.add v schema env))
+      (Ok Var_map.empty) q.free
+  in
+  let* () =
+    if q.select = [] then errf "empty component selection" else Ok ()
+  in
+  let* () =
+    check_list
+      (fun (v, a) ->
+        match Var_map.find_opt v env with
+        | None -> errf "component selection uses non-free variable %s" v
+        | Some schema ->
+          if Schema.mem schema a then Ok ()
+          else errf "free variable %s has no component %s" v a)
+      q.select
+  in
+  check_formula db env q.body
+
+(* Schema of a query's result relation.  Output attributes are named
+   after the selected component, disambiguated by the variable name when
+   two selections share a component name. *)
+let result_schema db q =
+  let env =
+    List.fold_left
+      (fun env (v, r) ->
+        let rel = Database.find_relation db r.range_rel in
+        Var_map.add v (Relation.schema rel) env)
+      Var_map.empty q.free
+  in
+  let count name =
+    List.length (List.filter (fun (_, a) -> String.equal a name) q.select)
+  in
+  let attr_of (v, a) =
+    let schema = Var_map.find v env in
+    let name = if count a > 1 then v ^ "_" ^ a else a in
+    Schema.attr name (Schema.type_of schema a)
+  in
+  Schema.make (List.map attr_of q.select) ~key:[]

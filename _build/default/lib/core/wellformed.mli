@@ -1,0 +1,18 @@
+(** Well-formedness of queries against a database schema. *)
+
+open Relalg
+open Calculus
+
+type error = { message : string }
+
+type env = Schema.t Var_map.t
+
+val check_formula : Database.t -> env -> formula -> (unit, error) result
+(** Check a formula in an environment binding each free variable to the
+    schema of its range relation. *)
+
+val check_query : Database.t -> query -> (unit, error) result
+
+val result_schema : Database.t -> query -> Schema.t
+(** Schema of the query's result relation; selected components are named
+    after the component, disambiguated by the variable on collision. *)

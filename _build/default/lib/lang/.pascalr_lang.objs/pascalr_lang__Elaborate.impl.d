@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Array Database Errors Format List Parser Pascalr Relalg Relation Schema String Surface Value Vtype

@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Database Pascalr Relalg Schema Surface Value Vtype

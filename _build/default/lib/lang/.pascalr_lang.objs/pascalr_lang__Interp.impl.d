@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Database Elaborate Errors Fmt Format List Option Parser Pascalr Reference Relalg Relation Schema String Surface Tuple Value Vtype

@@ -1,0 +1,1 @@
+lib/lang/interp.mli: Database Relalg Relation Surface Tuple

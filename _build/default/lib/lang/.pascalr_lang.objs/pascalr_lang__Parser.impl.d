@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Format Lexer List Printf Relalg Surface Token

@@ -1,0 +1,166 @@
+(* Elaboration: resolve surface syntax against declarations, producing a
+   Relalg database (for programs) and Pascalr calculus queries (for
+   selections).  Unqualified identifiers in formulas are enumeration
+   labels or booleans; they are resolved by the domain of the opposite
+   operand where possible, with a unique-label search as fallback. *)
+
+open Relalg
+
+exception Elab_error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Elab_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Programs *)
+
+type tenv = (string * Vtype.t) list
+
+let base_tenv =
+  [
+    ("integer", Vtype.int_full);
+    ("boolean", Vtype.boolean);
+    ("char", Vtype.string_width 1);
+  ]
+
+let resolve_type db (tenv : tenv) name = function
+  | Surface.T_enum labels ->
+    let info = Database.declare_enum db name (Array.of_list labels) in
+    Vtype.TEnum info
+  | Surface.T_subrange (lo, hi) -> Vtype.int_range lo hi
+  | Surface.T_string n -> Vtype.string_width n
+  | Surface.T_named other -> (
+    match List.assoc_opt other tenv with
+    | Some ty -> ty
+    | None -> errf "unknown type name %s" other)
+  | Surface.T_ref rel -> Vtype.reference rel
+
+let elaborate_program ?(db = Database.create ()) (prog : Surface.program) =
+  let tenv = ref base_tenv in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Surface.D_type bindings ->
+        List.iter
+          (fun (name, te) ->
+            let ty = resolve_type db !tenv name te in
+            tenv := (name, ty) :: !tenv)
+          bindings
+      | Surface.D_relation r ->
+        let attrs =
+          List.map
+            (fun (fname, te) ->
+              let ty =
+                match te with
+                | Surface.T_named n -> (
+                  match List.assoc_opt n !tenv with
+                  | Some ty -> ty
+                  | None -> errf "relation %s: unknown type %s" r.Surface.r_name n)
+                | _ -> resolve_type db !tenv (fname ^ "_type") te
+              in
+              Schema.attr fname ty)
+            r.Surface.r_fields
+        in
+        let schema = Schema.make attrs ~key:r.Surface.r_key in
+        ignore (Database.declare_relation db ~name:r.Surface.r_name schema))
+    prog;
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+(* Domain of an operand under an environment (variable -> schema), if
+   determinable. *)
+let operand_domain env = function
+  | Surface.S_attr (v, a) -> (
+    match List.assoc_opt v env with
+    | None -> errf "unbound variable %s" v
+    | Some schema ->
+      if Schema.mem schema a then Some (Schema.type_of schema a)
+      else errf "variable %s has no component %s" v a)
+  | Surface.S_int _ -> Some Vtype.int_full
+  | Surface.S_str _ -> Some Vtype.string_any
+  | Surface.S_ident _ -> None
+
+(* Resolve an unqualified identifier given (maybe) the opposite
+   operand's domain. *)
+let resolve_ident db context name =
+  match name with
+  | "true" -> Value.bool true
+  | "false" -> Value.bool false
+  | _ -> (
+    match context with
+    | Some (Vtype.TEnum info) -> (
+      try Value.enum info name
+      with Errors.Type_error _ ->
+        errf "%s is not a label of enumeration %s" name info.Value.enum_name)
+    | Some ty ->
+      errf "identifier %s used where a %s is expected" name (Vtype.to_string ty)
+    | None -> (
+      (* Unique-label search across all declared enumerations. *)
+      let hits =
+        List.filter
+          (fun info -> Array.exists (String.equal name) info.Value.labels)
+          (Database.enums db)
+      in
+      match hits with
+      | [ info ] -> Value.enum info name
+      | [] -> errf "cannot resolve identifier %s" name
+      | _ :: _ :: _ ->
+        errf "identifier %s is a label of several enumerations" name))
+
+let elaborate_operand db context = function
+  | Surface.S_attr (v, a) -> Pascalr.Calculus.attr v a
+  | Surface.S_int n -> Pascalr.Calculus.cint n
+  | Surface.S_str s -> Pascalr.Calculus.cstr s
+  | Surface.S_ident name ->
+    Pascalr.Calculus.const (resolve_ident db context name)
+
+let rec elaborate_formula db env (f : Surface.formula) :
+    Pascalr.Calculus.formula =
+  match f with
+  | Surface.S_true -> Pascalr.Calculus.F_true
+  | Surface.S_false -> Pascalr.Calculus.F_false
+  | Surface.S_cmp (l, op, r) ->
+    let dl = operand_domain env l and dr = operand_domain env r in
+    let l' = elaborate_operand db dr l in
+    let r' = elaborate_operand db dl r in
+    Pascalr.Calculus.mk_atom l' op r'
+  | Surface.S_not f -> Pascalr.Calculus.F_not (elaborate_formula db env f)
+  | Surface.S_and (a, b) ->
+    Pascalr.Calculus.F_and (elaborate_formula db env a, elaborate_formula db env b)
+  | Surface.S_or (a, b) ->
+    Pascalr.Calculus.F_or (elaborate_formula db env a, elaborate_formula db env b)
+  | Surface.S_some (v, range, body) ->
+    let range', schema = elaborate_range db range in
+    Pascalr.Calculus.F_some (v, range', elaborate_formula db ((v, schema) :: env) body)
+  | Surface.S_all (v, range, body) ->
+    let range', schema = elaborate_range db range in
+    Pascalr.Calculus.F_all (v, range', elaborate_formula db ((v, schema) :: env) body)
+
+and elaborate_range db (range : Surface.range) =
+  match range with
+  | Surface.S_base rel ->
+    let r = Database.find_relation db rel in
+    (Pascalr.Calculus.base rel, Relation.schema r)
+  | Surface.S_restricted (v, rel, f) ->
+    let r = Database.find_relation db rel in
+    let schema = Relation.schema r in
+    let f' = elaborate_formula db [ (v, schema) ] f in
+    (Pascalr.Calculus.restricted rel v f', schema)
+
+let elaborate_query db (q : Surface.query) : Pascalr.Calculus.query =
+  let free, env =
+    List.fold_left
+      (fun (free, env) (v, range) ->
+        let range', schema = elaborate_range db range in
+        ((v, range') :: free, (v, schema) :: env))
+      ([], []) q.Surface.q_free
+  in
+  let free = List.rev free in
+  let body = elaborate_formula db env q.Surface.q_body in
+  { Pascalr.Calculus.free; select = q.Surface.q_select; body }
+
+(* One-step conveniences. *)
+let query_of_string db src = elaborate_query db (Parser.query_of_string src)
+
+let database_of_string src = elaborate_program (Parser.program_of_string src)

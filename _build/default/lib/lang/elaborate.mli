@@ -1,0 +1,33 @@
+(** Elaboration of surface syntax: declarations into a {!Relalg.Database}
+    and selections into {!Pascalr.Calculus} queries, with enumeration
+    labels resolved by the opposite operand's domain (or a unique-label
+    search). *)
+
+open Relalg
+
+exception Elab_error of string
+
+val elaborate_program : ?db:Database.t -> Surface.program -> Database.t
+(** Declare the program's enumerations and relations; returns the
+    (possibly given) database.
+    @raise Elab_error on unknown types; Errors.Schema_error on schema
+    violations. *)
+
+val elaborate_query : Database.t -> Surface.query -> Pascalr.Calculus.query
+(** @raise Elab_error on unresolvable names. *)
+
+val elaborate_formula :
+  Database.t -> (string * Schema.t) list -> Surface.formula ->
+  Pascalr.Calculus.formula
+(** Elaborate a formula under an environment binding each free variable
+    to the schema of its range relation (used by the statement
+    interpreter, where loop variables are in scope). *)
+
+val resolve_ident : Database.t -> Vtype.t option -> string -> Value.t
+(** Resolve an unqualified identifier (boolean or enumeration label),
+    optionally guided by an expected domain. *)
+
+val query_of_string : Database.t -> string -> Pascalr.Calculus.query
+(** Parse and elaborate in one step. *)
+
+val database_of_string : string -> Database.t

@@ -1,0 +1,221 @@
+(* Interpreter for statement-level PASCAL/R: the element-oriented
+   programs of the paper's Examples 3.1 (reference maintenance), 4.2
+   (one-step evaluation) and 4.3 (parallel evaluation of join terms).
+
+   Statements execute against a {!Relalg.Database}; FOR EACH loops bind
+   element variables visible to nested formulas, selections and tuple
+   literals (including @v reference expressions), exactly as the paper's
+   program fragments assume. *)
+
+open Relalg
+
+exception Runtime_error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* A loop binding: the relation the variable ranges over and the current
+   element. *)
+type binding = { b_rel : Relation.t; b_tuple : Tuple.t }
+
+type env = { db : Database.t; scope : (string * binding) list }
+
+let schema_env env =
+  List.map (fun (v, b) -> (v, Relation.schema b.b_rel)) env.scope
+
+let benv_of env =
+  List.fold_left
+    (fun acc (v, b) ->
+      Pascalr.Calculus.Var_map.add v
+        { Pascalr.Naive_eval.tuple = b.b_tuple; schema = Relation.schema b.b_rel }
+        acc)
+    Pascalr.Calculus.Var_map.empty env.scope
+
+(* Truth of a surface formula under the current scope (loop variables
+   are free variables of the formula). *)
+let formula_holds env extra_schemas extra_bindings f =
+  let schemas = extra_schemas @ schema_env env in
+  let calculus = Elaborate.elaborate_formula env.db schemas f in
+  let benv =
+    List.fold_left
+      (fun acc (v, b) ->
+        Pascalr.Calculus.Var_map.add v
+          {
+            Pascalr.Naive_eval.tuple = b.b_tuple;
+            schema = Relation.schema b.b_rel;
+          }
+          acc)
+      (benv_of env) extra_bindings
+  in
+  Pascalr.Naive_eval.holds env.db benv calculus
+
+let lookup_var env v =
+  match List.assoc_opt v env.scope with
+  | Some b -> b
+  | None -> errf "unbound loop variable %s" v
+
+(* Evaluate a tuple-literal expression.  [context] is the expected
+   domain (from the target relation's schema), used to resolve
+   enumeration labels. *)
+let rec eval_expr env context = function
+  | Surface.E_int n -> Value.int n
+  | Surface.E_str s -> Value.str s
+  | Surface.E_ident name -> Elaborate.resolve_ident env.db context name
+  | Surface.E_attr (v, a) ->
+    let b = lookup_var env v in
+    Tuple.get_by_name (Relation.schema b.b_rel) b.b_tuple a
+  | Surface.E_ref v ->
+    let b = lookup_var env v in
+    Reference.value_of_tuple b.b_rel b.b_tuple
+  | Surface.E_ref_key (rel_name, key_exprs) ->
+    let rel = Database.find_relation env.db rel_name in
+    let schema = Relation.schema rel in
+    let key_types =
+      List.map (Schema.type_at schema) (Array.to_list (Schema.key_positions schema))
+    in
+    if List.length key_exprs <> List.length key_types then
+      errf "@%s[...]: expected %d key values" rel_name (List.length key_types);
+    let key =
+      List.map2 (fun e ty -> eval_expr env (Some ty) e) key_exprs key_types
+    in
+    Value.VRef (Reference.make ~target:rel_name ~key)
+
+let eval_literal env target exprs =
+  let schema = Relation.schema target in
+  if List.length exprs <> Schema.arity schema then
+    errf "relation %s: tuple literal arity %d, expected %d"
+      (Relation.name target) (List.length exprs) (Schema.arity schema);
+  Tuple.of_list
+    (List.mapi
+       (fun i e -> eval_expr env (Some (Schema.type_at schema i)) e)
+       exprs)
+
+(* ----------------------------------------------------------------- *)
+(* Selections with reference items *)
+
+(* Iterate the elements of a surface range, applying its restriction. *)
+let iter_range env (range : Surface.range) k =
+  match range with
+  | Surface.S_base rel_name ->
+    let rel = Database.find_relation env.db rel_name in
+    Relation.scan (fun tuple -> k { b_rel = rel; b_tuple = tuple }) rel
+  | Surface.S_restricted (v, rel_name, f) ->
+    let rel = Database.find_relation env.db rel_name in
+    let schema = Relation.schema rel in
+    Relation.scan
+      (fun tuple ->
+        let b = { b_rel = rel; b_tuple = tuple } in
+        if formula_holds env [ (v, schema) ] [ (v, b) ] f then k b)
+      rel
+
+(* Schema of a selection's result, inferred from its items. *)
+let selection_schema env (sel : Surface.selection) =
+  let range_rel = function
+    | Surface.S_base r | Surface.S_restricted (_, r, _) -> r
+  in
+  let var_rel v =
+    match List.assoc_opt v sel.Surface.s_free with
+    | Some range -> Database.find_relation env.db (range_rel range)
+    | None -> errf "selection item uses non-free variable %s" v
+  in
+  let name_of = function
+    | Surface.Sel_attr (_, a) -> a
+    | Surface.Sel_ref v -> v ^ "ref"
+  in
+  let count n =
+    List.length
+      (List.filter (fun i -> String.equal (name_of i) n) sel.Surface.s_items)
+  in
+  let attr_of item =
+    match item with
+    | Surface.Sel_attr (v, a) ->
+      let rel = var_rel v in
+      let name = if count a > 1 then v ^ "_" ^ a else a in
+      Schema.attr name (Schema.type_of (Relation.schema rel) a)
+    | Surface.Sel_ref v ->
+      let rel = var_rel v in
+      Schema.attr (name_of item) (Vtype.reference (Relation.name rel))
+  in
+  Schema.make (List.map attr_of sel.Surface.s_items) ~key:[]
+
+(* Evaluate a selection under the current scope; outer loop variables
+   may occur freely in the body. *)
+let eval_selection env (sel : Surface.selection) =
+  let out = Relation.create (selection_schema env sel) in
+  let project scope_env =
+    Tuple.of_list
+      (List.map
+         (function
+           | Surface.Sel_attr (v, a) ->
+             let b = lookup_var scope_env v in
+             Tuple.get_by_name (Relation.schema b.b_rel) b.b_tuple a
+           | Surface.Sel_ref v ->
+             let b = lookup_var scope_env v in
+             Reference.value_of_tuple b.b_rel b.b_tuple)
+         sel.Surface.s_items)
+  in
+  let rec loop scope_env = function
+    | [] ->
+      if formula_holds scope_env [] [] sel.Surface.s_body then
+        Relation.insert out (project scope_env)
+    | (v, range) :: rest ->
+      iter_range scope_env range (fun b ->
+          loop { scope_env with scope = (v, b) :: scope_env.scope } rest)
+  in
+  loop env sel.Surface.s_free;
+  out
+
+(* ----------------------------------------------------------------- *)
+(* Statements *)
+
+let find_or_create env name schema_hint =
+  match Database.find_relation_opt env.db name with
+  | Some r -> r
+  | None -> (
+    match schema_hint with
+    | Some schema -> Database.declare_relation env.db ~name schema
+    | None -> raise (Errors.Unknown_relation name))
+
+let rec exec env (stmt : Surface.stmt) =
+  match stmt with
+  | Surface.S_block body -> List.iter (exec env) body
+  | Surface.S_print name ->
+    Fmt.pr "%a@." Relation.pp (Database.find_relation env.db name)
+  | Surface.S_if (cond, then_, else_) ->
+    if formula_holds env [] [] cond then exec env then_
+    else Option.iter (exec env) else_
+  | Surface.S_for (v, range, filter, body) ->
+    iter_range env range (fun b ->
+        let env' = { env with scope = (v, b) :: env.scope } in
+        if formula_holds env' [] [] filter then exec env' body)
+  | Surface.S_assign (name, sel) ->
+    let result = eval_selection env sel in
+    let target =
+      find_or_create env name (Some (Relation.schema result))
+    in
+    Relation.clear target;
+    Relation.iter (Relation.insert target) result
+  | Surface.S_insert_sel (name, sel) ->
+    let result = eval_selection env sel in
+    let target = find_or_create env name (Some (Relation.schema result)) in
+    Relation.iter (Relation.insert target) result
+  | Surface.S_insert_lit (name, exprs) ->
+    let target = find_or_create env name None in
+    Relation.insert target (eval_literal env target exprs)
+  | Surface.S_remove_lit (name, exprs) ->
+    let target = find_or_create env name None in
+    let tuple = eval_literal env target exprs in
+    Relation.delete_key target (Tuple.key_of (Relation.schema target) tuple)
+
+(* Run a whole compilation unit: declarations, then the main block. *)
+let run_unit ?(db = Database.create ()) (u : Surface.unit_) =
+  let db = Elaborate.elaborate_program ~db u.Surface.u_decls in
+  let env = { db; scope = [] } in
+  List.iter (exec env) u.Surface.u_main;
+  db
+
+let run_string ?db src = run_unit ?db (Parser.unit_of_string src)
+
+(* Execute statements against an existing database (no declarations). *)
+let exec_string db src =
+  let stmt = Parser.stmt_of_string src in
+  exec { db; scope = [] } stmt

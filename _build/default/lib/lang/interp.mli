@@ -1,0 +1,26 @@
+(** Interpreter for statement-level PASCAL/R: FOR EACH loops,
+    conditionals, selection assignment and the [:+] / [:-] operators
+    with reference expressions — the element-oriented programs of the
+    paper's Examples 3.1, 4.2 and 4.3. *)
+
+open Relalg
+
+exception Runtime_error of string
+
+type binding = { b_rel : Relation.t; b_tuple : Tuple.t }
+type env = { db : Database.t; scope : (string * binding) list }
+
+val eval_selection : env -> Surface.selection -> Relation.t
+(** Evaluate a selection (items may be [v.component] or [@v]) under the
+    current scope; outer loop variables may occur freely in the body. *)
+
+val exec : env -> Surface.stmt -> unit
+
+val run_unit : ?db:Database.t -> Surface.unit_ -> Database.t
+(** Elaborate the unit's declarations (into [db] if given), then execute
+    its main block; returns the database. *)
+
+val run_string : ?db:Database.t -> string -> Database.t
+
+val exec_string : Database.t -> string -> unit
+(** Parse and execute one statement against an existing database. *)

@@ -1,0 +1,188 @@
+(* Hand-written lexer for the PASCAL/R subset.  Keywords are
+   case-insensitive (the paper typesets them in upper case); comments
+   are PASCAL's (* ... *). *)
+
+exception Lex_error of string * Token.position
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+let make src = { src; offset = 0; line = 1; column = 1 }
+
+let position st = { Token.line = st.line; column = st.column }
+
+let errf st fmt =
+  Format.kasprintf (fun s -> raise (Lex_error (s, position st))) fmt
+
+let peek st =
+  if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1]
+  else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.column <- 1
+  | Some _ -> st.column <- st.column + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws_and_comments st
+  | Some '(' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    skip_comment st;
+    skip_ws_and_comments st
+  | Some _ | None -> ()
+
+and skip_comment st =
+  match peek st with
+  | None -> errf st "unterminated comment"
+  | Some '*' when peek2 st = Some ')' ->
+    advance st;
+    advance st
+  | Some _ ->
+    advance st;
+    skip_comment st
+
+let lex_ident st =
+  let start = st.offset in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.offset - start)
+
+let lex_int st =
+  let start = st.offset in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    (* Stop before ".." so subranges like 1900..1999 lex correctly. *)
+    advance st
+  done;
+  int_of_string (String.sub st.src start (st.offset - start))
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> errf st "unterminated string literal"
+    | Some '\'' -> (
+      advance st;
+      (* doubled quote escapes a quote, as in PASCAL *)
+      match peek st with
+      | Some '\'' ->
+        Buffer.add_char buf '\'';
+        advance st;
+        go ()
+      | Some _ | None -> ())
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token st : Token.spanned =
+  skip_ws_and_comments st;
+  let pos = position st in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_ident_start c -> (
+      let word = lex_ident st in
+      match Token.keyword_of_string word with
+      | Some kw -> kw
+      | None -> Token.IDENT (String.lowercase_ascii word))
+    | Some c when is_digit c -> Token.INT (lex_int st)
+    | Some '\'' -> Token.STRING (lex_string st)
+    | Some '[' ->
+      advance st;
+      Token.LBRACKET
+    | Some ']' ->
+      advance st;
+      Token.RBRACKET
+    | Some '(' ->
+      advance st;
+      Token.LPAREN
+    | Some ')' ->
+      advance st;
+      Token.RPAREN
+    | Some ',' ->
+      advance st;
+      Token.COMMA
+    | Some ':' -> (
+      advance st;
+      match peek st with
+      | Some '=' ->
+        advance st;
+        Token.ASSIGN
+      | Some '+' ->
+        advance st;
+        Token.INSERT
+      | Some '-' ->
+        advance st;
+        Token.REMOVE
+      | Some _ | None -> Token.COLON)
+    | Some '@' ->
+      advance st;
+      Token.AT
+    | Some ';' ->
+      advance st;
+      Token.SEMI
+    | Some '.' ->
+      advance st;
+      if peek st = Some '.' then begin
+        advance st;
+        Token.DOTDOT
+      end
+      else Token.DOT
+    | Some '=' ->
+      advance st;
+      Token.EQ
+    | Some '<' -> (
+      advance st;
+      match peek st with
+      | Some '>' ->
+        advance st;
+        Token.NE
+      | Some '=' ->
+        advance st;
+        Token.LE
+      | Some _ | None -> Token.LT)
+    | Some '>' -> (
+      advance st;
+      match peek st with
+      | Some '=' ->
+        advance st;
+        Token.GE
+      | Some _ | None -> Token.GT)
+    | Some c -> errf st "unexpected character %c" c
+  in
+  { Token.token = tok; pos }
+
+(* Tokenize a whole source string. *)
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    let sp = next_token st in
+    match sp.Token.token with
+    | Token.EOF -> List.rev (sp :: acc)
+    | _ -> go (sp :: acc)
+  in
+  go []

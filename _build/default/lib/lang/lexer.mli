@@ -1,0 +1,8 @@
+(** Hand-written lexer for the PASCAL/R subset.  Keywords are
+    case-insensitive; comments are PASCAL's [(* ... *)]. *)
+
+exception Lex_error of string * Token.position
+
+val tokenize : string -> Token.spanned list
+(** Tokenize a whole source string, ending with {!Token.EOF}.
+    @raise Lex_error with a position on invalid input. *)

@@ -1,0 +1,524 @@
+(* Recursive-descent parser for the PASCAL/R subset: Figure-1
+   declarations (TYPE sections and RELATION variables) and selection
+   expressions ([<v.a> OF EACH v IN rel: wff]).
+
+   Precedence, lowest first: OR, AND, NOT, comparison. *)
+
+exception Parse_error of string * Token.position
+
+type state = { mutable tokens : Token.spanned list }
+
+let make tokens = { tokens }
+
+let current st =
+  match st.tokens with
+  | [] -> { Token.token = Token.EOF; pos = { Token.line = 0; column = 0 } }
+  | sp :: _ -> sp
+
+let errf st fmt =
+  let sp = current st in
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "%s (found %s)" s (Token.to_string sp.Token.token),
+             sp.Token.pos )))
+    fmt
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let peek st = (current st).Token.token
+
+let expect st tok =
+  if peek st = tok then advance st
+  else errf st "expected %s" (Token.to_string tok)
+
+let ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | _ -> errf st "expected an identifier"
+
+let integer st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    n
+  | _ -> errf st "expected an integer"
+
+(* ------------------------------------------------------------------ *)
+(* Selection expressions *)
+
+let comparison_of_token = function
+  | Token.EQ -> Some Relalg.Value.Eq
+  | Token.NE -> Some Relalg.Value.Ne
+  | Token.LT -> Some Relalg.Value.Lt
+  | Token.LE -> Some Relalg.Value.Le
+  | Token.GT -> Some Relalg.Value.Gt
+  | Token.GE -> Some Relalg.Value.Ge
+  | _ -> None
+
+let parse_operand st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Surface.S_int n
+  | Token.STRING s ->
+    advance st;
+    Surface.S_str s
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.DOT ->
+      advance st;
+      Surface.S_attr (name, ident st)
+    | _ -> Surface.S_ident name)
+  | _ -> errf st "expected an operand"
+
+let rec parse_formula st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = Token.OR then begin
+    advance st;
+    Surface.S_or (lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if peek st = Token.AND then begin
+    advance st;
+    Surface.S_and (lhs, parse_and st)
+  end
+  else lhs
+
+and parse_not st =
+  if peek st = Token.NOT then begin
+    advance st;
+    Surface.S_not (parse_not st)
+  end
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.TRUE ->
+    advance st;
+    Surface.S_true
+  | Token.FALSE ->
+    advance st;
+    Surface.S_false
+  | Token.SOME | Token.ALL -> parse_quantifier st
+  | Token.LPAREN ->
+    advance st;
+    let inner = parse_formula st in
+    (* Either a parenthesized formula, or the left operand of a
+       comparison was parenthesized... comparisons never produce a bare
+       formula as operand, so ')' must follow. *)
+    expect st Token.RPAREN;
+    inner
+  | Token.INT _ | Token.STRING _ | Token.IDENT _ -> (
+    let lhs = parse_operand st in
+    match comparison_of_token (peek st) with
+    | Some op ->
+      advance st;
+      let rhs = parse_operand st in
+      Surface.S_cmp (lhs, op, rhs)
+    | None -> errf st "expected a comparison operator")
+  | _ -> errf st "expected a formula"
+
+and parse_quantifier st =
+  let universal =
+    match peek st with
+    | Token.ALL ->
+      advance st;
+      true
+    | Token.SOME ->
+      advance st;
+      false
+    | _ -> errf st "expected SOME or ALL"
+  in
+  let v = ident st in
+  expect st Token.IN;
+  let range = parse_range st in
+  (* The quantified body is the next primary formula: parenthesized wff
+     or a nested quantifier (SOME c IN courses SOME t IN timetable (...)). *)
+  let body = parse_quantified_body st in
+  if universal then Surface.S_all (v, range, body)
+  else Surface.S_some (v, range, body)
+
+and parse_quantified_body st =
+  match peek st with
+  | Token.SOME | Token.ALL -> parse_quantifier st
+  | _ ->
+    expect st Token.LPAREN;
+    let f = parse_formula st in
+    expect st Token.RPAREN;
+    f
+
+and parse_range st =
+  match peek st with
+  | Token.IDENT _ -> Surface.S_base (ident st)
+  | Token.LBRACKET ->
+    advance st;
+    expect st Token.EACH;
+    let v = ident st in
+    expect st Token.IN;
+    let rel = ident st in
+    expect st Token.COLON;
+    let f = parse_formula st in
+    expect st Token.RBRACKET;
+    Surface.S_restricted (v, rel, f)
+  | _ -> errf st "expected a range expression"
+
+(* [<v.a, ...> OF EACH v IN range, ... : wff] *)
+let parse_query_body st =
+  expect st Token.LBRACKET;
+  expect st Token.LT;
+  let rec sel acc =
+    let v = ident st in
+    expect st Token.DOT;
+    let a = ident st in
+    if peek st = Token.COMMA then begin
+      advance st;
+      sel ((v, a) :: acc)
+    end
+    else List.rev ((v, a) :: acc)
+  in
+  let select = sel [] in
+  expect st Token.GT;
+  expect st Token.OF;
+  let rec frees acc =
+    expect st Token.EACH;
+    let v = ident st in
+    expect st Token.IN;
+    let range = parse_range st in
+    if peek st = Token.COMMA then begin
+      advance st;
+      frees ((v, range) :: acc)
+    end
+    else List.rev ((v, range) :: acc)
+  in
+  let free = frees [] in
+  expect st Token.COLON;
+  let body = parse_formula st in
+  expect st Token.RBRACKET;
+  { Surface.q_select = select; q_free = free; q_body = body }
+
+(* ------------------------------------------------------------------ *)
+(* Statement-level PASCAL/R (Examples 3.1/4.2/4.3) *)
+
+(* Tuple-literal / selection-item expressions. *)
+let rec parse_expr st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Surface.E_int n
+  | Token.STRING s ->
+    advance st;
+    Surface.E_str s
+  | Token.AT -> (
+    advance st;
+    let name = ident st in
+    match peek st with
+    | Token.LBRACKET ->
+      advance st;
+      let rec keyvals acc =
+        let e = parse_expr st in
+        if peek st = Token.COMMA then begin
+          advance st;
+          keyvals (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      let keys = keyvals [] in
+      expect st Token.RBRACKET;
+      Surface.E_ref_key (name, keys)
+    | _ -> Surface.E_ref name)
+  | Token.IDENT name -> (
+    advance st;
+    match peek st with
+    | Token.DOT ->
+      advance st;
+      Surface.E_attr (name, ident st)
+    | _ -> Surface.E_ident name)
+  | _ -> errf st "expected an expression"
+
+let sel_item_of_expr st = function
+  | Surface.E_attr (v, a) -> Surface.Sel_attr (v, a)
+  | Surface.E_ref v -> Surface.Sel_ref v
+  | Surface.E_int _ | Surface.E_str _ | Surface.E_ident _
+  | Surface.E_ref_key _ ->
+    errf st "component selections may contain only v.component or @v"
+
+(* After '[': either a tuple literal [<e1, ...>] or a selection
+   [<items> OF EACH ... : wff].  Both start with '<' and a comma-
+   separated entry list; OF vs ']' disambiguates. *)
+let parse_bracketed st =
+  expect st Token.LBRACKET;
+  expect st Token.LT;
+  let rec entries acc =
+    let e = parse_expr st in
+    if peek st = Token.COMMA then begin
+      advance st;
+      entries (e :: acc)
+    end
+    else List.rev (e :: acc)
+  in
+  let es = entries [] in
+  expect st Token.GT;
+  match peek st with
+  | Token.RBRACKET ->
+    advance st;
+    `Lit es
+  | Token.OF ->
+    advance st;
+    let items = List.map (sel_item_of_expr st) es in
+    let rec frees acc =
+      expect st Token.EACH;
+      let v = ident st in
+      expect st Token.IN;
+      let range = parse_range st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        frees ((v, range) :: acc)
+      end
+      else List.rev ((v, range) :: acc)
+    in
+    let free = frees [] in
+    expect st Token.COLON;
+    let body = parse_formula st in
+    expect st Token.RBRACKET;
+    `Sel { Surface.s_items = items; s_free = free; s_body = body }
+  | _ -> errf st "expected ] (tuple literal) or OF (selection)"
+
+let parse_selection_only st =
+  match parse_bracketed st with
+  | `Sel s -> s
+  | `Lit _ -> errf st "expected a selection, found a tuple literal"
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.BEGIN ->
+    advance st;
+    let body = parse_stmt_list st in
+    expect st Token.END;
+    Surface.S_block body
+  | Token.FOR ->
+    advance st;
+    expect st Token.EACH;
+    let v = ident st in
+    expect st Token.IN;
+    let range = parse_range st in
+    expect st Token.COLON;
+    let filter = parse_formula st in
+    expect st Token.DO;
+    let body = parse_stmt st in
+    Surface.S_for (v, range, filter, body)
+  | Token.IF ->
+    advance st;
+    let cond = parse_formula st in
+    expect st Token.THEN;
+    let then_ = parse_stmt st in
+    if peek st = Token.ELSE then begin
+      advance st;
+      Surface.S_if (cond, then_, Some (parse_stmt st))
+    end
+    else Surface.S_if (cond, then_, None)
+  | Token.PRINT ->
+    advance st;
+    Surface.S_print (ident st)
+  | Token.IDENT _ -> (
+    let name = ident st in
+    match peek st with
+    | Token.ASSIGN ->
+      advance st;
+      Surface.S_assign (name, parse_selection_only st)
+    | Token.INSERT -> (
+      advance st;
+      match parse_bracketed st with
+      | `Lit es -> Surface.S_insert_lit (name, es)
+      | `Sel s -> Surface.S_insert_sel (name, s))
+    | Token.REMOVE -> (
+      advance st;
+      match parse_bracketed st with
+      | `Lit es -> Surface.S_remove_lit (name, es)
+      | `Sel _ -> errf st "deletion takes a tuple literal")
+    | _ -> errf st "expected :=, :+ or :- after %s" name)
+  | _ -> errf st "expected a statement"
+
+(* Semicolon-separated statements, as in PASCAL (separator, optional
+   trailing). *)
+and parse_stmt_list st =
+  match peek st with
+  | Token.BEGIN | Token.FOR | Token.IF | Token.PRINT | Token.IDENT _ ->
+    let s = parse_stmt st in
+    if peek st = Token.SEMI then begin
+      advance st;
+      s :: parse_stmt_list st
+    end
+    else [ s ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Declarations *)
+
+let parse_type_expr st =
+  match peek st with
+  | Token.LPAREN ->
+    advance st;
+    let rec labels acc =
+      let l = ident st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        labels (l :: acc)
+      end
+      else List.rev (l :: acc)
+    in
+    let ls = labels [] in
+    expect st Token.RPAREN;
+    Surface.T_enum ls
+  | Token.INT _ ->
+    let lo = integer st in
+    expect st Token.DOTDOT;
+    let hi = integer st in
+    Surface.T_subrange (lo, hi)
+  | Token.PACKED ->
+    advance st;
+    expect st Token.ARRAY;
+    expect st Token.LBRACKET;
+    let lo = integer st in
+    expect st Token.DOTDOT;
+    let hi = integer st in
+    expect st Token.RBRACKET;
+    expect st Token.OF;
+    expect st Token.CHAR;
+    if lo <> 1 then errf st "packed arrays must start at 1";
+    Surface.T_string hi
+  | Token.IDENT _ -> Surface.T_named (ident st)
+  | Token.AT ->
+    advance st;
+    Surface.T_ref (ident st)
+  | Token.CHAR ->
+    advance st;
+    Surface.T_named "char"
+  | _ -> errf st "expected a type expression"
+
+(* TYPE name = texpr; name = texpr; ... (ends before VAR or EOF) *)
+let parse_type_section st =
+  expect st Token.TYPE;
+  let rec go acc =
+    match peek st with
+    | Token.IDENT _ ->
+      let name = ident st in
+      expect st Token.EQ;
+      let te = parse_type_expr st in
+      expect st Token.SEMI;
+      go ((name, te) :: acc)
+    | _ -> List.rev acc
+  in
+  Surface.D_type (go [])
+
+(* name : RELATION <key> OF RECORD field : type; ... END *)
+let parse_relation_decl st name =
+  expect st Token.RELATION;
+  expect st Token.LT;
+  let rec keys acc =
+    let k = ident st in
+    if peek st = Token.COMMA then begin
+      advance st;
+      keys (k :: acc)
+    end
+    else List.rev (k :: acc)
+  in
+  let key = keys [] in
+  expect st Token.GT;
+  expect st Token.OF;
+  expect st Token.RECORD;
+  let rec fields acc =
+    match peek st with
+    | Token.END ->
+      advance st;
+      List.rev acc
+    | Token.IDENT _ ->
+      let fname = ident st in
+      expect st Token.COLON;
+      let te = parse_type_expr st in
+      (match peek st with Token.SEMI -> advance st | _ -> ());
+      fields ((fname, te) :: acc)
+    | _ -> errf st "expected a field declaration or END"
+  in
+  let fields = fields [] in
+  { Surface.r_name = name; r_key = key; r_fields = fields }
+
+(* VAR name : RELATION ... ; name : RELATION ... ; *)
+let parse_var_section st =
+  expect st Token.VAR;
+  let rec go acc =
+    match peek st with
+    | Token.IDENT _ ->
+      let name = ident st in
+      expect st Token.COLON;
+      let decl = parse_relation_decl st name in
+      (match peek st with Token.SEMI -> advance st | _ -> ());
+      go (Surface.D_relation decl :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_program_tokens st =
+  let rec go acc =
+    match peek st with
+    | Token.TYPE -> go (parse_type_section st :: acc)
+    | Token.VAR -> go (List.rev_append (List.rev (parse_var_section st)) acc)
+    | Token.EOF | Token.BEGIN -> List.rev acc
+    | _ -> errf st "expected TYPE, VAR, BEGIN or end of input"
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Entry points *)
+
+let query_of_string src =
+  let st = make (Lexer.tokenize src) in
+  let q = parse_query_body st in
+  expect st Token.EOF;
+  q
+
+let program_of_string src =
+  let st = make (Lexer.tokenize src) in
+  let p = parse_program_tokens st in
+  expect st Token.EOF;
+  p
+
+let formula_of_string src =
+  let st = make (Lexer.tokenize src) in
+  let f = parse_formula st in
+  expect st Token.EOF;
+  f
+
+let stmt_of_string src =
+  let st = make (Lexer.tokenize src) in
+  let s = parse_stmt st in
+  expect st Token.EOF;
+  s
+
+(* A whole compilation unit: TYPE/VAR sections, then an optional
+   BEGIN ... END main block, optionally terminated by '.'. *)
+let unit_of_string src =
+  let st = make (Lexer.tokenize src) in
+  let decls = parse_program_tokens st in
+  let main =
+    match peek st with
+    | Token.BEGIN ->
+      advance st;
+      let body = parse_stmt_list st in
+      expect st Token.END;
+      if peek st = Token.DOT then advance st;
+      body
+    | _ -> []
+  in
+  expect st Token.EOF;
+  { Surface.u_decls = decls; u_main = main }

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the PASCAL/R subset: Figure-1
+    declarations and selection expressions.  Precedence, lowest first:
+    OR, AND, NOT, comparison. *)
+
+exception Parse_error of string * Token.position
+
+val query_of_string : string -> Surface.query
+(** Parse a selection [[<v.a> OF EACH v IN range, ...: wff]].
+    @raise Parse_error / Lexer.Lex_error *)
+
+val program_of_string : string -> Surface.program
+(** Parse TYPE and VAR (relation) declaration sections. *)
+
+val formula_of_string : string -> Surface.formula
+
+val stmt_of_string : string -> Surface.stmt
+(** Parse one statement (FOR EACH / IF / BEGIN / assignment / [:+] /
+    [:-] / PRINT). *)
+
+val unit_of_string : string -> Surface.unit_
+(** Parse a whole compilation unit: TYPE/VAR sections then an optional
+    [BEGIN ... END] main block (optionally terminated by '.'). *)

@@ -1,0 +1,90 @@
+(* Surface abstract syntax: what the parser produces before name
+   resolution.  Enumeration labels, booleans and attribute references
+   are still plain identifiers here; the elaborator resolves them
+   against the declared schema. *)
+
+type operand =
+  | S_attr of string * string  (* v.component *)
+  | S_int of int
+  | S_str of string
+  | S_ident of string  (* enum label / boolean constant *)
+
+type comparison = Relalg.Value.comparison
+
+type formula =
+  | S_true
+  | S_false
+  | S_cmp of operand * comparison * operand
+  | S_not of formula
+  | S_and of formula * formula
+  | S_or of formula * formula
+  | S_some of string * range * formula
+  | S_all of string * range * formula
+
+and range =
+  | S_base of string  (* relation name *)
+  | S_restricted of string * string * formula  (* [EACH v IN rel: wff] *)
+
+type query = {
+  q_select : (string * string) list;  (* <v.a, ...> *)
+  q_free : (string * range) list;  (* EACH v IN range, ... *)
+  q_body : formula;
+}
+
+(* Declarations (Figure 1). *)
+
+type type_expr =
+  | T_enum of string list  (* (student, technician, ...) *)
+  | T_subrange of int * int  (* 1900..1999 *)
+  | T_string of int  (* PACKED ARRAY [1..n] OF char *)
+  | T_named of string  (* reference to a declared type, or integer/boolean/char *)
+  | T_ref of string  (* @relname: reference type (Figure 2) *)
+
+type relation_decl = {
+  r_name : string;
+  r_key : string list;  (* <enr, ...> *)
+  r_fields : (string * type_expr) list;
+}
+
+type decl =
+  | D_type of (string * type_expr) list
+  | D_relation of relation_decl
+
+type program = decl list
+
+(* Statement-level PASCAL/R (Examples 3.1, 4.2, 4.3): element-oriented
+   loops, conditionals, selection assignment, and the insertion (:+) /
+   deletion (:-) operators over tuple literals that may contain
+   reference expressions. *)
+
+type sel_item =
+  | Sel_attr of string * string  (* v.component *)
+  | Sel_ref of string  (* @v: a reference to the selected element *)
+
+type selection = {
+  s_items : sel_item list;
+  s_free : (string * range) list;
+  s_body : formula;
+}
+
+type expr =
+  | E_int of int
+  | E_str of string
+  | E_ident of string  (* enum label / boolean *)
+  | E_attr of string * string  (* v.component of a loop variable *)
+  | E_ref of string  (* @v *)
+  | E_ref_key of string * expr list  (* @rel[key values] *)
+
+type stmt =
+  | S_assign of string * selection  (* rel := [...] *)
+  | S_insert_sel of string * selection  (* rel :+ [...] *)
+  | S_insert_lit of string * expr list  (* rel :+ [<e1, ...>] *)
+  | S_remove_lit of string * expr list  (* rel :- [<e1, ...>] *)
+  | S_for of string * range * formula * stmt
+      (* FOR EACH v IN rel: wff DO stmt *)
+  | S_if of formula * stmt * stmt option
+  | S_block of stmt list
+  | S_print of string
+
+(* A compilation unit: declarations plus an optional main block. *)
+type unit_ = { u_decls : program; u_main : stmt list }

@@ -1,0 +1,140 @@
+(* Tokens of the PASCAL/R subset: Figure-1 style declarations and
+   selection expressions. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  (* declaration keywords *)
+  | TYPE
+  | VAR
+  | RELATION
+  | OF
+  | RECORD
+  | END
+  | PACKED
+  | ARRAY
+  | CHAR
+  (* statement keywords *)
+  | BEGIN
+  | DO
+  | IF
+  | THEN
+  | ELSE
+  | FOR
+  | PRINT
+  (* selection keywords *)
+  | EACH
+  | IN
+  | SOME
+  | ALL
+  | AND
+  | OR
+  | NOT
+  | TRUE
+  | FALSE
+  (* punctuation *)
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | SEMI
+  | DOT
+  | DOTDOT
+  | AT      (* @ *)
+  | ASSIGN  (* := *)
+  | INSERT  (* :+ *)
+  | REMOVE  (* :- *)
+  (* comparisons; LT/GT double as the angular key brackets *)
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type position = { line : int; column : int }
+
+type spanned = { token : t; pos : position }
+
+let keyword_of_string s =
+  match String.lowercase_ascii s with
+  | "type" -> Some TYPE
+  | "var" -> Some VAR
+  | "relation" -> Some RELATION
+  | "of" -> Some OF
+  | "record" -> Some RECORD
+  | "end" -> Some END
+  | "packed" -> Some PACKED
+  | "array" -> Some ARRAY
+  | "char" -> Some CHAR
+  | "begin" -> Some BEGIN
+  | "do" -> Some DO
+  | "if" -> Some IF
+  | "then" -> Some THEN
+  | "else" -> Some ELSE
+  | "for" -> Some FOR
+  | "print" -> Some PRINT
+  | "each" -> Some EACH
+  | "in" -> Some IN
+  | "some" -> Some SOME
+  | "all" -> Some ALL
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "not" -> Some NOT
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string '%s'" s
+  | TYPE -> "TYPE"
+  | VAR -> "VAR"
+  | RELATION -> "RELATION"
+  | OF -> "OF"
+  | RECORD -> "RECORD"
+  | END -> "END"
+  | PACKED -> "PACKED"
+  | ARRAY -> "ARRAY"
+  | CHAR -> "char"
+  | BEGIN -> "BEGIN"
+  | DO -> "DO"
+  | IF -> "IF"
+  | THEN -> "THEN"
+  | ELSE -> "ELSE"
+  | FOR -> "FOR"
+  | PRINT -> "PRINT"
+  | EACH -> "EACH"
+  | IN -> "IN"
+  | SOME -> "SOME"
+  | ALL -> "ALL"
+  | AND -> "AND"
+  | OR -> "OR"
+  | NOT -> "NOT"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | COLON -> ":"
+  | SEMI -> ";"
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | AT -> "@"
+  | ASSIGN -> ":="
+  | INSERT -> ":+"
+  | REMOVE -> ":-"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "end of input"

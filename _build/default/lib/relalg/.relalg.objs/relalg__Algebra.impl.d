@@ -1,0 +1,1 @@
+lib/relalg/algebra.ml: Array Errors List Relation Schema Tuple Value Value_key

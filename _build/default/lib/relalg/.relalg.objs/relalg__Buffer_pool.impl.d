@@ -1,0 +1,1 @@
+lib/relalg/buffer_pool.ml: Fmt Hashtbl List

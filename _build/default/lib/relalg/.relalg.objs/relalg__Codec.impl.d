@@ -1,0 +1,1 @@
+lib/relalg/codec.ml: Array Buffer Bytes Char Errors List Schema String Tuple Value Vtype

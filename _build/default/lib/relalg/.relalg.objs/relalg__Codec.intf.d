@@ -1,0 +1,1 @@
+lib/relalg/codec.mli: Buffer Bytes Schema Tuple Value

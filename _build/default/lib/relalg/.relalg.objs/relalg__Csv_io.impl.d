@@ -1,0 +1,1 @@
+lib/relalg/csv_io.ml: Array Buffer Errors List Relation Schema String Tuple Value Vtype

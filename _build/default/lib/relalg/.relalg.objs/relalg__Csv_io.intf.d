@@ -1,0 +1,1 @@
+lib/relalg/csv_io.mli: Relation Schema

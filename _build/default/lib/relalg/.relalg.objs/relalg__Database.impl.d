@@ -1,0 +1,1 @@
+lib/relalg/database.ml: Buffer_pool Errors Fmt Hashtbl Index List Relation String Value

@@ -1,0 +1,1 @@
+lib/relalg/database.mli: Buffer_pool Fmt Index Relation Schema Tuple Value

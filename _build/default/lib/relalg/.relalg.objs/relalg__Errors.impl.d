@@ -1,0 +1,1 @@
+lib/relalg/errors.ml: Format

@@ -1,0 +1,1 @@
+lib/relalg/heap_file.ml: Array Buffer_pool Bytes Char Errors List

@@ -1,0 +1,1 @@
+lib/relalg/heap_file.mli: Buffer_pool Bytes

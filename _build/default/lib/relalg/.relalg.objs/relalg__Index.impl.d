@@ -1,0 +1,1 @@
+lib/relalg/index.ml: Array Errors List Option Reference Relation Schema Tuple Value Value_key Vtype

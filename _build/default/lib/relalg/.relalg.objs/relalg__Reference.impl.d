@@ -1,0 +1,1 @@
+lib/relalg/reference.ml: Errors Relation String Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/reference.mli: Fmt Relation Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Buffer_pool Codec Errors Fmt Hashtbl Heap_file List Option Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/relation.mli: Buffer_pool Fmt Schema Tuple Value

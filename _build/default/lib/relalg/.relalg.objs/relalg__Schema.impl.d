@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Array Errors Fmt Hashtbl List String Vtype

@@ -1,0 +1,1 @@
+lib/relalg/tuple.ml: Array Fmt Int List Schema Value Vtype

@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Array Bool Errors Fmt Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/relalg/value_key.ml: Hashtbl List Option Value

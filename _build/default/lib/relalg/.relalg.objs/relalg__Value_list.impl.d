@@ -1,0 +1,1 @@
+lib/relalg/value_list.ml: Errors Fmt List Option Relation Schema Tuple Value Value_key

@@ -1,0 +1,1 @@
+lib/relalg/value_list.mli: Fmt Relation Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/vtype.ml: Array Errors Fmt List Printf String Value

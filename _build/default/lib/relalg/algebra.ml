@@ -1,0 +1,283 @@
+(* Relational algebra over keyed relations.
+
+   The combination phase of the paper's evaluator (Section 3.3) is
+   expressed in these operators: join and Cartesian product combine the
+   reference relations of each conjunction, union evaluates the full
+   disjunctive form, projection eliminates existential quantifiers and
+   division universal ones (Codd's relational completeness repertoire,
+   the paper's reference [5]). *)
+
+let fresh_name base = base
+
+let select ?(name = fresh_name "select") pred rel =
+  let out = Relation.create ~name (Relation.schema rel) in
+  Relation.scan (fun t -> if pred t then Relation.insert out t) rel;
+  out
+
+let project ?(name = fresh_name "project") rel names =
+  let schema = Relation.schema rel in
+  let out_schema = Schema.project schema names in
+  let positions =
+    Array.of_list (List.map (Schema.index_of schema) names)
+  in
+  let out = Relation.create ~name out_schema in
+  Relation.scan (fun t -> Relation.insert out (Tuple.project positions t)) rel;
+  out
+
+let rename ?(name = fresh_name "rename") rel mapping =
+  let out = Relation.create ~name (Schema.rename (Relation.schema rel) mapping) in
+  Relation.iter (Relation.insert out) rel;
+  out
+
+let product ?(name = fresh_name "product") a b =
+  let out_schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let out = Relation.create ~name out_schema in
+  (* Materialize the inner side once; scanning it per outer element would
+     distort the scan counters the experiments report. *)
+  let inner = Relation.scan_fold (fun acc t -> t :: acc) [] b in
+  Relation.scan
+    (fun ta ->
+      List.iter (fun tb -> Relation.insert out (Tuple.concat ta tb)) inner)
+    a;
+  out
+
+(* θ-join: product restricted by an arbitrary predicate over the paired
+   tuples.  Nested loops; used for the non-equality join terms. *)
+let theta_join ?(name = fresh_name "theta_join") pred a b =
+  let out_schema = Schema.concat (Relation.schema a) (Relation.schema b) in
+  let out = Relation.create ~name out_schema in
+  let inner = Relation.scan_fold (fun acc t -> t :: acc) [] b in
+  Relation.scan
+    (fun ta ->
+      List.iter
+        (fun tb -> if pred ta tb then Relation.insert out (Tuple.concat ta tb))
+        inner)
+    a;
+  out
+
+let join_key positions t = Array.to_list (Tuple.project positions t)
+
+let positions_of schema names =
+  Array.of_list (List.map (Schema.index_of schema) names)
+
+(* Hash equi-join on pairs of equated attributes; output is the
+   concatenation of both sides (names must stay distinct). *)
+let equi_join ?(name = fresh_name "join") ~on a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let pa = positions_of sa (List.map fst on) in
+  let pb = positions_of sb (List.map snd on) in
+  let out = Relation.create ~name (Schema.concat sa sb) in
+  let table = Value_key.create (max 16 (Relation.cardinality b)) in
+  Relation.scan (fun tb -> Value_key.add_multi table (join_key pb tb) tb) b;
+  Relation.scan
+    (fun ta ->
+      List.iter
+        (fun tb -> Relation.insert out (Tuple.concat ta tb))
+        (Value_key.find_multi table (join_key pa ta)))
+    a;
+  out
+
+(* Sort-merge equi-join — the classical alternative to the hash join for
+   "computing joins of relations" (the paper's references [6,9] at the
+   point where the combination phase performs join and product).  Same
+   contract as {!equi_join}. *)
+let merge_join ?(name = fresh_name "merge_join") ~on a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let pa = positions_of sa (List.map fst on) in
+  let pb = positions_of sb (List.map snd on) in
+  let out = Relation.create ~name (Schema.concat sa sb) in
+  let key_cmp k1 k2 = Value.compare_list k1 k2 in
+  let sorted rel positions =
+    let items =
+      Relation.scan_fold
+        (fun acc t -> (join_key positions t, t) :: acc)
+        [] rel
+    in
+    Array.of_list
+      (List.sort (fun (k1, t1) (k2, t2) ->
+           let c = key_cmp k1 k2 in
+           if c <> 0 then c else Tuple.compare t1 t2)
+         items)
+  in
+  let xs = sorted a pa and ys = sorted b pb in
+  let nx = Array.length xs and ny = Array.length ys in
+  let i = ref 0 and j = ref 0 in
+  while !i < nx && !j < ny do
+    let ka, _ = xs.(!i) and kb, _ = ys.(!j) in
+    let c = key_cmp ka kb in
+    if c < 0 then incr i
+    else if c > 0 then incr j
+    else begin
+      (* emit the cross product of the two equal-key runs *)
+      let i_end = ref !i in
+      while !i_end < nx && key_cmp (fst xs.(!i_end)) ka = 0 do
+        incr i_end
+      done;
+      let j_end = ref !j in
+      while !j_end < ny && key_cmp (fst ys.(!j_end)) kb = 0 do
+        incr j_end
+      done;
+      for x = !i to !i_end - 1 do
+        for y = !j to !j_end - 1 do
+          Relation.insert out (Tuple.concat (snd xs.(x)) (snd ys.(y)))
+        done
+      done;
+      i := !i_end;
+      j := !j_end
+    end
+  done;
+  out
+
+(* Nested-loop equi-join, for completeness of the operator suite (and as
+   the reference implementation in the join-equivalence properties). *)
+let nested_loop_join ?(name = fresh_name "nl_join") ~on a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let pa = positions_of sa (List.map fst on) in
+  let pb = positions_of sb (List.map snd on) in
+  theta_join ~name
+    (fun ta tb ->
+      List.equal Value.equal (join_key pa ta) (join_key pb tb))
+    a b
+
+(* Natural join: equi-join on the shared attribute names, with the
+   duplicated columns of the right side projected away. *)
+let natural_join ?(name = fresh_name "natural_join") a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let shared = List.filter (fun n -> Schema.mem sa n) (Schema.names sb) in
+  match shared with
+  | [] -> product ~name a b
+  | _ ->
+    let pa = positions_of sa shared and pb = positions_of sb shared in
+    let keep_b =
+      List.filter (fun n -> not (Schema.mem sa n)) (Schema.names sb)
+    in
+    let keep_positions = positions_of sb keep_b in
+    let out_schema =
+      if keep_b = [] then Relation.schema a
+      else
+        Schema.concat sa (Schema.project sb keep_b)
+    in
+    let out = Relation.create ~name out_schema in
+    let table = Value_key.create (max 16 (Relation.cardinality b)) in
+    Relation.scan (fun tb -> Value_key.add_multi table (join_key pb tb) tb) b;
+    Relation.scan
+      (fun ta ->
+        List.iter
+          (fun tb ->
+            let extra = Tuple.project keep_positions tb in
+            let combined = if keep_b = [] then ta else Tuple.concat ta extra in
+            Relation.insert out combined)
+          (Value_key.find_multi table (join_key pa ta)))
+      a;
+    out
+
+let require_same_shape op a b =
+  if not (Schema.same_shape (Relation.schema a) (Relation.schema b)) then
+    Errors.schema_error "%s: incompatible schemas %a vs %a" op Schema.pp
+      (Relation.schema a) Schema.pp (Relation.schema b)
+
+let union ?(name = fresh_name "union") a b =
+  require_same_shape "union" a b;
+  let out = Relation.create ~name (Relation.schema a) in
+  Relation.scan (Relation.insert out) a;
+  Relation.scan (Relation.insert out) b;
+  out
+
+let union_all ?(name = fresh_name "union") schema rels =
+  let out = Relation.create ~name schema in
+  List.iter
+    (fun r ->
+      require_same_shape "union" out r;
+      Relation.scan (Relation.insert out) r)
+    rels;
+  out
+
+let inter ?(name = fresh_name "inter") a b =
+  require_same_shape "inter" a b;
+  select ~name (fun t -> Relation.mem_tuple b t) a
+
+let diff ?(name = fresh_name "diff") a b =
+  require_same_shape "diff" a b;
+  select ~name (fun t -> not (Relation.mem_tuple b t)) a
+
+(* Semijoin a ⋉ b on equated attributes: elements of a that join with at
+   least one element of b (Bernstein/Chiu, the paper's reference [2]). *)
+let semijoin ?(name = fresh_name "semijoin") ~on a b =
+  let pa = positions_of (Relation.schema a) (List.map fst on) in
+  let pb = positions_of (Relation.schema b) (List.map snd on) in
+  let table = Value_key.create (max 16 (Relation.cardinality b)) in
+  Relation.scan (fun tb -> Value_key.Table.replace table (join_key pb tb) ()) b;
+  select ~name (fun ta -> Value_key.Table.mem table (join_key pa ta)) a
+
+(* Antijoin a ▷ b: elements of a that join with no element of b — the
+   universal-quantifier counterpart of the semijoin (Section 5's
+   "extended to the case of universal quantifiers"). *)
+let antijoin ?(name = fresh_name "antijoin") ~on a b =
+  let pa = positions_of (Relation.schema a) (List.map fst on) in
+  let pb = positions_of (Relation.schema b) (List.map snd on) in
+  let table = Value_key.create (max 16 (Relation.cardinality b)) in
+  Relation.scan (fun tb -> Value_key.Table.replace table (join_key pb tb) ()) b;
+  select ~name (fun ta -> not (Value_key.Table.mem table (join_key pa ta))) a
+
+(* Division r ÷ s on pairs (r attribute, s attribute): quotient tuples q
+   over the remaining attributes of r such that for EVERY element of s
+   the combination (q, s-values) appears in r — the relational-algebra
+   rendering of universal quantification (paper Section 3.3, refs [5,11]).
+   Division by an empty divisor yields all quotient projections of r
+   (ALL over the empty relation holds vacuously); callers that need the
+   stricter adaptation of Lemma 1 handle emptiness beforehand. *)
+let divide ?(name = fresh_name "divide") ~on r s =
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let pr_on = positions_of sr (List.map fst on) in
+  let ps_on = positions_of ss (List.map snd on) in
+  let quotient_names =
+    List.filter
+      (fun n -> not (List.mem_assoc n on))
+      (Schema.names sr)
+  in
+  if quotient_names = [] then
+    Errors.schema_error "divide: no quotient attributes remain";
+  let pr_quot = positions_of sr quotient_names in
+  let out_schema = Schema.project sr quotient_names in
+  let divisor =
+    Relation.scan_fold
+      (fun acc t ->
+        let k = join_key ps_on t in
+        if List.exists (List.equal Value.equal k) acc then acc else k :: acc)
+      [] s
+  in
+  let needed = List.length divisor in
+  let out = Relation.create ~name out_schema in
+  if needed = 0 then begin
+    Relation.scan (fun t -> Relation.insert out (Tuple.project pr_quot t)) r;
+    out
+  end
+  else begin
+    (* Group r by quotient values, collecting the set of divisor images. *)
+    let groups : unit Value_key.table Value_key.table =
+      Value_key.create 64
+    in
+    Relation.scan
+      (fun t ->
+        let q = join_key pr_quot t and d = join_key pr_on t in
+        let images =
+          match Value_key.Table.find_opt groups q with
+          | Some set -> set
+          | None ->
+            let set = Value_key.create 8 in
+            Value_key.Table.replace groups q set;
+            set
+        in
+        Value_key.Table.replace images d ())
+      r;
+    Value_key.Table.iter
+      (fun q images ->
+        let covers =
+          List.for_all (fun d -> Value_key.Table.mem images d) divisor
+        in
+        if covers then Relation.insert out (Tuple.of_list q))
+      groups;
+    out
+  end
+
+let cardinality = Relation.cardinality

@@ -1,0 +1,80 @@
+(* A buffer pool over the paged heap files: a fixed number of frames
+   with LRU replacement, and the fetch/hit/miss/eviction statistics that
+   make the paper's 1982 cost model (pages read from disk) measurable on
+   the in-memory substrate. *)
+
+type stats = {
+  mutable fetches : int;  (* page requests *)
+  mutable misses : int;  (* requests that had to "read from disk" *)
+  mutable evictions : int;
+}
+
+type t = {
+  capacity : int;
+  resident : (int * int, int) Hashtbl.t;  (* (file, page) -> last-used tick *)
+  mutable tick : int;
+  stats : stats;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity";
+  {
+    capacity;
+    resident = Hashtbl.create (2 * capacity);
+    tick = 0;
+    stats = { fetches = 0; misses = 0; evictions = 0 };
+  }
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key tick acc ->
+        match acc with
+        | Some (_, best) when best <= tick -> acc
+        | _ -> Some (key, tick))
+      t.resident None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.resident key;
+    t.stats.evictions <- t.stats.evictions + 1
+  | None -> ()
+
+(* Record an access to [page] of [file]; returns [true] on a hit. *)
+let access t ~file ~page =
+  let key = (file, page) in
+  t.tick <- t.tick + 1;
+  t.stats.fetches <- t.stats.fetches + 1;
+  match Hashtbl.find_opt t.resident key with
+  | Some _ ->
+    Hashtbl.replace t.resident key t.tick;
+    true
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    if Hashtbl.length t.resident >= t.capacity then evict_lru t;
+    Hashtbl.replace t.resident key t.tick;
+    false
+
+(* Drop a file's pages (the file was rewritten). *)
+let invalidate_file t ~file =
+  let keys =
+    Hashtbl.fold
+      (fun (f, p) _ acc -> if f = file then (f, p) :: acc else acc)
+      t.resident []
+  in
+  List.iter (Hashtbl.remove t.resident) keys
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.fetches <- 0;
+  t.stats.misses <- 0;
+  t.stats.evictions <- 0
+
+let resident_count t = Hashtbl.length t.resident
+
+let pp_stats ppf s =
+  Fmt.pf ppf "fetches %d, misses %d (%.1f%%), evictions %d" s.fetches s.misses
+    (if s.fetches = 0 then 0.0
+     else 100.0 *. float_of_int s.misses /. float_of_int s.fetches)
+    s.evictions

@@ -1,0 +1,24 @@
+(** A buffer pool over paged heap files: fixed frame count, LRU
+    replacement, and fetch/miss/eviction statistics — the measured form
+    of the paper's 1982 cost model (pages read from disk). *)
+
+type stats = {
+  mutable fetches : int;
+  mutable misses : int;  (** the simulated disk reads *)
+  mutable evictions : int;
+}
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument on non-positive capacity. *)
+
+val access : t -> file:int -> page:int -> bool
+(** Record an access; [true] on a buffer hit. *)
+
+val invalidate_file : t -> file:int -> unit
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val resident_count : t -> int
+val pp_stats : stats Fmt.t

@@ -1,0 +1,115 @@
+(* Binary encoding of tuples for the paged storage layer.
+
+   Scalar values are encoded against the relation's schema (enumerations
+   as bare ordinals, reconstructed from the schema's enum info on
+   decode); reference values are self-described, with nested enum values
+   carrying their enumeration name and ordinal. *)
+
+let u16_max = 0xFFFF
+
+let put_u16 buf n =
+  if n < 0 || n > u16_max then Errors.type_error "codec: u16 overflow (%d)" n;
+  Buffer.add_char buf (Char.chr (n land 0xFF));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF))
+
+let put_i64 buf n =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let put_string buf s =
+  put_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+type cursor = { bytes : Bytes.t; mutable pos : int }
+
+let get_u8 c =
+  let n = Char.code (Bytes.get c.bytes c.pos) in
+  c.pos <- c.pos + 1;
+  n
+
+let get_u16 c =
+  let lo = get_u8 c in
+  let hi = get_u8 c in
+  lo lor (hi lsl 8)
+
+let get_i64 c =
+  let n = ref 0 in
+  for i = 0 to 7 do
+    n := !n lor (get_u8 c lsl (8 * i))
+  done;
+  !n
+
+let get_string c =
+  let len = get_u16 c in
+  let s = Bytes.sub_string c.bytes c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+(* Self-described value encoding (used inside references). *)
+let rec put_value buf (v : Value.t) =
+  match v with
+  | Value.VInt n ->
+    Buffer.add_char buf 'i';
+    put_i64 buf n
+  | Value.VStr s ->
+    Buffer.add_char buf 's';
+    put_string buf s
+  | Value.VBool b ->
+    Buffer.add_char buf 'b';
+    Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.VEnum (info, ord) ->
+    Buffer.add_char buf 'e';
+    put_string buf info.Value.enum_name;
+    put_u16 buf ord
+  | Value.VRef r ->
+    Buffer.add_char buf 'r';
+    put_string buf r.Value.target;
+    put_u16 buf (List.length r.Value.key);
+    List.iter (put_value buf) r.Value.key
+
+let rec get_value c : Value.t =
+  match Char.chr (get_u8 c) with
+  | 'i' -> Value.VInt (get_i64 c)
+  | 's' -> Value.VStr (get_string c)
+  | 'b' -> Value.VBool (get_u8 c <> 0)
+  | 'e' ->
+    let name = get_string c in
+    let ord = get_u16 c in
+    (* Labels are not stored; equality and ordering only need the
+       enumeration's name and the ordinal. *)
+    Value.VEnum ({ Value.enum_name = name; labels = [||] }, ord)
+  | 'r' ->
+    let target = get_string c in
+    let n = get_u16 c in
+    let key = List.init n (fun _ -> get_value c) in
+    Value.VRef { Value.target; key }
+  | tag -> Errors.type_error "codec: unknown value tag %c" tag
+
+(* Schema-directed encoding: enumerations shrink to their ordinal and
+   are reconstructed with the schema's full enum info. *)
+let put_typed buf ty (v : Value.t) =
+  match ty, v with
+  | Vtype.TEnum _, Value.VEnum (_, ord) ->
+    Buffer.add_char buf 'o';
+    put_u16 buf ord
+  | _, v -> put_value buf v
+
+let get_typed c ty : Value.t =
+  match Char.chr (Char.code (Bytes.get c.bytes c.pos)) with
+  | 'o' -> (
+    c.pos <- c.pos + 1;
+    let ord = get_u16 c in
+    match ty with
+    | Vtype.TEnum info -> Value.VEnum (info, ord)
+    | _ -> Errors.type_error "codec: ordinal for a non-enum attribute")
+  | _ -> get_value c
+
+let encode_tuple schema (t : Tuple.t) =
+  let buf = Buffer.create 32 in
+  Array.iteri (fun i v -> put_typed buf (Schema.type_at schema i) v) t;
+  Buffer.to_bytes buf
+
+let decode_tuple schema bytes : Tuple.t =
+  let c = { bytes; pos = 0 } in
+  Array.init (Schema.arity schema) (fun i -> get_typed c (Schema.type_at schema i))

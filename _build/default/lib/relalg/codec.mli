@@ -1,0 +1,15 @@
+(** Binary tuple encoding for the paged storage layer.  Schema-directed:
+    enumerations are stored as ordinals and reconstructed from the
+    schema; reference values are self-described. *)
+
+val encode_tuple : Schema.t -> Tuple.t -> Bytes.t
+val decode_tuple : Schema.t -> Bytes.t -> Tuple.t
+
+val put_value : Buffer.t -> Value.t -> unit
+(** Self-described single-value encoding (as used inside references). *)
+
+type cursor = { bytes : Bytes.t; mutable pos : int }
+
+val get_value : cursor -> Value.t
+(** Decoded enum values carry only their enumeration name and ordinal
+    (empty label table) — sufficient for equality and ordering. *)

@@ -1,0 +1,135 @@
+(* CSV import/export for relations: a pragmatic extension so the sample
+   databases can be inspected and external data loaded.  The first line
+   is a header of attribute names; values are parsed against the
+   schema's domains (enumerations by label).  Reference values are not
+   representable in CSV. *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let field_of_value = function
+  | Value.VInt n -> string_of_int n
+  | Value.VBool b -> string_of_bool b
+  | Value.VStr s -> if needs_quoting s then quote s else s
+  | Value.VEnum (info, i) ->
+    if i >= 0 && i < Array.length info.Value.labels then info.Value.labels.(i)
+    else Errors.type_error "csv: enum ordinal out of range"
+  | Value.VRef _ -> Errors.type_error "csv: reference values are not representable"
+
+let to_string rel =
+  let schema = Relation.schema rel in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (Schema.names schema));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map field_of_value (Tuple.to_list t)));
+      Buffer.add_char buf '\n')
+    (Relation.to_list rel);
+  Buffer.contents buf
+
+(* Split one CSV line into fields, honouring quotes. *)
+let split_line line =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length line in
+  let rec plain i =
+    if i >= n then finish ()
+    else
+      match line.[i] with
+      | ',' ->
+        push ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then Errors.type_error "csv: unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  and push () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  and finish () =
+    push ();
+    List.rev !fields
+  in
+  plain 0
+
+let value_of_field ty field =
+  match ty with
+  | Vtype.TInt _ -> (
+    match int_of_string_opt (String.trim field) with
+    | Some n -> Value.VInt n
+    | None -> Errors.type_error "csv: %s is not an integer" field)
+  | Vtype.TBool -> (
+    match String.lowercase_ascii (String.trim field) with
+    | "true" -> Value.VBool true
+    | "false" -> Value.VBool false
+    | _ -> Errors.type_error "csv: %s is not a boolean" field)
+  | Vtype.TStr _ -> Value.VStr field
+  | Vtype.TEnum info -> Value.enum info (String.trim field)
+  | Vtype.TRef _ ->
+    Errors.type_error "csv: reference values are not representable"
+
+let of_string ?name schema src =
+  let lines =
+    String.split_on_char '\n' src
+    |> List.map (fun l ->
+           if String.length l > 0 && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Errors.type_error "csv: empty input"
+  | header :: rows ->
+    let names = List.map String.trim (split_line header) in
+    if names <> Schema.names schema then
+      Errors.type_error "csv: header %s does not match the schema"
+        (String.concat "," names);
+    let rel = Relation.create ?name schema in
+    List.iter
+      (fun row ->
+        let fields = split_line row in
+        if List.length fields <> Schema.arity schema then
+          Errors.type_error "csv: row with %d fields, expected %d"
+            (List.length fields) (Schema.arity schema);
+        let values =
+          List.mapi (fun i f -> value_of_field (Schema.type_at schema i) f) fields
+        in
+        Relation.insert rel (Tuple.of_list values))
+      rows;
+    rel
+
+let save_file rel path =
+  let oc = open_out path in
+  output_string oc (to_string rel);
+  close_out oc
+
+let load_file ?name schema path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  of_string ?name schema src

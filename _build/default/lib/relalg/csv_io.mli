@@ -1,0 +1,11 @@
+(** CSV import/export for relations (header line of attribute names;
+    values parsed against the schema; enumerations by label).
+    Reference values are not representable. *)
+
+val to_string : Relation.t -> string
+
+val of_string : ?name:string -> Schema.t -> string -> Relation.t
+(** @raise Errors.Type_error on malformed input or header mismatch. *)
+
+val save_file : Relation.t -> string -> unit
+val load_file : ?name:string -> Schema.t -> string -> Relation.t

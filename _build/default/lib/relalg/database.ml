@@ -1,0 +1,113 @@
+(* A database is a catalog of named relations plus the registry of the
+   enumeration types their schemas mention (Figure 1's TYPE section). *)
+
+type t = {
+  rels : (string, Relation.t) Hashtbl.t;
+  enums : (string, Value.enum_info) Hashtbl.t;
+  perm_indexes : (string * string, Index.t) Hashtbl.t;
+      (* permanent indexes, keyed by (relation, component) — paper
+         Section 3.2: "The first step can be omitted, if permanent
+         indexes exist", maintained as in Example 3.1 *)
+}
+
+let create () =
+  {
+    rels = Hashtbl.create 16;
+    enums = Hashtbl.create 16;
+    perm_indexes = Hashtbl.create 8;
+  }
+
+let add_relation db r =
+  let n = Relation.name r in
+  if String.equal n "" then
+    Errors.schema_error "cannot catalog an anonymous relation"
+  else if Hashtbl.mem db.rels n then
+    Errors.schema_error "relation %s already declared" n
+  else Hashtbl.replace db.rels n r
+
+let declare_relation db ~name schema =
+  let r = Relation.create ~name schema in
+  add_relation db r;
+  r
+
+let find_relation db name =
+  match Hashtbl.find_opt db.rels name with
+  | Some r -> r
+  | None -> raise (Errors.Unknown_relation name)
+
+let find_relation_opt db name = Hashtbl.find_opt db.rels name
+let mem_relation db name = Hashtbl.mem db.rels name
+
+let relation_names db =
+  List.sort String.compare (Hashtbl.fold (fun n _ acc -> n :: acc) db.rels [])
+
+let relations db = List.map (find_relation db) (relation_names db)
+
+let declare_enum db name labels =
+  if Hashtbl.mem db.enums name then
+    Errors.schema_error "enumeration %s already declared" name
+  else begin
+    let info = { Value.enum_name = name; labels } in
+    Hashtbl.replace db.enums name info;
+    info
+  end
+
+let find_enum db name =
+  match Hashtbl.find_opt db.enums name with
+  | Some info -> info
+  | None -> Errors.schema_error "unknown enumeration %s" name
+
+let find_enum_opt db name = Hashtbl.find_opt db.enums name
+
+let enums db =
+  Hashtbl.fold (fun _ info acc -> info :: acc) db.enums []
+  |> List.sort (fun a b ->
+         String.compare a.Value.enum_name b.Value.enum_name)
+
+(* Permanent indexes (Example 3.1's enrindex).  Registration builds the
+   index with one counted scan; after updates to the base relation the
+   index must be refreshed, as the paper's example maintains its index
+   by hand alongside each insertion. *)
+let register_index db rel_name ~on =
+  let rel = find_relation db rel_name in
+  let idx = Index.build rel ~on:[ on ] in
+  Hashtbl.replace db.perm_indexes (rel_name, on) idx;
+  idx
+
+let permanent_index db rel_name ~on =
+  Hashtbl.find_opt db.perm_indexes (rel_name, on)
+
+let refresh_indexes db =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) db.perm_indexes [] in
+  List.iter (fun (rel, on) -> ignore (register_index db rel ~on)) keys
+
+let permanent_index_list db =
+  List.sort compare
+    (Hashtbl.fold (fun (r, a) _ acc -> (r, a) :: acc) db.perm_indexes [])
+
+(* Dereference: regain the selected variable from a reference value
+   (paper Section 3.1, the postfix @ operator). *)
+let deref db (r : Value.reference) =
+  Relation.find_key_exn (find_relation db r.Value.target) r.Value.key
+
+let deref_value db = function
+  | Value.VRef r -> deref db r
+  | v -> Errors.type_error "cannot dereference non-reference %s" (Value.to_string v)
+
+(* Attach paged storage to every catalogued relation, sharing one
+   buffer pool; returns the pool for statistics. *)
+let attach_storage db ~pool_pages =
+  let pool = Buffer_pool.create ~capacity:pool_pages in
+  Hashtbl.iter (fun _ r -> Relation.attach_storage r ~pool) db.rels;
+  pool
+
+let reset_counters db =
+  Hashtbl.iter (fun _ r -> Relation.reset_counters r) db.rels
+
+let total_scans db =
+  Hashtbl.fold (fun _ r acc -> acc + Relation.scan_count r) db.rels 0
+
+let pp ppf db =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut Relation.pp)
+    (relations db)

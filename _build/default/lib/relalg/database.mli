@@ -1,0 +1,48 @@
+(** Databases: catalogs of named relations and enumeration types, with
+    reference dereferencing (the postfix [@] of paper Section 3.1). *)
+
+type t
+
+val create : unit -> t
+
+val add_relation : t -> Relation.t -> unit
+(** @raise Errors.Schema_error on anonymous or duplicate names. *)
+
+val declare_relation : t -> name:string -> Schema.t -> Relation.t
+
+val find_relation : t -> string -> Relation.t
+(** @raise Errors.Unknown_relation *)
+
+val find_relation_opt : t -> string -> Relation.t option
+val mem_relation : t -> string -> bool
+val relation_names : t -> string list
+val relations : t -> Relation.t list
+
+val declare_enum : t -> string -> string array -> Value.enum_info
+val find_enum : t -> string -> Value.enum_info
+val find_enum_opt : t -> string -> Value.enum_info option
+val enums : t -> Value.enum_info list
+
+val register_index : t -> string -> on:string -> Index.t
+(** Build and register a permanent index on one component (Example 3.1's
+    [enrindex]); costs one counted scan.  Must be {!refresh_indexes}'d
+    after updates to the base relation. *)
+
+val permanent_index : t -> string -> on:string -> Index.t option
+val refresh_indexes : t -> unit
+val permanent_index_list : t -> (string * string) list
+
+val deref : t -> Value.reference -> Tuple.t
+(** Regain the selected variable from a reference.
+    @raise Errors.Dangling_reference if the element is gone. *)
+
+val deref_value : t -> Value.t -> Tuple.t
+
+val attach_storage : t -> pool_pages:int -> Buffer_pool.t
+(** Attach paged storage to every relation, sharing one buffer pool of
+    the given capacity (in pages); returns the pool for statistics. *)
+
+val reset_counters : t -> unit
+val total_scans : t -> int
+
+val pp : t Fmt.t

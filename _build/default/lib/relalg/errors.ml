@@ -1,0 +1,30 @@
+(* Common error conditions of the relational substrate.
+
+   All substrate modules raise these exceptions rather than ad-hoc
+   [Failure]s so that callers (engine, language front end, tests) can
+   discriminate failure modes. *)
+
+exception Type_error of string
+(** Two values of incompatible domains were combined, or a value does not
+    belong to the domain it was declared with. *)
+
+exception Schema_error of string
+(** A schema was constructed or used inconsistently (duplicate attribute
+    names, key attribute not present, arity mismatch, ...). *)
+
+exception Duplicate_key of string
+(** Insertion of an element whose key already identifies a different
+    element of the relation (PASCAL/R key constraint violation). *)
+
+exception Unknown_relation of string
+(** A database lookup or reference dereference named a relation that is
+    not in the catalog. *)
+
+exception Unknown_attribute of string
+(** An attribute name was not found in a schema. *)
+
+exception Dangling_reference of string
+(** Dereferencing a reference whose target element has been deleted. *)
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+let schema_error fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt

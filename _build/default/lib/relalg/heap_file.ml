@@ -1,0 +1,80 @@
+(* Paged heap files: relations stored as length-prefixed records packed
+   into fixed-size pages.  The page array stands in for the disk; every
+   page access during iteration goes through a {!Buffer_pool}, whose
+   miss count is the simulated I/O. *)
+
+let page_size = 1024
+let header_size = 2 (* u16: used bytes in this page *)
+
+type t = {
+  file_id : int;
+  mutable pages : Bytes.t list;  (* newest first *)
+  mutable npages : int;
+  mutable record_count : int;
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { file_id = !next_id; pages = []; npages = 0; record_count = 0 }
+
+let file_id t = t.file_id
+let page_count t = t.npages
+let record_count t = t.record_count
+
+let page_used page = Char.code (Bytes.get page 0) lor (Char.code (Bytes.get page 1) lsl 8)
+
+let set_page_used page n =
+  Bytes.set page 0 (Char.chr (n land 0xFF));
+  Bytes.set page 1 (Char.chr ((n lsr 8) land 0xFF))
+
+let fresh_page () =
+  let page = Bytes.create page_size in
+  set_page_used page header_size;
+  page
+
+(* Append one encoded record; starts a new page when it does not fit. *)
+let append t (record : Bytes.t) =
+  let len = Bytes.length record in
+  if len + 2 > page_size - header_size then
+    Errors.type_error "Heap_file.append: record of %d bytes exceeds the page size"
+      len;
+  let page =
+    match t.pages with
+    | page :: _ when page_used page + 2 + len <= page_size -> page
+    | _ ->
+      let page = fresh_page () in
+      t.pages <- page :: t.pages;
+      t.npages <- t.npages + 1;
+      page
+  in
+  let used = page_used page in
+  Bytes.set page used (Char.chr (len land 0xFF));
+  Bytes.set page (used + 1) (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.blit record 0 page (used + 2) len;
+  set_page_used page (used + 2 + len);
+  t.record_count <- t.record_count + 1
+
+let clear t =
+  t.pages <- [];
+  t.npages <- 0;
+  t.record_count <- 0
+
+(* Iterate all records, accessing each page through the pool. *)
+let iter ~pool t f =
+  let pages = Array.of_list (List.rev t.pages) in
+  Array.iteri
+    (fun pageno page ->
+      ignore (Buffer_pool.access pool ~file:t.file_id ~page:pageno);
+      let used = page_used page in
+      let pos = ref header_size in
+      while !pos < used do
+        let len =
+          Char.code (Bytes.get page !pos)
+          lor (Char.code (Bytes.get page (!pos + 1)) lsl 8)
+        in
+        f (Bytes.sub page (!pos + 2) len);
+        pos := !pos + 2 + len
+      done)
+    pages

@@ -1,0 +1,19 @@
+(** Paged heap files: length-prefixed records packed into fixed-size
+    pages; iteration goes through a {!Buffer_pool}. *)
+
+val page_size : int
+
+type t
+
+val create : unit -> t
+val file_id : t -> int
+val page_count : t -> int
+val record_count : t -> int
+
+val append : t -> Bytes.t -> unit
+(** @raise Errors.Type_error if the record exceeds the page size. *)
+
+val clear : t -> unit
+
+val iter : pool:Buffer_pool.t -> t -> (Bytes.t -> unit) -> unit
+(** Iterate all records; each page access is charged to [pool]. *)

@@ -1,0 +1,35 @@
+(* References to selected variables: @rel[keyval] (paper Section 3.1).
+
+   A reference value stores the target relation's name and the key values
+   of the referenced element; {!Database.deref} regains the selected
+   variable.  [of_tuple] is the short-hand @r for @rel[r.key] used
+   throughout the paper's examples. *)
+
+let make ~target ~key = { Value.target; key }
+
+let of_tuple rel t =
+  let name = Relation.name rel in
+  if String.equal name "" then
+    Errors.schema_error "cannot reference an element of an anonymous relation"
+  else { Value.target = name; key = Tuple.key_of (Relation.schema rel) t }
+
+let to_value r = Value.VRef r
+
+(* @r as a value, directly. *)
+let value_of_tuple rel t = Value.VRef (of_tuple rel t)
+
+let of_value = function
+  | Value.VRef r -> r
+  | v ->
+    Errors.type_error "expected a reference, got %s" (Value.to_string v)
+
+let target (r : Value.reference) = r.Value.target
+let key (r : Value.reference) = r.Value.key
+
+let equal (a : Value.reference) (b : Value.reference) =
+  Value.equal (Value.VRef a) (Value.VRef b)
+
+let compare (a : Value.reference) (b : Value.reference) =
+  Value.compare (Value.VRef a) (Value.VRef b)
+
+let pp ppf r = Value.pp ppf (Value.VRef r)

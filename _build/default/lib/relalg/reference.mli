@@ -1,0 +1,20 @@
+(** References to selected variables, [@rel[keyval]] (paper Section 3.1). *)
+
+val make : target:string -> key:Value.t list -> Value.reference
+
+val of_tuple : Relation.t -> Tuple.t -> Value.reference
+(** The paper's short-hand [@r] for [@rel[r.key]].
+    @raise Errors.Schema_error on anonymous relations. *)
+
+val value_of_tuple : Relation.t -> Tuple.t -> Value.t
+
+val to_value : Value.reference -> Value.t
+
+val of_value : Value.t -> Value.reference
+(** @raise Errors.Type_error if the value is not a reference. *)
+
+val target : Value.reference -> string
+val key : Value.reference -> Value.t list
+val equal : Value.reference -> Value.reference -> bool
+val compare : Value.reference -> Value.reference -> int
+val pp : Value.reference Fmt.t

@@ -1,0 +1,72 @@
+(** Keyed mutable relations (the PASCAL/R [RELATION] type).
+
+    Elements are tuples; the schema's key functionally determines the
+    element.  [rel[keyval]] selected-variable access is {!find_key};
+    the instrumented {!scan} models the one-element-at-a-time reads of
+    the paper's FOR EACH loops and feeds the strategy-1 scan-count
+    experiments. *)
+
+type t
+
+val create : ?name:string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+val is_empty : t -> bool
+
+val insert : t -> Tuple.t -> unit
+(** PASCAL/R [:+].  Idempotent on identical elements.
+    @raise Errors.Duplicate_key if the key is bound to a different element.
+    @raise Errors.Type_error if the tuple does not fit the schema. *)
+
+val insert_list : t -> Tuple.t list -> unit
+val delete_key : t -> Value.t list -> unit
+val clear : t -> unit
+
+val find_key : t -> Value.t list -> Tuple.t option
+(** Selected variable [rel[keyval]]. *)
+
+val find_key_exn : t -> Value.t list -> Tuple.t
+(** @raise Errors.Dangling_reference if absent. *)
+
+val mem_key : t -> Value.t list -> bool
+val mem_tuple : t -> Tuple.t -> bool
+
+val iter : (Tuple.t -> unit) -> t -> unit
+(** Administrative iteration; not counted as a scan. *)
+
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+
+val scan : (Tuple.t -> unit) -> t -> unit
+(** Instrumented full scan (counts towards {!scan_count}). *)
+
+val scan_fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+val attach_storage : t -> pool:Buffer_pool.t -> unit
+(** Attach paged storage: contents are written to a fresh heap file and
+    every subsequent {!scan} decodes the pages through [pool], whose
+    miss count is the simulated disk I/O of the 1982 cost model.
+    Insertions append; deletions mark the file for rebuild. *)
+
+val detach_storage : t -> unit
+
+val backing_pages : t -> int option
+(** Number of heap-file pages, when paged storage is attached. *)
+
+val scan_count : t -> int
+val probe_count : t -> int
+val reset_counters : t -> unit
+
+val to_list : t -> Tuple.t list
+(** Sorted, for deterministic output. *)
+
+val of_list : ?name:string -> Schema.t -> Tuple.t list -> t
+val copy : ?name:string -> t -> t
+
+val equal_set : t -> t -> bool
+(** Set equality of the element sets. *)
+
+val subset : t -> t -> bool
+val pp : t Fmt.t

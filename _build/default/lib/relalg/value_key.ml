@@ -1,0 +1,22 @@
+(* Hash tables keyed by value lists — shared by relations, indexes and
+   the hash-join implementation. *)
+
+module Table = Hashtbl.Make (struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end)
+
+type 'a table = 'a Table.t
+
+let create n : 'a table = Table.create n
+
+(* Multimap helper: cons onto the bucket for [k]. *)
+let add_multi (tbl : 'a list table) k v =
+  match Table.find_opt tbl k with
+  | None -> Table.replace tbl k [ v ]
+  | Some vs -> Table.replace tbl k (v :: vs)
+
+let find_multi (tbl : 'a list table) k =
+  Option.value (Table.find_opt tbl k) ~default:[]

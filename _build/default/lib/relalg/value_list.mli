@@ -1,0 +1,52 @@
+(** Value lists for collection-phase quantifier evaluation (paper
+    Section 4.4, strategy 4), with the paper's reduced storage policies:
+    min/max only for the order comparisons, and at-most-one value for
+    [ALL =] / [SOME <>]. *)
+
+type storage =
+  | Full          (** all distinct values *)
+  | Bounds        (** only min/max — for [< <= > >=] *)
+  | At_most_one   (** first value + saw-two-distinct flag — for [ALL =] / [SOME <>] *)
+
+type quantifier = Q_some | Q_all
+
+type t
+
+val create : ?storage:storage -> unit -> t
+val storage : t -> storage
+
+val add : t -> Value.t -> unit
+
+val of_column :
+  ?storage:storage ->
+  ?filter:(Tuple.t -> bool) ->
+  Relation.t ->
+  string ->
+  t
+(** Build from one component of a relation by a counted scan. *)
+
+val is_empty : t -> bool
+
+val mem : t -> Value.t -> bool
+(** Full storage only. @raise Errors.Type_error otherwise. *)
+
+val distinct_count : t -> int option
+val stored_size : t -> int
+(** Component values physically retained (the paper's storage claim). *)
+
+val min_value : t -> Value.t option
+val max_value : t -> Value.t option
+
+val to_sorted_list : t -> Value.t list
+(** Full storage only. @raise Errors.Type_error otherwise. *)
+
+val exists_value : (Value.t -> bool) -> t -> bool
+val for_all_values : (Value.t -> bool) -> t -> bool
+
+val quant_holds : quant:quantifier -> Value.comparison -> Value.t -> t -> bool
+(** [quant_holds ~quant op v t] decides [(quant w IN t) (v op w)].
+    SOME over empty is false; ALL over empty is true.  Reduced storage
+    policies decide exactly the paper's operator/quantifier cases and
+    raise {!Errors.Type_error} outside them. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/workload/random_query.ml: Database List Pascalr Printf Prng Relalg University Value

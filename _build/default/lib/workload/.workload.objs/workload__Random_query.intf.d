@@ -1,0 +1,1 @@
+lib/workload/random_query.mli: Database Pascalr Relalg

@@ -1,0 +1,1 @@
+lib/workload/suppliers.ml: Database Pascalr Prng Relalg Relation Schema Tuple Value Vtype

@@ -1,0 +1,1 @@
+lib/workload/suppliers.mli: Database Pascalr Relalg Value

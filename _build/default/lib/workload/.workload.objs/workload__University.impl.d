@@ -1,0 +1,1 @@
+lib/workload/university.ml: Database Printf Prng Relalg Relation Schema Tuple Value Vtype

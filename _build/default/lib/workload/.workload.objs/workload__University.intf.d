@@ -1,0 +1,1 @@
+lib/workload/university.mli: Database Relalg Schema Value

@@ -1,0 +1,57 @@
+(* Deterministic splitmix64 PRNG.  All workload generation is seeded so
+   tests and benchmarks are reproducible run-to-run; the global [Random]
+   state is deliberately not used. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound"
+  else
+    (* Keep 62 bits so the conversion to OCaml's 63-bit int stays
+       non-negative. *)
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    r mod bound
+
+(* Uniform int in [lo, hi] inclusive. *)
+let in_range t lo hi =
+  if lo > hi then invalid_arg "Prng.in_range: empty range"
+  else lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 0
+
+(* Bernoulli with probability [p]. *)
+let flip t p = int t 1_000_000 < int_of_float (p *. 1_000_000.)
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick_array: empty array"
+  else a.(int t (Array.length a))
+
+(* Random lowercase string of the given length. *)
+let word t len =
+  String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

@@ -1,0 +1,25 @@
+(** Deterministic splitmix64 PRNG; all workload generation is seeded so
+    tests and benchmarks are reproducible. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)].
+    @raise Invalid_argument on non-positive bounds. *)
+
+val in_range : t -> int -> int -> int
+(** Uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+val flip : t -> float -> bool
+(** Bernoulli with the given probability. *)
+
+val pick : t -> 'a list -> 'a
+val pick_array : t -> 'a array -> 'a
+val word : t -> int -> string
+(** Random lowercase string of the given length. *)
+
+val shuffle : t -> 'a list -> 'a list

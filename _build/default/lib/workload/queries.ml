@@ -1,0 +1,173 @@
+(* The paper's queries over the Figure-1 database, as calculus values.
+
+   [running_query] is Example 2.1: professors who did not publish in 1977
+   or who currently offer courses at sophomore level or lower.
+   [example_4_5] and [example_4_7] are its hand-transformed forms from
+   the paper (extended ranges; extended ranges + swapped quantifiers) —
+   used to cross-check that our automatic strategies produce equivalent
+   results. *)
+
+open Relalg
+open Pascalr.Calculus
+
+let professor db = Value.enum (Database.find_enum db "statustype") "professor"
+let sophomore db = Value.enum (Database.find_enum db "leveltype") "sophomore"
+
+(* Example 2.1, verbatim. *)
+let running_query db =
+  let prof = professor db and soph = sophomore db in
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "ename") ];
+    body =
+      f_and
+        (eq (attr "e" "estatus") (const prof))
+        (f_or
+           (f_all "p" (base "papers")
+              (f_or
+                 (ne (attr "p" "pyear") (cint 1977))
+                 (ne (attr "e" "enr") (attr "p" "penr"))))
+           (f_some "c" (base "courses")
+              (f_and
+                 (le (attr "c" "clevel") (const soph))
+                 (f_some "t" (base "timetable")
+                    (f_and
+                       (eq (attr "c" "cnr") (attr "t" "tcnr"))
+                       (eq (attr "e" "enr") (attr "t" "tenr")))))));
+  }
+
+(* Example 4.5: the running query after extension of range expressions
+   (strategy 3), as printed in the paper.  Valid when all range
+   relations are non-empty. *)
+let example_4_5 db =
+  let prof = professor db and soph = sophomore db in
+  let e_range =
+    restricted "employees" "e" (eq (attr "e" "estatus") (const prof))
+  in
+  let p_range = restricted "papers" "p" (eq (attr "p" "pyear") (cint 1977)) in
+  let c_range =
+    restricted "courses" "c" (le (attr "c" "clevel") (const soph))
+  in
+  {
+    free = [ ("e", e_range) ];
+    select = [ ("e", "ename") ];
+    body =
+      f_all "p" p_range
+        (f_some "c" c_range
+           (f_some "t" (base "timetable")
+              (f_or
+                 (ne (attr "p" "penr") (attr "e" "enr"))
+                 (f_and
+                    (eq (attr "t" "tenr") (attr "e" "enr"))
+                    (eq (attr "t" "tcnr") (attr "c" "cnr"))))));
+  }
+
+(* Example 4.7: extended ranges with the quantifier sequence of t and c
+   swapped, ready for collection-phase quantifier evaluation. *)
+let example_4_7 db =
+  let prof = professor db and soph = sophomore db in
+  let e_range =
+    restricted "employees" "e" (eq (attr "e" "estatus") (const prof))
+  in
+  let p_range = restricted "papers" "p" (eq (attr "p" "pyear") (cint 1977)) in
+  let c_range =
+    restricted "courses" "c" (le (attr "c" "clevel") (const soph))
+  in
+  {
+    free = [ ("e", e_range) ];
+    select = [ ("e", "ename") ];
+    body =
+      f_all "p" p_range
+        (f_or
+           (ne (attr "p" "penr") (attr "e" "enr"))
+           (f_some "t" (base "timetable")
+              (f_and
+                 (eq (attr "t" "tenr") (attr "e" "enr"))
+                 (f_some "c" c_range (eq (attr "c" "cnr") (attr "t" "tcnr"))))));
+  }
+
+(* The Example 3.2 subexpression in isolation: low-level courses that
+   appear in the timetable. *)
+let example_3_2 db =
+  let soph = sophomore db in
+  {
+    free = [ ("c", base "courses") ];
+    select = [ ("c", "cnr") ];
+    body =
+      f_and
+        (le (attr "c" "clevel") (const soph))
+        (f_some "t" (base "timetable") (eq (attr "c" "cnr") (attr "t" "tcnr")));
+  }
+
+(* Purely existential variant of the running query (its second branch):
+   professors who currently offer low-level courses.  Exercises the
+   SOME-only machinery (splitting is always permitted, Section 2). *)
+let existential_query db =
+  let prof = professor db and soph = sophomore db in
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "ename") ];
+    body =
+      f_and
+        (eq (attr "e" "estatus") (const prof))
+        (f_some "c" (base "courses")
+           (f_and
+              (le (attr "c" "clevel") (const soph))
+              (f_some "t" (base "timetable")
+                 (f_and
+                    (eq (attr "c" "cnr") (attr "t" "tcnr"))
+                    (eq (attr "e" "enr") (attr "t" "tenr"))))));
+  }
+
+(* Universal-only query: employees all of whose timetable entries are
+   low-level courses... expressed as: employees e such that ALL t
+   (t.tenr <> e.enr OR SOME c low-level with c.cnr = t.tcnr).
+   Exercises ALL with a dyadic disjunct. *)
+let universal_query db =
+  let soph = sophomore db in
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "enr") ];
+    body =
+      f_all "t" (base "timetable")
+        (f_or
+           (ne (attr "t" "tenr") (attr "e" "enr"))
+           (f_some "c" (base "courses")
+              (f_and
+                 (eq (attr "c" "cnr") (attr "t" "tcnr"))
+                 (le (attr "c" "clevel") (const soph)))));
+  }
+
+(* Inequality-join queries for the min/max special case of Section 4.4
+   ("if the relational operator of the join term is < or <=, only one
+   component value of vnrel must be stored"): a single dyadic order
+   comparison between employees and paper author numbers. *)
+let minmax_some_query _db =
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "enr") ];
+    body = f_some "p" (base "papers") (le (attr "e" "enr") (attr "p" "penr"));
+  }
+
+let minmax_all_query _db =
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "enr") ];
+    body = f_all "p" (base "papers") (lt (attr "e" "enr") (attr "p" "penr"));
+  }
+
+(* ALL-with-= and SOME-with-<> queries for the at-most-one-value special
+   case of Section 4.4. *)
+let all_eq_query _db =
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "enr") ];
+    body = f_all "p" (base "papers") (eq (attr "e" "enr") (attr "p" "penr"));
+  }
+
+let some_ne_query _db =
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "enr") ];
+    body = f_some "p" (base "papers") (ne (attr "e" "enr") (attr "p" "penr"));
+  }

@@ -1,0 +1,37 @@
+(** The paper's queries over the Figure-1 database: Example 2.1 (the
+    running query), its hand-transformed forms 4.5 and 4.7, and focused
+    queries for each special case of Section 4.4. *)
+
+open Relalg
+open Pascalr.Calculus
+
+val professor : Database.t -> Value.t
+val sophomore : Database.t -> Value.t
+
+val running_query : Database.t -> query
+(** Example 2.1, verbatim. *)
+
+val example_4_5 : Database.t -> query
+(** The running query with extended range expressions (strategy 3). *)
+
+val example_4_7 : Database.t -> query
+(** Extended ranges with the t/c quantifiers swapped, ready for
+    collection-phase quantifier evaluation (strategy 4). *)
+
+val example_3_2 : Database.t -> query
+(** The Example 3.2 subexpression: low-level courses in the timetable. *)
+
+val existential_query : Database.t -> query
+val universal_query : Database.t -> query
+
+val minmax_some_query : Database.t -> query
+(** SOME with [<=]: only the maximum of the value list is needed. *)
+
+val minmax_all_query : Database.t -> query
+(** ALL with [<]: only the minimum of the value list is needed. *)
+
+val all_eq_query : Database.t -> query
+(** ALL with [=]: at most one value is stored. *)
+
+val some_ne_query : Database.t -> query
+(** SOME with [<>]: at most one value is stored. *)

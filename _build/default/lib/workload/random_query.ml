@@ -1,0 +1,153 @@
+(* Random well-typed queries over the Figure-1 university schema, for
+   property-based testing: every strategy pipeline must agree with the
+   naive evaluator on any generated query and database.
+
+   Queries exercise all six comparison operators, monadic and dyadic
+   join terms, NOT/AND/OR, SOME/ALL quantifiers (nested up to a depth
+   budget), user-written extended ranges, and constants chosen so that
+   empty (sub)ranges occur with realistic probability. *)
+
+open Relalg
+open Pascalr.Calculus
+
+type attr_kind = K_enr | K_cnr | K_year | K_status | K_level | K_day | K_name
+
+(* Attributes of each relation with their comparability kind.  Strings
+   are deliberately included (names/titles compare lexicographically). *)
+let rel_attrs = function
+  | "employees" -> [ ("enr", K_enr); ("estatus", K_status); ("ename", K_name) ]
+  | "papers" -> [ ("penr", K_enr); ("pyear", K_year); ("ptitle", K_name) ]
+  | "courses" -> [ ("cnr", K_cnr); ("clevel", K_level); ("ctitle", K_name) ]
+  | "timetable" -> [ ("tenr", K_enr); ("tcnr", K_cnr); ("tday", K_day) ]
+  | r -> invalid_arg ("Random_query: unknown relation " ^ r)
+
+let relations = [ "employees"; "papers"; "courses"; "timetable" ]
+
+type ctx = { db : Database.t; rng : Prng.t; mutable fresh : int }
+
+let fresh_var ctx prefixes =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" prefixes ctx.fresh
+
+let random_const ctx kind =
+  let rng = ctx.rng in
+  match kind with
+  | K_enr -> Value.int (Prng.in_range rng 1 14)
+  | K_cnr -> Value.int (Prng.in_range rng 1 9)
+  | K_year -> Value.int (Prng.in_range rng 1974 1981)
+  | K_status ->
+    Value.enum_ordinal (Database.find_enum ctx.db "statustype") (Prng.int rng 4)
+  | K_level ->
+    Value.enum_ordinal (Database.find_enum ctx.db "leveltype") (Prng.int rng 4)
+  | K_day ->
+    Value.enum_ordinal (Database.find_enum ctx.db "daytype") (Prng.int rng 5)
+  | K_name ->
+    (* Lexicographic comparisons against a plausible word. *)
+    Value.str (Prng.word rng 3)
+
+let random_op rng = Prng.pick rng Value.all_comparisons
+
+(* In-scope variables: (name, relation). *)
+let random_atom ctx scope =
+  let rng = ctx.rng in
+  let v, rel = Prng.pick rng scope in
+  let a, kind = Prng.pick rng (rel_attrs rel) in
+  let lhs = attr v a in
+  (* Choose a right operand of the same kind: a constant, or another
+     in-scope variable's attribute of the same kind (possibly the same
+     variable — a monadic self term). *)
+  let candidates =
+    List.concat_map
+      (fun (v', rel') ->
+        List.filter_map
+          (fun (a', kind') -> if kind' = kind then Some (attr v' a') else None)
+          (rel_attrs rel'))
+      scope
+  in
+  let rhs =
+    if Prng.flip rng 0.5 || candidates = [] then const (random_const ctx kind)
+    else Prng.pick rng candidates
+  in
+  { lhs; op = random_op rng; rhs }
+
+(* A random monadic restriction over a single variable of [rel] — used
+   both for user-written extended ranges and kept simple (conjunction of
+   1-2 atoms). *)
+let random_restriction ctx rel v =
+  let atoms =
+    List.init
+      (1 + Prng.int ctx.rng 2)
+      (fun _ -> F_atom (random_atom ctx [ (v, rel) ]))
+  in
+  conj atoms
+
+let random_range ctx =
+  let rel = Prng.pick ctx.rng relations in
+  if Prng.flip ctx.rng 0.25 then
+    let v = fresh_var ctx "r" in
+    (rel, restricted rel v (random_restriction ctx rel v))
+  else (rel, base rel)
+
+(* Random formula over [scope] with a quantifier budget. *)
+let rec random_formula ctx scope ~depth ~quants =
+  let rng = ctx.rng in
+  let leaf () = F_atom (random_atom ctx scope) in
+  if depth <= 0 then leaf ()
+  else
+    match Prng.int rng (if !quants > 0 then 6 else 4) with
+    | 0 -> leaf ()
+    | 1 ->
+      F_and
+        ( random_formula ctx scope ~depth:(depth - 1) ~quants,
+          random_formula ctx scope ~depth:(depth - 1) ~quants )
+    | 2 ->
+      F_or
+        ( random_formula ctx scope ~depth:(depth - 1) ~quants,
+          random_formula ctx scope ~depth:(depth - 1) ~quants )
+    | 3 -> F_not (random_formula ctx scope ~depth:(depth - 1) ~quants)
+    | _ ->
+      decr quants;
+      let rel, range = random_range ctx in
+      let v = fresh_var ctx "q" in
+      let body =
+        random_formula ctx ((v, rel) :: scope) ~depth:(depth - 1) ~quants
+      in
+      if Prng.bool rng then F_some (v, range, body) else F_all (v, range, body)
+
+(* A complete random query: one or two free variables, a depth-3 body
+   with at most two quantifiers. *)
+let generate db seed =
+  let ctx = { db; rng = Prng.create seed; fresh = 0 } in
+  let n_free = 1 + Prng.int ctx.rng 2 in
+  let free =
+    List.init n_free (fun _ ->
+        let rel, range = random_range ctx in
+        let v = fresh_var ctx "f" in
+        (v, rel, range))
+  in
+  let scope = List.map (fun (v, rel, _) -> (v, rel)) free in
+  let quants = ref 2 in
+  let body = random_formula ctx scope ~depth:3 ~quants in
+  let select =
+    List.map
+      (fun (v, rel, _) ->
+        let a, _ = Prng.pick ctx.rng (rel_attrs rel) in
+        (v, a))
+      free
+  in
+  { free = List.map (fun (v, _, range) -> (v, range)) free; select; body }
+
+(* A tiny database keeping the unoptimized combination phase's full
+   products small (a few thousand n-tuples at most). *)
+let tiny_db seed =
+  University.generate
+    {
+      University.n_employees = 6;
+      n_papers = 8;
+      n_courses = 5;
+      n_timetable = 10;
+      prob_professor = 0.4;
+      prob_1977 = 0.3;
+      prob_low_level = 0.4;
+      seed;
+    }

@@ -1,0 +1,21 @@
+(** Random well-typed queries over the Figure-1 schema, for
+    property-based testing of the whole pipeline. *)
+
+open Relalg
+open Pascalr.Calculus
+
+type attr_kind = K_enr | K_cnr | K_year | K_status | K_level | K_day | K_name
+
+val rel_attrs : string -> (string * attr_kind) list
+(** Attributes of a Figure-1 relation with their comparability kind.
+    @raise Invalid_argument on unknown relations. *)
+
+val relations : string list
+
+val generate : Database.t -> int -> query
+(** [generate db seed]: one or two free variables, a depth-3 body with
+    at most two quantifiers, all six comparison operators, occasional
+    user-written extended ranges and occasionally-empty subranges. *)
+
+val tiny_db : int -> Database.t
+(** A database small enough for the unoptimized combination phase. *)

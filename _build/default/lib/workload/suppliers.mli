@@ -1,0 +1,29 @@
+(** The classic suppliers-parts database: the canonical workload for
+    universal quantification (division queries). *)
+
+open Relalg
+open Pascalr.Calculus
+
+type params = {
+  n_suppliers : int;
+  n_parts : int;
+  n_shipments : int;
+  prob_red : float;
+  prob_london : float;
+  seed : int;
+}
+
+val default_params : params
+val scaled : ?seed:int -> int -> params
+
+val generate : params -> Database.t
+(** Supplier 1 ships every part, so the division queries have non-empty
+    answers. *)
+
+val red : Database.t -> Value.t
+val london : Database.t -> Value.t
+
+val ships_all_parts : Database.t -> query
+val ships_all_red_parts : Database.t -> query
+val london_ships_some_red : Database.t -> query
+val ships_no_red_part : Database.t -> query

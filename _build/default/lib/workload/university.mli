@@ -1,0 +1,48 @@
+(** The Figure-1 computer-science-department database: employees,
+    papers, courses and timetable, generated deterministically with
+    parameterized cardinalities and selectivities. *)
+
+open Relalg
+
+val status_labels : string array
+val day_labels : string array
+val level_labels : string array
+
+type params = {
+  n_employees : int;
+  n_papers : int;
+  n_courses : int;
+  n_timetable : int;
+  prob_professor : float;  (** selectivity of [estatus = professor] *)
+  prob_1977 : float;  (** selectivity of [pyear = 1977] *)
+  prob_low_level : float;  (** selectivity of [clevel <= sophomore] *)
+  seed : int;
+}
+
+val default_params : params
+
+val small_params : params
+(** Small enough for exhaustive tests against the unoptimized
+    combination phase. *)
+
+val scaled : ?seed:int -> int -> params
+(** Uniform scaling of the default cardinalities. *)
+
+type schemas = {
+  status_type : Value.enum_info;
+  day_type : Value.enum_info;
+  level_type : Value.enum_info;
+  employees : Schema.t;
+  papers : Schema.t;
+  courses : Schema.t;
+  timetable : Schema.t;
+}
+
+val declare : Database.t -> max_enr:int -> max_cnr:int -> schemas
+(** Declare Figure 1's types and empty relations into a database. *)
+
+val generate : params -> Database.t
+
+val generate_with_empty : params -> string -> Database.t
+(** [generate] with the named relation emptied (Example 2.2's
+    [papers = \[\]] scenario). *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Database Relalg Relation Tuple Value Workload

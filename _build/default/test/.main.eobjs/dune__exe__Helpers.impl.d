@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest List Relalg Relation String Tuple Value

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Errors Helpers List QCheck QCheck_alcotest Relalg Relation Schema Tuple Value Vtype

@@ -1,0 +1,1 @@
+test/test_calculus.ml: Alcotest Fixtures List Pascalr Relalg String Value Var_set Workload

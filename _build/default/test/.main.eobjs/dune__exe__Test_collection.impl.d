@@ -1,0 +1,1 @@
+test/test_collection.ml: Alcotest Collection Database Fixtures Helpers List Naive_eval Pascalr Phased_eval Plan Printf Relalg Relation Strategy Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Csv_io Errors Filename List Relalg Relation Schema String Sys Tuple Value Vtype

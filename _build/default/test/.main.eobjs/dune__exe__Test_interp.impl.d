@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Database Errors Fixtures Helpers Pascalr Pascalr_lang Relalg Relation Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest Algebra List QCheck QCheck_alcotest Relalg Relation Schema Tuple Value Vtype

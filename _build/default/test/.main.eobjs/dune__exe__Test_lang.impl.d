@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Calculus Database Fixtures Helpers List Naive_eval Pascalr Pascalr_lang Relalg Relation Schema Value Vtype Workload

@@ -1,0 +1,1 @@
+test/test_lemma1.ml: Alcotest Database Fixtures Gen Lemma1 List Naive_eval Onesort Option Pascalr QCheck QCheck_alcotest Relalg Relation Workload

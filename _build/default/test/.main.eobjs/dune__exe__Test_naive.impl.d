@@ -1,0 +1,1 @@
+test/test_naive.ml: Alcotest Algebra Database Fixtures Helpers Naive_eval Pascalr Relalg Relation Schema Value Wellformed Workload

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Database Fixtures Helpers List Naive_eval Normalize Pascalr Relalg Relation Standard_form String Value Workload

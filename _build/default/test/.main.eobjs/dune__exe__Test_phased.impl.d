@@ -1,0 +1,1 @@
+test/test_phased.ml: Alcotest Calculus Database Fixtures Helpers List Naive_eval Normalize Option Pascalr Phased_eval Plan Printf Range_ext Relalg Relation Standard_form Strategy String Workload

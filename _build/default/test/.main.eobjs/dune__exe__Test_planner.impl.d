@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Cost Explain Fixtures Helpers List Naive_eval Pascalr Plan Planner Printf Range_ext Relalg Relation Standard_form Stats Strategy Value Workload

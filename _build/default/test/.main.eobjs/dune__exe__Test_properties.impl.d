@@ -1,0 +1,1 @@
+test/test_properties.ml: Calculus Database Gen List Naive_eval Pascalr Phased_eval QCheck QCheck_alcotest Relalg Relation Standard_form Strategy Wellformed Workload

@@ -1,0 +1,1 @@
+test/test_quant_push.ml: Alcotest Fixtures List Naive_eval Normalize Pascalr Phased_eval Plan Printf Quant_push Relalg Relation Strategy String Value Var_set Workload

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Database Errors Helpers Reference Relalg Relation Schema Tuple Value Vtype

@@ -1,0 +1,1 @@
+test/test_semijoin.ml: Alcotest Algebra Database Fixtures Helpers List Naive_eval Option Pascalr Printf Relalg Relation Semijoin Value Workload

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Buffer_pool Codec Database Heap_file Helpers List Pascalr Printf QCheck QCheck_alcotest Reference Relalg Relation Schema Tuple Value Vtype Workload

@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest Database Errors Fixtures Helpers Index List Printf Reference Relalg Relation Schema Tuple Value Value_list Vtype

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Errors Helpers List QCheck QCheck_alcotest Reference Relalg Value

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "pascalr"
+    (List.concat
+       [
+         Test_value.suite;
+         Test_relation.suite;
+         Test_algebra.suite;
+         Test_calculus.suite;
+         Test_normalize.suite;
+         Test_naive.suite;
+         Test_phased.suite;
+         Test_properties.suite;
+         Test_lemma1.suite;
+         Test_semijoin.suite;
+         Test_planner.suite;
+         Test_lang.suite;
+         Test_extensions.suite;
+         Test_substrate.suite;
+         Test_collection.suite;
+         Test_quant_push.suite;
+         Test_interp.suite;
+         Test_storage.suite;
+         Test_csv.suite;
+         Test_joins.suite;
+       ])

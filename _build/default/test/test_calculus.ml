@@ -1,0 +1,115 @@
+open Pascalr.Calculus
+open Relalg
+
+let f1 =
+  f_and
+    (eq (attr "e" "estatus") (cint 1))
+    (f_some "p" (base "papers") (ne (attr "p" "penr") (attr "e" "enr")))
+
+let test_free_and_bound_vars () =
+  Alcotest.(check (list string))
+    "free" [ "e" ]
+    (Var_set.elements (free_vars f1));
+  Alcotest.(check (list string))
+    "bound" [ "p" ]
+    (Var_set.elements (bound_vars f1))
+
+let test_monadic_dyadic () =
+  let m = { lhs = attr "e" "estatus"; op = Value.Eq; rhs = cint 1 } in
+  let d = { lhs = attr "e" "enr"; op = Value.Eq; rhs = attr "t" "tenr" } in
+  Alcotest.(check bool) "monadic" true (is_monadic m);
+  Alcotest.(check bool) "not dyadic" false (is_dyadic m);
+  Alcotest.(check bool) "dyadic" true (is_dyadic d);
+  (* a term over the same variable twice is monadic *)
+  let self = { lhs = attr "e" "enr"; op = Value.Lt; rhs = attr "e" "salary" } in
+  Alcotest.(check bool) "self-join term is monadic" true (is_monadic self)
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "and true" true
+    (equal_formula (f_and F_true f1) f1);
+  Alcotest.(check bool) "and false" true
+    (equal_formula (f_and f1 F_false) F_false);
+  Alcotest.(check bool) "or false" true (equal_formula (f_or F_false f1) f1);
+  Alcotest.(check bool) "or true" true (equal_formula (f_or f1 F_true) F_true);
+  Alcotest.(check bool) "double negation" true
+    (equal_formula (f_not (f_not f1)) f1)
+
+let test_rename_free () =
+  let renamed = rename_free "e" "x" f1 in
+  Alcotest.(check (list string))
+    "free renamed" [ "x" ]
+    (Var_set.elements (free_vars renamed));
+  (* bound variable p untouched, inner shadowed names respected *)
+  let shadow = f_some "e" (base "papers") (eq (attr "e" "penr") (cint 1)) in
+  let renamed_shadow = rename_free "e" "x" shadow in
+  Alcotest.(check bool) "shadowed binder untouched" true
+    (equal_formula shadow renamed_shadow)
+
+let test_distinct_bound_vars () =
+  (* SOME p (...) AND SOME p (...) must get distinct binders. *)
+  let clash =
+    f_and
+      (f_some "p" (base "papers") (eq (attr "p" "pyear") (cint 1977)))
+      (f_some "p" (base "papers") (eq (attr "p" "pyear") (cint 1978)))
+  in
+  let distinct = distinct_bound_vars (Var_set.singleton "e") clash in
+  let rec binders = function
+    | F_true | F_false | F_atom _ -> []
+    | F_not f -> binders f
+    | F_and (a, b) | F_or (a, b) -> binders a @ binders b
+    | F_some (v, _, f) | F_all (v, _, f) -> v :: binders f
+  in
+  let bs = binders distinct in
+  Alcotest.(check int) "two binders" 2 (List.length bs);
+  Alcotest.(check bool) "distinct" true
+    (List.length (List.sort_uniq String.compare bs) = 2)
+
+let test_equal_atom_mirrored () =
+  let a = { lhs = attr "e" "enr"; op = Value.Lt; rhs = attr "p" "penr" } in
+  let b = { lhs = attr "p" "penr"; op = Value.Gt; rhs = attr "e" "enr" } in
+  Alcotest.(check bool) "mirrored equal" true (equal_atom_mirrored a b);
+  Alcotest.(check bool) "not structurally equal" false (equal_atom a b)
+
+let test_pretty_printer () =
+  let s = formula_to_string (f_some "t" (base "timetable") (eq (attr "t" "tenr") (cint 3))) in
+  Alcotest.(check string) "concrete syntax" "SOME t IN timetable (t.tenr = 3)" s
+
+let test_wellformed () =
+  let db = Fixtures.make () in
+  let q = Workload.Queries.running_query db in
+  (match Pascalr.Wellformed.check_query db q with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "running query ill-formed: %s" e.message);
+  let bad_rel = { q with free = [ ("e", base "nonexistent") ] } in
+  (match Pascalr.Wellformed.check_query db bad_rel with
+  | Ok () -> Alcotest.fail "unknown relation accepted"
+  | Error _ -> ());
+  let bad_attr = { q with select = [ ("e", "salary") ] } in
+  (match Pascalr.Wellformed.check_query db bad_attr with
+  | Ok () -> Alcotest.fail "unknown attribute accepted"
+  | Error _ -> ());
+  let bad_cmp =
+    { q with body = eq (attr "e" "ename") (attr "e" "enr") }
+  in
+  match Pascalr.Wellformed.check_query db bad_cmp with
+  | Ok () -> Alcotest.fail "incomparable domains accepted"
+  | Error _ -> ()
+
+let suite =
+  [
+    ( "calculus",
+      [
+        Alcotest.test_case "free and bound variables" `Quick
+          test_free_and_bound_vars;
+        Alcotest.test_case "monadic vs dyadic join terms" `Quick
+          test_monadic_dyadic;
+        Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+        Alcotest.test_case "rename free" `Quick test_rename_free;
+        Alcotest.test_case "distinct bound vars" `Quick
+          test_distinct_bound_vars;
+        Alcotest.test_case "mirrored atom equality" `Quick
+          test_equal_atom_mirrored;
+        Alcotest.test_case "pretty printer" `Quick test_pretty_printer;
+        Alcotest.test_case "well-formedness" `Quick test_wellformed;
+      ] );
+  ]

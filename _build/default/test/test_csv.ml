@@ -1,0 +1,70 @@
+open Relalg
+
+let status =
+  { Value.enum_name = "statustype"; labels = [| "student"; "professor" |] }
+
+let schema =
+  Schema.make
+    [
+      Schema.attr "id" Vtype.int_full;
+      Schema.attr "name" Vtype.string_any;
+      Schema.attr "st" (Vtype.TEnum status);
+      Schema.attr "ok" Vtype.boolean;
+    ]
+    ~key:[ "id" ]
+
+let sample () =
+  Relation.of_list ~name:"r" schema
+    [
+      Tuple.of_list
+        [ Value.int 1; Value.str "plain"; Value.enum status "student"; Value.bool true ];
+      Tuple.of_list
+        [
+          Value.int 2;
+          Value.str "with, comma and \"quotes\"";
+          Value.enum status "professor";
+          Value.bool false;
+        ];
+    ]
+
+let test_roundtrip () =
+  let r = sample () in
+  let csv = Csv_io.to_string r in
+  let r' = Csv_io.of_string ~name:"r2" schema csv in
+  Alcotest.(check bool) "round trip" true (Relation.equal_set r r')
+
+let test_header () =
+  let csv = Csv_io.to_string (sample ()) in
+  let header = List.hd (String.split_on_char '\n' csv) in
+  Alcotest.(check string) "header" "id,name,st,ok" header
+
+let test_bad_inputs () =
+  let expect_error src =
+    match Csv_io.of_string schema src with
+    | _ -> Alcotest.failf "expected Type_error for %S" src
+    | exception Errors.Type_error _ -> ()
+  in
+  expect_error "";
+  expect_error "wrong,header,names,here\n1,x,student,true";
+  expect_error "id,name,st,ok\n1,x,student";
+  expect_error "id,name,st,ok\nnotanint,x,student,true";
+  expect_error "id,name,st,ok\n1,x,dean,true"
+
+let test_file_io () =
+  let r = sample () in
+  let path = Filename.temp_file "pascalr" ".csv" in
+  Csv_io.save_file r path;
+  let r' = Csv_io.load_file schema path in
+  Sys.remove path;
+  Alcotest.(check bool) "file round trip" true (Relation.equal_set r r')
+
+let suite =
+  [
+    ( "csv",
+      [
+        Alcotest.test_case "round trip" `Quick test_roundtrip;
+        Alcotest.test_case "header" `Quick test_header;
+        Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+        Alcotest.test_case "file io" `Quick test_file_io;
+      ] );
+  ]

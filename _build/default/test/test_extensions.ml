@@ -1,0 +1,214 @@
+(* Extensions beyond the paper's "current system version":
+
+   - permanent indexes (Section 3.2: "The first step can be omitted, if
+     permanent indexes exist", Example 3.1);
+   - range extensions in conjunctive normal form (Section 4.3's
+     future-work remark). *)
+
+open Pascalr
+open Pascalr.Calculus
+open Relalg
+
+(* --------------------------------------------------------------- *)
+(* Permanent indexes *)
+
+let test_permanent_index_lookup () =
+  let db = Fixtures.make () in
+  let idx = Database.register_index db "timetable" ~on:"tcnr" in
+  Alcotest.(check int) "entries" 3 (Index.entry_count idx);
+  Alcotest.(check int) "course 10 taught twice" 2
+    (List.length (Index.lookup1 idx (Value.int 10)));
+  Alcotest.(check (option (pair string string)))
+    "registered" (Some ("timetable", "tcnr"))
+    (Option.map
+       (fun i -> (Index.source i, List.hd (Index.on i)))
+       (Database.permanent_index db "timetable" ~on:"tcnr"))
+
+let test_permanent_index_saves_scans () =
+  let db = Workload.University.generate Workload.University.small_params in
+  let q = Workload.Queries.existential_query db in
+  (* Without permanent indexes. *)
+  let before = (Phased_eval.run_report ~strategy:Strategy.s12 db q).Phased_eval.scans in
+  (* Example 4.3's indexes, registered permanently. *)
+  ignore (Database.register_index db "timetable" ~on:"tcnr");
+  ignore (Database.register_index db "timetable" ~on:"tenr");
+  let report = Phased_eval.run_report ~strategy:Strategy.s12 db q in
+  Alcotest.(check bool)
+    (Printf.sprintf "scans drop (%d -> %d)" before report.Phased_eval.scans)
+    true
+    (report.Phased_eval.scans < before);
+  (* timetable itself is never scanned: both its uses go through the
+     permanent indexes. *)
+  Alcotest.(check int) "timetable not scanned" 0
+    (Relation.scan_count (Database.find_relation db "timetable"));
+  (* And the answer is still right. *)
+  let expected = Naive_eval.run db q in
+  Alcotest.(check bool) "answer unchanged" true
+    (Relation.equal_set expected report.Phased_eval.result)
+
+let test_permanent_index_all_strategies_agree () =
+  let db = Workload.University.generate Workload.University.small_params in
+  ignore (Database.register_index db "timetable" ~on:"tcnr");
+  ignore (Database.register_index db "timetable" ~on:"tenr");
+  ignore (Database.register_index db "papers" ~on:"penr");
+  List.iter
+    (fun (qname, q) ->
+      let expected = Naive_eval.run db q in
+      List.iter
+        (fun (sname, strategy) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / %s" qname sname)
+            true
+            (Relation.equal_set expected (Phased_eval.run ~strategy db q)))
+        Strategy.all_presets)
+    [
+      ("running", Workload.Queries.running_query db);
+      ("existential", Workload.Queries.existential_query db);
+      ("universal", Workload.Queries.universal_query db);
+    ]
+
+let test_permanent_index_not_used_for_restricted_range () =
+  (* A permanent whole-relation index must NOT stand in for an index
+     over an S3-restricted range; correctness across strategies covers
+     this, but check the restricted case explicitly. *)
+  let db = Workload.University.generate Workload.University.small_params in
+  ignore (Database.register_index db "courses" ~on:"cnr");
+  let q = Workload.Queries.example_4_5 db in
+  let expected = Naive_eval.run db q in
+  Alcotest.(check bool) "restricted ranges still correct" true
+    (Relation.equal_set expected (Phased_eval.run ~strategy:Strategy.s123 db q))
+
+let test_refresh_indexes () =
+  let db = Fixtures.make () in
+  let _ = Database.register_index db "employees" ~on:"enr" in
+  Relation.insert
+    (Database.find_relation db "employees")
+    (Tuple.of_list
+       [
+         Value.int 9;
+         Value.str "newhire";
+         Value.enum (Database.find_enum db "statustype") "student";
+       ]);
+  let stale = Option.get (Database.permanent_index db "employees" ~on:"enr") in
+  Alcotest.(check int) "stale index misses the new element" 0
+    (List.length (Index.lookup1 stale (Value.int 9)));
+  Database.refresh_indexes db;
+  let fresh = Option.get (Database.permanent_index db "employees" ~on:"enr") in
+  Alcotest.(check int) "refreshed index finds it" 1
+    (List.length (Index.lookup1 fresh (Value.int 9)))
+
+(* --------------------------------------------------------------- *)
+(* CNF range extensions *)
+
+(* ALL p over a matrix whose p-only conjunction has TWO monadic atoms:
+   plain S3 cannot absorb it; the CNF refinement can. *)
+let cnf_all_query db =
+  ignore db;
+  {
+    free = [ ("e", base "employees") ];
+    select = [ ("e", "enr") ];
+    body =
+      f_all "p" (base "papers")
+        (f_or
+           (f_and (ne (attr "p" "pyear") (cint 1977)) (gt (attr "p" "penr") (cint 5)))
+           (eq (attr "p" "penr") (attr "e" "enr")));
+  }
+
+let test_cnf_absorbs_multi_atom_conjunction () =
+  let db = Workload.University.generate Workload.University.small_params in
+  let q = cnf_all_query db in
+  let sf = Standard_form.compile db q in
+  Alcotest.(check int) "two conjunctions" 2 (List.length sf.Standard_form.matrix);
+  let plain = Range_ext.apply db sf in
+  Alcotest.(check int) "plain S3 cannot absorb" 2
+    (List.length plain.Standard_form.matrix);
+  let with_cnf = Range_ext.apply ~cnf:true db sf in
+  Alcotest.(check int) "CNF absorbs the pure-monadic conjunction" 1
+    (List.length with_cnf.Standard_form.matrix);
+  (match
+     List.find_opt
+       (fun e -> String.equal e.Normalize.v "p")
+       with_cnf.Standard_form.prefix
+   with
+  | Some e ->
+    Alcotest.(check bool) "p range restricted" true
+      (Option.is_some e.Normalize.range.restriction)
+  | None -> Alcotest.fail "p should stay in the prefix");
+  (* Semantics preserved. *)
+  let expected = Naive_eval.run db q in
+  Alcotest.(check bool) "answers agree" true
+    (Relation.equal_set expected
+       (Phased_eval.run ~strategy:Strategy.full_cnf db q))
+
+(* SOME c with different monadic terms in different conjunctions: the
+   CNF clause (freshman OR senior) shrinks the range. *)
+let test_cnf_clause_extension () =
+  let db = Workload.University.generate Workload.University.small_params in
+  let level = Database.find_enum db "leveltype" in
+  let q =
+    {
+      free = [ ("e", base "employees") ];
+      select = [ ("e", "enr") ];
+      body =
+        f_some "t" (base "timetable")
+          (f_and
+             (eq (attr "t" "tenr") (attr "e" "enr"))
+             (f_some "c" (base "courses")
+                (f_and
+                   (eq (attr "c" "cnr") (attr "t" "tcnr"))
+                   (f_or
+                      (eq (attr "c" "clevel") (const (Value.enum level "freshman")))
+                      (eq (attr "c" "clevel") (const (Value.enum level "senior")))))));
+    }
+  in
+  let sf = Standard_form.compile db q in
+  let with_cnf = Range_ext.apply ~cnf:true db sf in
+  (match
+     List.find_opt
+       (fun e -> String.equal e.Normalize.v "c")
+       with_cnf.Standard_form.prefix
+   with
+  | Some e ->
+    Alcotest.(check bool) "c range carries the clause" true
+      (Option.is_some e.Normalize.range.restriction)
+  | None -> ());
+  let expected = Naive_eval.run db q in
+  Alcotest.(check bool) "answers agree" true
+    (Relation.equal_set expected
+       (Phased_eval.run ~strategy:Strategy.full_cnf db q))
+
+(* CNF on random queries: full_cnf must agree with naive everywhere. *)
+let test_cnf_random =
+  QCheck.Test.make ~name:"CNF extension preserves semantics (random)"
+    ~count:120
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let db = Workload.Random_query.tiny_db (seed * 61) in
+      let q = Workload.Random_query.generate db (seed + 5) in
+      let expected = Naive_eval.run db q in
+      Relation.equal_set expected
+        (Phased_eval.run ~strategy:Strategy.full_cnf db q)
+      && Relation.equal_set expected
+           (Phased_eval.run ~strategy:Strategy.s123c db q))
+
+let suite =
+  [
+    ( "extensions",
+      [
+        Alcotest.test_case "permanent index lookup" `Quick
+          test_permanent_index_lookup;
+        Alcotest.test_case "permanent index saves scans" `Quick
+          test_permanent_index_saves_scans;
+        Alcotest.test_case "permanent index: strategies agree" `Quick
+          test_permanent_index_all_strategies_agree;
+        Alcotest.test_case "permanent index vs restricted range" `Quick
+          test_permanent_index_not_used_for_restricted_range;
+        Alcotest.test_case "index refresh after update" `Quick
+          test_refresh_indexes;
+        Alcotest.test_case "CNF absorbs multi-atom ALL conjunction" `Quick
+          test_cnf_absorbs_multi_atom_conjunction;
+        Alcotest.test_case "CNF clause extension" `Quick
+          test_cnf_clause_extension;
+        QCheck_alcotest.to_alcotest test_cnf_random;
+      ] );
+  ]

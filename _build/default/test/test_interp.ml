@@ -1,0 +1,237 @@
+(* The statement-level PASCAL/R interpreter, exercised on the paper's
+   own program fragments: Example 3.1 (reference maintenance), Example
+   4.3 (parallel evaluation of join terms) and Example 4.7 (the
+   cset/tset/pset program), whose results are compared against the
+   query engine. *)
+
+open Relalg
+
+(* ---------------------------------------------------------------- *)
+(* Example 3.1: a primary index maintained alongside insertions. *)
+
+let example_3_1 =
+  {|
+TYPE statustype = (student, technician, assistant, professor);
+
+VAR employees : RELATION <enr> OF
+      RECORD
+        enr : 1..99;
+        ename : PACKED ARRAY [1..10] OF char;
+        estatus : statustype
+      END;
+    enrindex : RELATION <enr> OF
+      RECORD
+        enr : 1..99;
+        eref : @employees
+      END;
+
+BEGIN
+  employees :+ [<20, 'highman', technician>];
+  enrindex :+ [<20, @employees[20]>];
+  employees :+ [<7, 'codd', professor>];
+  enrindex :+ [<7, @employees[7]>]
+END.
+|}
+
+let test_example_3_1 () =
+  let db = Pascalr_lang.Interp.run_string example_3_1 in
+  let employees = Database.find_relation db "employees" in
+  let enrindex = Database.find_relation db "enrindex" in
+  Alcotest.(check int) "two employees" 2 (Relation.cardinality employees);
+  Alcotest.(check int) "two index entries" 2 (Relation.cardinality enrindex);
+  (* The index's reference dereferences to the employee. *)
+  match Relation.find_key enrindex [ Value.int 20 ] with
+  | None -> Alcotest.fail "enrindex[20] missing"
+  | Some entry ->
+    let tuple = Database.deref_value db (Tuple.get entry 1) in
+    Alcotest.check Helpers.value "name through reference"
+      (Value.str "highman")
+      (Tuple.get_by_name (Relation.schema employees) tuple "ename")
+
+(* ---------------------------------------------------------------- *)
+(* Example 4.3: the parallel-evaluation program, against the fixture
+   database.  Auxiliary structures are declared as in Figure 2. *)
+
+let example_4_3_program =
+  {|
+BEGIN
+  FOR EACH t IN timetable: true DO
+  BEGIN
+    ind_t_cnr :+ [<t.tcnr, @t>];
+    ind_t_enr :+ [<t.tenr, @t>]
+  END;
+  FOR EACH c IN courses: true DO
+    IF c.clevel <= sophomore THEN
+      FOR EACH t IN ind_t_cnr: t.tcnr = c.cnr DO
+        ij_c_t :+ [<@c, t.tref>];
+  FOR EACH p IN papers: true DO
+  BEGIN
+    IF p.pyear <> 1977 THEN
+      sl_p77 :+ [<@p>];
+    ind_p_enr :+ [<p.penr, @p>]
+  END;
+  FOR EACH e IN employees: true DO
+  BEGIN
+    IF e.estatus = professor THEN
+      sl_prof :+ [<@e>];
+    IF e.estatus = professor THEN
+      FOR EACH t IN ind_t_enr: t.tenr = e.enr DO
+        ij_e_t :+ [<@e, t.tref>];
+    IF e.estatus = professor THEN
+      FOR EACH p IN ind_p_enr: p.penr <> e.enr DO
+        ij_e_p :+ [<@e, p.pref>]
+  END
+END
+|}
+
+let figure_2_declarations =
+  {|
+VAR sl_prof : RELATION <eref> OF RECORD eref : @employees END;
+    sl_p77 : RELATION <pref> OF RECORD pref : @papers END;
+    ij_c_t : RELATION <cref, tref> OF
+      RECORD cref : @courses; tref : @timetable END;
+    ij_e_t : RELATION <eref, tref> OF
+      RECORD eref : @employees; tref : @timetable END;
+    ij_e_p : RELATION <eref, pref> OF
+      RECORD eref : @employees; pref : @papers END;
+    ind_t_enr : RELATION <tenr, tref> OF
+      RECORD tenr : 1..99; tref : @timetable END;
+    ind_t_cnr : RELATION <tcnr, tref> OF
+      RECORD tcnr : 1..99; tref : @timetable END;
+    ind_p_enr : RELATION <penr, pref> OF
+      RECORD penr : 1..99; pref : @papers END;
+|}
+
+let run_example_4_3 db =
+  let decls = Pascalr_lang.Parser.program_of_string figure_2_declarations in
+  let db = Pascalr_lang.Elaborate.elaborate_program ~db decls in
+  Pascalr_lang.Interp.exec_string db example_4_3_program;
+  db
+
+let test_example_4_3_structures () =
+  let db = run_example_4_3 (Fixtures.make ()) in
+  let card name = Relation.cardinality (Database.find_relation db name) in
+  (* Fixture: 3 timetable entries, 3 professors, 3 papers (2 from 1977),
+     courses 10 (freshman, taught twice) and 11 (senior, taught once). *)
+  Alcotest.(check int) "ind_t_cnr" 3 (card "ind_t_cnr");
+  Alcotest.(check int) "ind_t_enr" 3 (card "ind_t_enr");
+  Alcotest.(check int) "ind_p_enr" 3 (card "ind_p_enr");
+  Alcotest.(check int) "sl_prof" 3 (card "sl_prof");
+  Alcotest.(check int) "sl_p77 (pyear <> 1977)" 1 (card "sl_p77");
+  (* ij_c_t: course 10 (<= sophomore) matches its two timetable slots. *)
+  Alcotest.(check int) "ij_c_t" 2 (card "ij_c_t");
+  (* ij_e_t: professors smith(1) and lee(4) each teach one slot. *)
+  Alcotest.(check int) "ij_e_t" 2 (card "ij_e_t");
+  (* ij_e_p: professor x paper pairs with penr <> enr:
+     smith vs papers 2,4; jones vs 1,4; lee vs 1,2 = 6. *)
+  Alcotest.(check int) "ij_e_p" 6 (card "ij_e_p")
+
+(* The interpreted Example 4.3 structures must agree with the engine's
+   collection phase (strategy 2 restricted pairs) on a generated
+   database. *)
+let test_example_4_3_matches_engine () =
+  let base = Workload.University.generate Workload.University.small_params in
+  let db = run_example_4_3 base in
+  (* Independent computation of ij_c_t's expected cardinality. *)
+  let courses = Database.find_relation db "courses" in
+  let timetable = Database.find_relation db "timetable" in
+  let cs = Relation.schema courses and ts = Relation.schema timetable in
+  let soph = Workload.Queries.sophomore db in
+  let expected =
+    Relation.fold
+      (fun acc c ->
+        if Value.apply Value.Le (Tuple.get_by_name cs c "clevel") soph then
+          acc
+          + Relation.fold
+              (fun acc2 t ->
+                if
+                  Value.equal
+                    (Tuple.get_by_name cs c "cnr")
+                    (Tuple.get_by_name ts t "tcnr")
+                then acc2 + 1
+                else acc2)
+              0 timetable
+        else acc)
+      0 courses
+  in
+  Alcotest.(check int) "ij_c_t matches direct computation" expected
+    (Relation.cardinality (Database.find_relation db "ij_c_t"))
+
+(* ---------------------------------------------------------------- *)
+(* Example 4.7: the cset/tset/pset program computes the running query's
+   answer. *)
+
+let example_4_7_program =
+  {|
+BEGIN
+  cset := [<c.cnr> OF EACH c IN [EACH c IN courses: c.clevel <= sophomore]: true];
+  tset := [<t.tenr> OF EACH t IN timetable: SOME c IN cset (c.cnr = t.tcnr)];
+  pset := [<p.penr> OF EACH p IN [EACH p IN papers: p.pyear = 1977]: true];
+  enames := [<e.ename> OF EACH e IN [EACH e IN employees: e.estatus = professor]:
+               SOME t IN tset (t.tenr = e.enr) OR ALL p IN pset (p.penr <> e.enr)]
+END
+|}
+
+let test_example_4_7_program () =
+  let db = Fixtures.make () in
+  Pascalr_lang.Interp.exec_string db example_4_7_program;
+  let enames = Database.find_relation db "enames" in
+  Alcotest.(check (list string))
+    "program computes the running query's answer"
+    Fixtures.running_query_answer (Helpers.strings enames);
+  (* And on a generated database, against the engine. *)
+  let db2 = Workload.University.generate Workload.University.small_params in
+  Pascalr_lang.Interp.exec_string db2 example_4_7_program;
+  let expected = Pascalr.Naive_eval.run db2 (Workload.Queries.running_query db2) in
+  Alcotest.(check bool) "matches the engine on a generated db" true
+    (Relation.equal_set expected (Database.find_relation db2 "enames"))
+
+(* ---------------------------------------------------------------- *)
+(* Statement semantics details *)
+
+let test_assignment_replaces () =
+  let db = Fixtures.make () in
+  Pascalr_lang.Interp.exec_string db
+    "profs := [<e.ename> OF EACH e IN employees: e.estatus = professor]";
+  Alcotest.(check int) "three professors" 3
+    (Relation.cardinality (Database.find_relation db "profs"));
+  Pascalr_lang.Interp.exec_string db
+    "profs := [<e.ename> OF EACH e IN employees: e.estatus = student]";
+  Alcotest.(check int) "reassignment replaces" 1
+    (Relation.cardinality (Database.find_relation db "profs"))
+
+let test_removal () =
+  let db = Fixtures.make () in
+  Pascalr_lang.Interp.exec_string db
+    "employees :- [<3, 'kim', student>]";
+  Alcotest.(check int) "one fewer employee" 3
+    (Relation.cardinality (Database.find_relation db "employees"))
+
+let test_runtime_errors () =
+  let db = Fixtures.make () in
+  (match Pascalr_lang.Interp.exec_string db "nope :+ [<1>]" with
+  | () -> Alcotest.fail "expected Unknown_relation"
+  | exception Errors.Unknown_relation _ -> ());
+  match
+    Pascalr_lang.Interp.exec_string db "employees :+ [<1, 'x'>]"
+  with
+  | () -> Alcotest.fail "expected arity error"
+  | exception Pascalr_lang.Interp.Runtime_error _ -> ()
+
+let suite =
+  [
+    ( "interp",
+      [
+        Alcotest.test_case "Example 3.1 (reference maintenance)" `Quick
+          test_example_3_1;
+        Alcotest.test_case "Example 4.3 structures (fixture)" `Quick
+          test_example_4_3_structures;
+        Alcotest.test_case "Example 4.3 vs direct computation" `Quick
+          test_example_4_3_matches_engine;
+        Alcotest.test_case "Example 4.7 program = running query" `Quick
+          test_example_4_7_program;
+        Alcotest.test_case "assignment replaces" `Quick test_assignment_replaces;
+        Alcotest.test_case "removal (:-)" `Quick test_removal;
+        Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+      ] );
+  ]

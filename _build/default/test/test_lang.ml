@@ -1,0 +1,183 @@
+open Relalg
+open Pascalr
+
+(* Figure 1, transcribed. *)
+let figure_1 =
+  {|
+TYPE statustype = (student, technician, assistant, professor);
+     nametype = PACKED ARRAY [1..10] OF char;
+     titletype = PACKED ARRAY [1..40] OF char;
+     roomtype = PACKED ARRAY [1..5] OF char;
+     yeartype = 1900..1999;
+     timetype = 8000900..18002000;
+     daytype = (monday, tuesday, wednesday, thursday, friday);
+     leveltype = (freshman, sophomore, junior, senior);
+     enumbertype = 1..99;
+     cnumbertype = 1..99;
+
+VAR employees : RELATION <enr> OF
+      RECORD
+        enr : enumbertype;
+        ename : nametype;
+        estatus : statustype
+      END;
+    papers : RELATION <ptitle, penr> OF
+      RECORD
+        penr : enumbertype;
+        pyear : yeartype;
+        ptitle : titletype
+      END;
+    courses : RELATION <cnr> OF
+      RECORD
+        cnr : cnumbertype;
+        clevel : leveltype;
+        ctitle : titletype
+      END;
+    timetable : RELATION <tenr, tcnr, tday> OF
+      RECORD
+        tenr : enumbertype;
+        tcnr : cnumbertype;
+        tday : daytype;
+        ttime : timetype;
+        troom : roomtype
+      END;
+|}
+
+(* Example 2.1, transcribed. *)
+let example_2_1 =
+  {|
+[<e.ename> OF EACH e IN employees:
+  (e.estatus = professor)
+  AND
+  (ALL p IN papers ((p.pyear <> 1977) OR (e.enr <> p.penr))
+   OR
+   SOME c IN courses ((c.clevel <= sophomore)
+     AND SOME t IN timetable ((c.cnr = t.tcnr) AND (e.enr = t.tenr))))]
+|}
+
+let test_figure_1_parses () =
+  let db = Pascalr_lang.Elaborate.database_of_string figure_1 in
+  Alcotest.(check (list string))
+    "relations"
+    [ "courses"; "employees"; "papers"; "timetable" ]
+    (Database.relation_names db);
+  let timetable = Database.find_relation db "timetable" in
+  Alcotest.(check (list string))
+    "timetable key" [ "tenr"; "tcnr"; "tday" ]
+    (Schema.key_names (Relation.schema timetable));
+  let courses = Database.find_relation db "courses" in
+  (match Schema.type_of (Relation.schema courses) "clevel" with
+  | Vtype.TEnum info ->
+    Alcotest.(check string) "clevel enum" "leveltype" info.Value.enum_name
+  | _ -> Alcotest.fail "clevel should be an enumeration");
+  match Schema.type_of (Relation.schema timetable) "ttime" with
+  | Vtype.TInt { lo; hi } ->
+    Alcotest.(check int) "ttime lo" 8000900 lo;
+    Alcotest.(check int) "ttime hi" 18002000 hi
+  | _ -> Alcotest.fail "ttime should be a subrange"
+
+let test_example_2_1_parses_and_runs () =
+  let db = Fixtures.make () in
+  let q = Pascalr_lang.Elaborate.query_of_string db example_2_1 in
+  (* Identical to the programmatic query... *)
+  let reference = Workload.Queries.running_query db in
+  Alcotest.(check bool) "same body" true
+    (Calculus.equal_formula q.Calculus.body reference.Calculus.body);
+  (* ... and the right answer. *)
+  let result = Naive_eval.run db q in
+  Alcotest.(check (list string))
+    "answer" Fixtures.running_query_answer (Helpers.strings result)
+
+let test_extended_range_parses () =
+  let db = Fixtures.make () in
+  let q =
+    Pascalr_lang.Elaborate.query_of_string db
+      {|[<e.ename> OF EACH e IN [EACH e IN employees: e.estatus = professor]:
+          ALL p IN [EACH p IN papers: p.pyear = 1977] (p.penr <> e.enr)]|}
+  in
+  (match List.assoc "e" q.Calculus.free with
+  | { Calculus.restriction = Some _; _ } -> ()
+  | { Calculus.restriction = None; _ } -> Alcotest.fail "restriction expected");
+  let result = Naive_eval.run db q in
+  (* professors with no 1977 paper: jones. *)
+  Alcotest.(check (list string)) "answer" [ "jones" ] (Helpers.strings result)
+
+let test_pp_roundtrip () =
+  let db = Fixtures.make () in
+  List.iter
+    (fun q ->
+      let printed = Calculus.query_to_string q in
+      let reparsed = Pascalr_lang.Elaborate.query_of_string db printed in
+      Alcotest.(check bool)
+        ("round trip: " ^ printed)
+        true
+        (Calculus.equal_formula q.Calculus.body reparsed.Calculus.body
+        && q.Calculus.select = reparsed.Calculus.select))
+    [
+      Workload.Queries.running_query db;
+      Workload.Queries.example_4_5 db;
+      Workload.Queries.example_4_7 db;
+      Workload.Queries.universal_query db;
+    ]
+
+let test_lexer_errors () =
+  (match Pascalr_lang.Lexer.tokenize "e.enr # 3" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception Pascalr_lang.Lexer.Lex_error (_, pos) ->
+    Alcotest.(check int) "error line" 1 pos.Pascalr_lang.Token.line);
+  match Pascalr_lang.Lexer.tokenize "'unterminated" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception Pascalr_lang.Lexer.Lex_error (_, _) -> ()
+
+let test_parser_errors () =
+  let db = Fixtures.make () in
+  let expect_parse_error src =
+    match Pascalr_lang.Elaborate.query_of_string db src with
+    | _ -> Alcotest.failf "expected parse error for %s" src
+    | exception Pascalr_lang.Parser.Parse_error (_, _) -> ()
+  in
+  expect_parse_error "[<e.ename> OF EACH e IN employees]";
+  expect_parse_error "[<e.ename> OF EACH e IN employees: e.enr]";
+  expect_parse_error "[<> OF EACH e IN employees: true]"
+
+let test_elaboration_errors () =
+  let db = Fixtures.make () in
+  let expect_elab_error src =
+    match Pascalr_lang.Elaborate.query_of_string db src with
+    | _ -> Alcotest.failf "expected elaboration error for %s" src
+    | exception Pascalr_lang.Elaborate.Elab_error _ -> ()
+  in
+  (* unknown enum label *)
+  expect_elab_error "[<e.ename> OF EACH e IN employees: e.estatus = dean]";
+  (* unknown attribute *)
+  expect_elab_error "[<e.ename> OF EACH e IN employees: e.salary = 3]";
+  (* unbound variable *)
+  expect_elab_error "[<e.ename> OF EACH e IN employees: x.enr = 3]"
+
+let test_comments_and_case () =
+  let db = Fixtures.make () in
+  let q =
+    Pascalr_lang.Elaborate.query_of_string db
+      "[<E.ENAME> of each E in EMPLOYEES: (* who? *) E.ESTATUS = PROFESSOR]"
+  in
+  Alcotest.(check int) "three professors" 3
+    (Relation.cardinality (Naive_eval.run db q))
+
+let suite =
+  [
+    ( "lang",
+      [
+        Alcotest.test_case "Figure 1 declarations parse" `Quick
+          test_figure_1_parses;
+        Alcotest.test_case "Example 2.1 parses and runs" `Quick
+          test_example_2_1_parses_and_runs;
+        Alcotest.test_case "extended ranges parse" `Quick
+          test_extended_range_parses;
+        Alcotest.test_case "pretty-printer round trip" `Quick test_pp_roundtrip;
+        Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+        Alcotest.test_case "parser errors" `Quick test_parser_errors;
+        Alcotest.test_case "elaboration errors" `Quick test_elaboration_errors;
+        Alcotest.test_case "comments and case-insensitivity" `Quick
+          test_comments_and_case;
+      ] );
+  ]

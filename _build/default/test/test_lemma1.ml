@@ -1,0 +1,151 @@
+(* Validation of Lemma 1 and the one-sorted reduction (paper Section 2):
+   the four rules are semantic equivalences under the correct emptiness
+   handling, the non-empty variants of rules 2 and 3 FAIL on empty
+   relations exactly as the lemma warns, and many-sorted truth agrees
+   with the one-sorted translation. *)
+
+open Pascalr
+open Pascalr.Calculus
+open Relalg
+
+(* Closed random formulas: wrap a random 1-free-variable formula in a
+   quantifier. *)
+let closed_formula db seed =
+  let q = Workload.Random_query.generate db seed in
+  match q.free with
+  | (v, range) :: rest ->
+    let body =
+      List.fold_left
+        (fun acc (v', range') -> f_some v' range' acc)
+        q.body rest
+    in
+    f_some v range body
+  | [] -> q.body
+
+(* A (rec-free) and B (possibly over rec): manufacture rule instances. *)
+let instance db seed rule =
+  let a = closed_formula db seed in
+  let rng = Workload.Prng.create (seed + 13) in
+  let rel = Workload.Prng.pick rng Workload.Random_query.relations in
+  let v = "rec" in
+  (* B genuinely depends on rec: a monadic atom over it, combined with a
+     random closed sub-formula. *)
+  let rec_atom =
+    match rel with
+    | "employees" -> le (attr v "enr") (cint 7)
+    | "papers" -> eq (attr v "pyear") (cint 1977)
+    | "courses" -> gt (attr v "cnr") (cint 3)
+    | _ -> le (attr v "tcnr") (cint 5)
+  in
+  let connect = if Workload.Prng.bool rng then f_or else f_and in
+  let b = connect rec_atom (closed_formula db (seed + 23)) in
+  let quantified =
+    match rule with
+    | Lemma1.Rule1 | Lemma1.Rule2 -> f_some v (base rel) b
+    | Lemma1.Rule3 | Lemma1.Rule4 -> f_all v (base rel) b
+  in
+  match rule with
+  | Lemma1.Rule1 | Lemma1.Rule3 -> F_and (a, quantified)
+  | Lemma1.Rule2 | Lemma1.Rule4 -> F_or (a, quantified)
+
+let check_rule_equivalence db rule seed =
+  let f = instance db seed rule in
+  match Lemma1.rewrite db rule f with
+  | None -> QCheck.Test.fail_reportf "rule did not match its own instance"
+  | Some g -> Naive_eval.closed_holds db f = Naive_eval.closed_holds db g
+
+let test_rules_on_populated =
+  QCheck.Test.make ~name:"Lemma 1 rules hold (populated db)" ~count:80
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let db = Workload.Random_query.tiny_db (seed * 37) in
+      List.for_all (fun r -> check_rule_equivalence db r seed) Lemma1.all_rules)
+
+let test_rules_on_empty_relations =
+  QCheck.Test.make ~name:"Lemma 1 rules hold (one relation empty)" ~count:80
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let db = Workload.Random_query.tiny_db (seed * 41) in
+      let victim =
+        List.nth Workload.Random_query.relations (seed mod 4)
+      in
+      Relation.clear (Database.find_relation db victim);
+      List.for_all (fun r -> check_rule_equivalence db r seed) Lemma1.all_rules)
+
+(* The lemma's warning, demonstrated: with rel = [], the non-empty
+   variants of rules 2 and 3 are NOT equivalences.  Concrete
+   counterexample: A = true, B arbitrary.
+     A OR SOME rec IN [] (B)  = true,  but SOME rec IN [] (A OR B) = false
+     A AND ALL rec IN [] (B)  = true,  but ALL rec IN [] (A AND B) = true —
+   so for rule 3 take A = false ... ALL over empty is true, A AND ... =
+   false: false AND ALL=true -> false; ALL rec IN [] (false AND B) = true. *)
+let test_nonempty_variants_fail_on_empty () =
+  let db = Fixtures.make () in
+  Relation.clear (Database.find_relation db "papers");
+  let b = eq (attr "rec" "pyear") (cint 1977) in
+  (* Rule 2 counterexample. *)
+  let f2 = F_or (F_true, f_some "rec" (base "papers") b) in
+  let wrong2 = Option.get (Lemma1.rewrite_assuming_nonempty Lemma1.Rule2 f2) in
+  let right2 = Option.get (Lemma1.rewrite db Lemma1.Rule2 f2) in
+  Alcotest.(check bool) "original is true" true (Naive_eval.closed_holds db f2);
+  Alcotest.(check bool) "non-empty variant is wrong" false
+    (Naive_eval.closed_holds db wrong2);
+  Alcotest.(check bool) "emptiness-aware rewrite is right" true
+    (Naive_eval.closed_holds db right2);
+  (* Rule 3 counterexample. *)
+  let f3 = F_and (F_false, f_all "rec" (base "papers") b) in
+  let wrong3 = Option.get (Lemma1.rewrite_assuming_nonempty Lemma1.Rule3 f3) in
+  let right3 = Option.get (Lemma1.rewrite db Lemma1.Rule3 f3) in
+  Alcotest.(check bool) "original is false" false (Naive_eval.closed_holds db f3);
+  Alcotest.(check bool) "non-empty variant is wrong" true
+    (Naive_eval.closed_holds db wrong3);
+  Alcotest.(check bool) "emptiness-aware rewrite is right" false
+    (Naive_eval.closed_holds db right3)
+
+(* Rules 1 and 4 are unconditional: they hold even on empty relations. *)
+let test_unconditional_rules_on_empty () =
+  let db = Fixtures.make () in
+  Relation.clear (Database.find_relation db "papers");
+  let b = eq (attr "rec" "pyear") (cint 1977) in
+  let f1 = F_and (F_true, f_some "rec" (base "papers") b) in
+  let g1 = Option.get (Lemma1.rewrite_assuming_nonempty Lemma1.Rule1 f1) in
+  Alcotest.(check bool) "rule 1 on empty" (Naive_eval.closed_holds db f1)
+    (Naive_eval.closed_holds db g1);
+  let f4 = F_or (F_false, f_all "rec" (base "papers") b) in
+  let g4 = Option.get (Lemma1.rewrite_assuming_nonempty Lemma1.Rule4 f4) in
+  Alcotest.(check bool) "rule 4 on empty" (Naive_eval.closed_holds db f4)
+    (Naive_eval.closed_holds db g4)
+
+(* Many-sorted semantics agrees with the one-sorted translation. *)
+let test_onesort_agrees =
+  QCheck.Test.make ~name:"one-sorted reduction preserves truth" ~count:100
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let db = Workload.Random_query.tiny_db (seed * 53) in
+      let f = closed_formula db seed in
+      Naive_eval.closed_holds db f = Onesort.closed_holds db f)
+
+let test_onesort_agrees_empty =
+  QCheck.Test.make ~name:"one-sorted reduction (empty relation)" ~count:60
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let db = Workload.Random_query.tiny_db (seed * 59) in
+      let victim = List.nth Workload.Random_query.relations (seed mod 4) in
+      Relation.clear (Database.find_relation db victim);
+      let f = closed_formula db seed in
+      Naive_eval.closed_holds db f = Onesort.closed_holds db f)
+
+let suite =
+  [
+    ( "lemma1",
+      [
+        QCheck_alcotest.to_alcotest test_rules_on_populated;
+        QCheck_alcotest.to_alcotest test_rules_on_empty_relations;
+        Alcotest.test_case "rules 2/3 fail without emptiness handling" `Quick
+          test_nonempty_variants_fail_on_empty;
+        Alcotest.test_case "rules 1/4 unconditional" `Quick
+          test_unconditional_rules_on_empty;
+        QCheck_alcotest.to_alcotest test_onesort_agrees;
+        QCheck_alcotest.to_alcotest test_onesort_agrees_empty;
+      ] );
+  ]

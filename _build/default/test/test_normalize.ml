@@ -1,0 +1,175 @@
+open Pascalr
+open Pascalr.Calculus
+open Relalg
+
+let v n = Value.int n
+
+let test_nnf_pushes_not () =
+  (* NOT (a < b AND SOME p (x = y)) = a >= b OR ALL p (x <> y) *)
+  let f =
+    f_not
+      (F_and
+         ( lt (attr "e" "enr") (cint 5),
+           F_some ("p", base "papers", eq (attr "p" "penr") (cint 1)) ))
+  in
+  let expected =
+    F_or
+      ( ge (attr "e" "enr") (cint 5),
+        F_all ("p", base "papers", ne (attr "p" "penr") (cint 1)) )
+  in
+  Alcotest.(check bool) "nnf" true (equal_formula (Normalize.nnf f) expected)
+
+let test_nnf_constant_folding () =
+  let f = F_atom { lhs = O_const (v 3); op = Value.Lt; rhs = O_const (v 5) } in
+  Alcotest.(check bool) "3<5 folds to true" true
+    (equal_formula (Normalize.nnf f) F_true);
+  Alcotest.(check bool) "not(3<5) folds to false" true
+    (equal_formula (Normalize.nnf (f_not f)) F_false)
+
+let test_prenex_order () =
+  (* ALL p (...) OR SOME c (SOME t (...)) gives prefix p, c, t. *)
+  let db = Fixtures.make () in
+  let q = Workload.Queries.running_query db in
+  let sf = Standard_form.of_query q in
+  let prefix =
+    List.map
+      (fun e -> (Normalize.quant_to_string e.Normalize.q, e.Normalize.v))
+      sf.Standard_form.prefix
+  in
+  Alcotest.(check (list (pair string string)))
+    "prefix order as in Example 2.2"
+    [ ("ALL", "p"); ("SOME", "c"); ("SOME", "t") ]
+    prefix
+
+let test_example_2_2_matrix () =
+  (* The standard form of Example 2.1 has the three conjunctions of
+     Example 2.2. *)
+  let db = Fixtures.make () in
+  let q = Workload.Queries.running_query db in
+  let sf = Standard_form.of_query q in
+  Alcotest.(check int) "three conjunctions" 3
+    (List.length sf.Standard_form.matrix);
+  let sizes =
+    List.sort compare (List.map List.length sf.Standard_form.matrix)
+  in
+  (* (prof, pyear<>1977), (prof, penr<>enr), (prof, clevel<=, tenr=, tcnr=) *)
+  Alcotest.(check (list int)) "conjunction sizes" [ 2; 2; 4 ] sizes
+
+let test_dnf_contradiction_pruning () =
+  (* (x=1 AND x<>1) OR (x=2) reduces to just x=2. *)
+  let a1 = eq (attr "e" "enr") (cint 1) in
+  let a1n = ne (attr "e" "enr") (cint 1) in
+  let a2 = eq (attr "e" "enr") (cint 2) in
+  let d = Normalize.dnf_of_matrix (f_or (F_and (a1, a1n)) a2) in
+  Alcotest.(check int) "one conjunction" 1 (List.length d)
+
+let test_dnf_subsumption () =
+  (* A OR (A AND B) = A. *)
+  let a = eq (attr "e" "enr") (cint 1) in
+  let b = eq (attr "e" "estatus") (cint 3) in
+  let d = Normalize.dnf_of_matrix (f_or a (F_and (a, b))) in
+  Alcotest.(check int) "subsumed" 1 (List.length d);
+  Alcotest.(check int) "the smaller conjunction" 1 (List.length (List.hd d))
+
+let test_dnf_duplicate_atoms () =
+  let a = eq (attr "e" "enr") (cint 1) in
+  let d = Normalize.dnf_of_matrix (F_and (a, a)) in
+  Alcotest.(check int) "atom deduplicated" 1 (List.length (List.hd d))
+
+let test_standard_form_roundtrip_semantics () =
+  (* to_query . of_query preserves the answer (non-empty ranges). *)
+  let db = Workload.University.generate Workload.University.default_params in
+  List.iter
+    (fun (name, q) ->
+      let direct = Naive_eval.run db q in
+      let via_sf = Naive_eval.run db (Standard_form.to_query (Standard_form.of_query q)) in
+      Alcotest.(check bool) (name ^ ": same answer") true
+        (Relation.equal_set direct via_sf))
+    [
+      ("running", Workload.Queries.running_query db);
+      ("example 4.5", Workload.Queries.example_4_5 db);
+      ("example 4.7", Workload.Queries.example_4_7 db);
+      ("existential", Workload.Queries.existential_query db);
+      ("universal", Workload.Queries.universal_query db);
+      ("suppliers-style all", Workload.Queries.all_eq_query db);
+    ]
+
+let test_adaptation_empty_papers () =
+  (* Example 2.2: with papers = [], the query must reduce to the
+     professors test; the un-adapted standard form would be wrong. *)
+  let db = Fixtures.make () in
+  Relation.clear (Database.find_relation db "papers");
+  let q = Workload.Queries.running_query db in
+  let adapted = Standard_form.adapt_query db q in
+  let result = Naive_eval.run db adapted in
+  Alcotest.(check (list string))
+    "all professors" Fixtures.running_query_answer_empty_papers
+    (Helpers.strings result);
+  (* The adapted body no longer quantifies over papers. *)
+  let rec mentions_papers = function
+    | F_true | F_false | F_atom _ -> false
+    | F_not f -> mentions_papers f
+    | F_and (a, b) | F_or (a, b) -> mentions_papers a || mentions_papers b
+    | F_some (_, r, f) | F_all (_, r, f) ->
+      String.equal r.range_rel "papers" || mentions_papers f
+  in
+  Alcotest.(check bool) "papers quantifier eliminated" false
+    (mentions_papers adapted.body)
+
+let test_adaptation_restricted_range () =
+  (* An extended range can be empty even when its base relation is not:
+     ALL p IN [papers: pyear = 1877] must adapt to true. *)
+  let db = Fixtures.make () in
+  let q =
+    {
+      free = [ ("e", base "employees") ];
+      select = [ ("e", "enr") ];
+      body =
+        f_all "p"
+          (restricted "papers" "p" (eq (attr "p" "pyear") (cint 1877)))
+          (eq (attr "p" "penr") (attr "e" "enr"));
+    }
+  in
+  let adapted = Standard_form.adapt_query db q in
+  Alcotest.(check bool) "body adapts to true" true
+    (equal_formula adapted.body F_true);
+  Alcotest.(check int) "all employees" 4
+    (Relation.cardinality (Naive_eval.run db adapted))
+
+let test_vacuous_quantifier_pruned () =
+  (* SOME p IN papers (e.enr = 1): p does not occur; over a non-empty
+     range the prefix entry must be dropped. *)
+  let q =
+    {
+      free = [ ("e", base "employees") ];
+      select = [ ("e", "enr") ];
+      body = f_some "p" (base "papers") (eq (attr "e" "enr") (cint 1));
+    }
+  in
+  let sf = Standard_form.of_query q in
+  Alcotest.(check int) "no prefix" 0 (List.length sf.Standard_form.prefix)
+
+let suite =
+  [
+    ( "normalize",
+      [
+        Alcotest.test_case "nnf pushes negation" `Quick test_nnf_pushes_not;
+        Alcotest.test_case "constant folding" `Quick test_nnf_constant_folding;
+        Alcotest.test_case "prenex order (Example 2.2)" `Quick
+          test_prenex_order;
+        Alcotest.test_case "Example 2.2 matrix shape" `Quick
+          test_example_2_2_matrix;
+        Alcotest.test_case "contradiction pruning" `Quick
+          test_dnf_contradiction_pruning;
+        Alcotest.test_case "subsumption pruning" `Quick test_dnf_subsumption;
+        Alcotest.test_case "duplicate atoms" `Quick test_dnf_duplicate_atoms;
+        Alcotest.test_case "standard form round trip" `Quick
+          test_standard_form_roundtrip_semantics;
+        Alcotest.test_case "Example 2.2 empty-papers adaptation" `Quick
+          test_adaptation_empty_papers;
+        Alcotest.test_case "empty extended range adaptation" `Quick
+          test_adaptation_restricted_range;
+        Alcotest.test_case "vacuous quantifier pruned" `Quick
+          test_vacuous_quantifier_pruned;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+(* Property-based equivalence testing: on random databases and random
+   well-typed queries, every strategy pipeline must return exactly the
+   naive evaluator's answer.  This exercises normalization, adaptation,
+   all four strategies and the three evaluation phases together. *)
+
+open Pascalr
+open Relalg
+
+let strategies_agree_on seed =
+  let db = Workload.Random_query.tiny_db (seed * 7919) in
+  let q = Workload.Random_query.generate db seed in
+  match Wellformed.check_query db q with
+  | Error e ->
+    QCheck.Test.fail_reportf "generator produced ill-formed query: %s@.%a"
+      e.Wellformed.message Calculus.pp_query q
+  | Ok () ->
+    let expected = Naive_eval.run db q in
+    List.for_all
+      (fun (sname, strategy) ->
+        let actual = Phased_eval.run ~strategy db q in
+        Relation.equal_set expected actual
+        ||
+        QCheck.Test.fail_reportf
+          "strategy %s differs on seed %d:@.%a@.expected %a@.got %a" sname seed
+          Calculus.pp_query q Relation.pp expected Relation.pp actual)
+      Strategy.all_presets
+
+let test_random_equivalence =
+  QCheck.Test.make ~name:"random queries: all strategies = naive" ~count:150
+    QCheck.(make Gen.(int_range 0 100_000))
+    strategies_agree_on
+
+(* Round trip through the standard form preserves semantics on random
+   queries too (after adaptation, so empty ranges are legal). *)
+let roundtrip_on seed =
+  let db = Workload.Random_query.tiny_db (seed * 104729) in
+  let q = Workload.Random_query.generate db (seed + 31) in
+  let adapted = Standard_form.adapt_query db q in
+  let direct = Naive_eval.run db adapted in
+  let via = Naive_eval.run db (Standard_form.to_query (Standard_form.of_query adapted)) in
+  Relation.equal_set direct via
+
+let test_roundtrip =
+  QCheck.Test.make ~name:"standard form round trip on random queries"
+    ~count:150
+    QCheck.(make Gen.(int_range 0 100_000))
+    roundtrip_on
+
+(* Adaptation is a semantic no-op: the adapted query has the same answer
+   as the original. *)
+let adaptation_preserves seed =
+  let db = Workload.Random_query.tiny_db (seed * 31337) in
+  let q = Workload.Random_query.generate db (seed + 77) in
+  let adapted = Standard_form.adapt_query db q in
+  Relation.equal_set (Naive_eval.run db q) (Naive_eval.run db adapted)
+
+let test_adaptation =
+  QCheck.Test.make ~name:"adaptation preserves semantics" ~count:150
+    QCheck.(make Gen.(int_range 0 100_000))
+    adaptation_preserves
+
+(* Torture: random query, random database configuration — possibly an
+   emptied relation, permanent indexes, paged storage — and every
+   strategy preset must still equal the naive evaluator. *)
+let torture seed =
+  let db = Workload.Random_query.tiny_db ((seed * 48271) + 1) in
+  (* Randomized environment, derived deterministically from the seed. *)
+  if seed land 1 = 0 then
+    Relation.clear
+      (Database.find_relation db
+         (List.nth Workload.Random_query.relations (seed mod 4)));
+  if seed land 2 = 0 then begin
+    ignore (Database.register_index db "timetable" ~on:"tcnr");
+    ignore (Database.register_index db "papers" ~on:"penr")
+  end;
+  if seed land 4 = 0 then
+    ignore (Database.attach_storage db ~pool_pages:((seed mod 7) + 2));
+  let q = Workload.Random_query.generate db (seed + 3) in
+  let expected = Naive_eval.run db q in
+  List.for_all
+    (fun (sname, strategy) ->
+      Relation.equal_set expected (Phased_eval.run ~strategy db q)
+      ||
+      QCheck.Test.fail_reportf "torture: %s differs on seed %d:@.%a" sname seed
+        Calculus.pp_query q)
+    Strategy.all_presets
+
+let test_torture =
+  QCheck.Test.make
+    ~name:"torture: random db config (empty/indexes/paged) x strategies"
+    ~count:120
+    QCheck.(make Gen.(int_range 0 100_000))
+    torture
+
+let suite =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest test_random_equivalence;
+        QCheck_alcotest.to_alcotest test_roundtrip;
+        QCheck_alcotest.to_alcotest test_adaptation;
+        QCheck_alcotest.to_alcotest test_torture;
+      ] );
+  ]

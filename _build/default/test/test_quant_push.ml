@@ -1,0 +1,200 @@
+(* Unit tests for strategy 4's plan transformation: splitting conditions
+   (Lemma 1), quantifier swapping, operator orientation, and the nested
+   pushes of Example 4.7. *)
+
+open Pascalr
+open Pascalr.Calculus
+open Relalg
+
+let prepare_plan db q strategy = Phased_eval.prepare db strategy q
+
+(* SOME with one dyadic term: pushed. *)
+let test_some_single_dyadic_pushed () =
+  let db = Fixtures.make () in
+  let q = Workload.Queries.minmax_some_query db in
+  let plan = prepare_plan db q Strategy.s1234 in
+  Alcotest.(check int) "prefix emptied" 0 (List.length plan.Plan.prefix);
+  let conj = List.hd plan.Plan.conjs in
+  Alcotest.(check int) "one derived predicate" 1 (List.length conj.Plan.derived);
+  let vm, p = List.hd conj.Plan.derived in
+  Alcotest.(check string) "attached to e" "e" vm;
+  Alcotest.(check string) "pushed variable" "p" p.Plan.p_var;
+  Alcotest.(check string) "outer attr" "enr" p.Plan.p_outer_attr;
+  Alcotest.(check string) "inner attr" "penr" p.Plan.p_inner_attr
+
+(* Orientation: the atom p.penr >= e.enr must orient to e.enr <= p.penr. *)
+let test_orientation_flips () =
+  let db = Fixtures.make () in
+  let q =
+    {
+      free = [ ("e", base "employees") ];
+      select = [ ("e", "enr") ];
+      body = f_some "p" (base "papers") (ge (attr "p" "penr") (attr "e" "enr"));
+    }
+  in
+  let plan = prepare_plan db q Strategy.s1234 in
+  let _, p = List.hd (List.hd plan.Plan.conjs).Plan.derived in
+  Alcotest.(check string) "op flipped to <=" "<="
+    (Value.comparison_to_string p.Plan.p_op);
+  (* And the answer matches the naive evaluator. *)
+  Alcotest.(check bool) "correct" true
+    (Relation.equal_set (Naive_eval.run db q)
+       (Phased_eval.run ~strategy:Strategy.s1234 db q))
+
+(* Two dyadic terms over the same quantified variable: not pushable. *)
+let test_two_dyadics_not_pushed () =
+  let db = Fixtures.make () in
+  let q =
+    {
+      free = [ ("e", base "employees") ];
+      select = [ ("e", "enr") ];
+      body =
+        f_some "t" (base "timetable")
+          (f_and
+             (eq (attr "t" "tenr") (attr "e" "enr"))
+             (le (attr "t" "tcnr") (attr "e" "enr")));
+    }
+  in
+  let plan = prepare_plan db q Strategy.s1234 in
+  Alcotest.(check int) "t stays in the prefix" 1 (List.length plan.Plan.prefix)
+
+(* An ALL variable occurring in two conjunctions: Lemma 1 forbids the
+   split. *)
+let test_all_in_two_conjunctions_not_pushed () =
+  let db = Fixtures.make () in
+  let q =
+    {
+      free = [ ("e", base "employees") ];
+      select = [ ("e", "enr") ];
+      body =
+        f_all "p" (base "papers")
+          (f_or
+             (f_and (eq (attr "p" "penr") (attr "e" "enr")) (eq (attr "e" "estatus") (const (Workload.Queries.professor db))))
+             (f_and (ne (attr "p" "penr") (attr "e" "enr")) (lt (attr "e" "enr") (cint 3))));
+    }
+  in
+  let plan = prepare_plan db q Strategy.s12 in
+  (* sanity: p occurs in both conjunctions *)
+  let p_conjs =
+    List.filter
+      (fun c -> Var_set.mem "p" (Plan.conj_vars c))
+      plan.Plan.conjs
+  in
+  Alcotest.(check int) "p in two conjunctions" 2 (List.length p_conjs);
+  let pushed = prepare_plan db q Strategy.s1234 in
+  Alcotest.(check int) "p stays in the prefix" 1
+    (List.length pushed.Plan.prefix);
+  (* A SOME variable in two conjunctions IS pushable. *)
+  let q_some =
+    { q with body = (match q.body with
+        | F_all (v, r, f) -> F_some (v, r, f)
+        | f -> f) }
+  in
+  let pushed_some = prepare_plan db q_some Strategy.s1234 in
+  Alcotest.(check int) "SOME p leaves the prefix" 0
+    (List.length pushed_some.Plan.prefix);
+  (* Both agree with naive regardless. *)
+  List.iter
+    (fun query ->
+      Alcotest.(check bool) "correct" true
+        (Relation.equal_set (Naive_eval.run db query)
+           (Phased_eval.run ~strategy:Strategy.s1234 db query)))
+    [ q; q_some ]
+
+(* Swapping: SOME/ALL that share a conjunction must not swap; the
+   movability check blocks the push of the non-rightmost variable. *)
+let test_dependent_quantifiers_not_swapped () =
+  let db = Fixtures.make () in
+  (* ALL p SOME t with p and t in the same conjunction: t (rightmost) is
+     pushable, after which p's conjunction shape decides p. *)
+  let q =
+    {
+      free = [ ("e", base "employees") ];
+      select = [ ("e", "enr") ];
+      body =
+        f_all "p" (base "papers")
+          (f_some "t" (base "timetable")
+             (f_and
+                (eq (attr "t" "tenr") (attr "p" "penr"))
+                (eq (attr "p" "penr") (attr "e" "enr"))));
+    }
+  in
+  let plan0 = prepare_plan db q Strategy.s12 in
+  (match plan0.Plan.prefix with
+  | [ a; b ] ->
+    Alcotest.(check bool) "p before t" true
+      (String.equal a.Normalize.v "p" && String.equal b.Normalize.v "t");
+    (* p cannot move right past t: they share a conjunction and have
+       different quantifiers. *)
+    Alcotest.(check bool) "p not movable" false
+      (Quant_push.movable_to_rightmost plan0 plan0.Plan.prefix a);
+    Alcotest.(check bool) "t trivially movable" true
+      (Quant_push.movable_to_rightmost plan0 plan0.Plan.prefix b)
+  | _ -> Alcotest.fail "expected two prefix entries");
+  Alcotest.(check bool) "correct" true
+    (Relation.equal_set (Naive_eval.run db q)
+       (Phased_eval.run ~strategy:Strategy.s1234 db q))
+
+(* Example 4.7's nesting: pushing c, then t, then p produces a derived
+   predicate on t that nests c's. *)
+let test_nested_pushes_example_4_7 () =
+  let db = Fixtures.make () in
+  let q = Workload.Queries.example_4_7 db in
+  let plan = prepare_plan db q Strategy.s1234 in
+  Alcotest.(check int) "prefix emptied" 0 (List.length plan.Plan.prefix);
+  (* One conjunction carries a derived SOME-t predicate whose nested
+     list contains the SOME-c predicate (tset built from cset). *)
+  let nested_found =
+    List.exists
+      (fun (c : Plan.conj) ->
+        List.exists
+          (fun ((_, p) : var * Plan.pushed) ->
+            String.equal p.Plan.p_var "t" && p.Plan.p_nested <> [])
+          c.Plan.derived)
+      plan.Plan.conjs
+  in
+  Alcotest.(check bool) "t's predicate nests c's (cset within tset)" true
+    nested_found
+
+(* The pushed plan's value lists choose the paper's storage policies. *)
+let test_storage_policies_via_pipeline () =
+  let db = Workload.University.generate Workload.University.small_params in
+  let check q expect_max =
+    let report = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+    let vlist_total =
+      List.fold_left
+        (fun acc (key, size) ->
+          if String.length key >= 6 && String.sub key 0 6 = "vlist:" then
+            acc + size
+          else acc)
+        0 report.Phased_eval.intermediates
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "stored %d <= %d" vlist_total expect_max)
+      true
+      (vlist_total <= expect_max && vlist_total > 0)
+  in
+  check (Workload.Queries.minmax_some_query db) 2;
+  check (Workload.Queries.minmax_all_query db) 2;
+  check (Workload.Queries.all_eq_query db) 1;
+  check (Workload.Queries.some_ne_query db) 1
+
+let suite =
+  [
+    ( "quant_push",
+      [
+        Alcotest.test_case "SOME single dyadic pushed" `Quick
+          test_some_single_dyadic_pushed;
+        Alcotest.test_case "operator orientation" `Quick test_orientation_flips;
+        Alcotest.test_case "two dyadics not pushed" `Quick
+          test_two_dyadics_not_pushed;
+        Alcotest.test_case "ALL in two conjunctions not pushed (Lemma 1)"
+          `Quick test_all_in_two_conjunctions_not_pushed;
+        Alcotest.test_case "dependent quantifiers not swapped" `Quick
+          test_dependent_quantifiers_not_swapped;
+        Alcotest.test_case "nested pushes (Example 4.7)" `Quick
+          test_nested_pushes_example_4_7;
+        Alcotest.test_case "storage policies" `Quick
+          test_storage_policies_via_pipeline;
+      ] );
+  ]

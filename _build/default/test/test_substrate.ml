@@ -1,0 +1,279 @@
+(* Unit tests for the remaining substrate modules: domains, schemas,
+   tuples, indexes and value lists. *)
+
+open Relalg
+
+(* --------------------------------------------------------------- *)
+(* Vtype *)
+
+let level =
+  Vtype.enum "leveltype" [| "freshman"; "sophomore"; "junior"; "senior" |]
+
+let test_vtype_membership () =
+  Alcotest.(check bool) "in subrange" true
+    (Vtype.member (Vtype.int_range 1900 1999) (Value.int 1977));
+  Alcotest.(check bool) "below subrange" false
+    (Vtype.member (Vtype.int_range 1900 1999) (Value.int 1899));
+  Alcotest.(check bool) "string within width" true
+    (Vtype.member (Vtype.string_width 5) (Value.str "abc"));
+  Alcotest.(check bool) "string too wide" false
+    (Vtype.member (Vtype.string_width 2) (Value.str "abc"));
+  (match level with
+  | Vtype.TEnum info ->
+    Alcotest.(check bool) "enum member" true
+      (Vtype.member level (Value.enum info "junior"));
+    Alcotest.(check bool) "foreign enum rejected" false
+      (Vtype.member level
+         (Value.enum { Value.enum_name = "other"; labels = [| "junior" |] } "junior"))
+  | _ -> Alcotest.fail "expected enum");
+  Alcotest.(check bool) "reference type" true
+    (Vtype.member (Vtype.reference "employees")
+       (Value.VRef (Reference.make ~target:"employees" ~key:[ Value.int 1 ])));
+  Alcotest.(check bool) "wrong target" false
+    (Vtype.member (Vtype.reference "employees")
+       (Value.VRef (Reference.make ~target:"papers" ~key:[ Value.int 1 ])))
+
+let test_vtype_comparability () =
+  Alcotest.(check bool) "subranges comparable" true
+    (Vtype.comparable (Vtype.int_range 1 9) (Vtype.int_range 100 200));
+  Alcotest.(check bool) "int vs string not" false
+    (Vtype.comparable Vtype.int_full Vtype.string_any);
+  Alcotest.(check bool) "same enum" true (Vtype.comparable level level)
+
+let test_vtype_enumerate () =
+  (match Vtype.enumerate (Vtype.int_range 3 6) with
+  | Some vs -> Alcotest.(check int) "4 values" 4 (List.length vs)
+  | None -> Alcotest.fail "expected enumeration");
+  (match Vtype.enumerate level with
+  | Some vs -> Alcotest.(check int) "4 labels" 4 (List.length vs)
+  | None -> Alcotest.fail "expected enumeration");
+  Alcotest.(check bool) "strings not enumerable" true
+    (Vtype.enumerate Vtype.string_any = None)
+
+let test_vtype_errors () =
+  (match Vtype.int_range 5 1 with
+  | _ -> Alcotest.fail "expected Schema_error"
+  | exception Errors.Schema_error _ -> ());
+  match Vtype.enum "empty" [||] with
+  | _ -> Alcotest.fail "expected Schema_error"
+  | exception Errors.Schema_error _ -> ()
+
+(* --------------------------------------------------------------- *)
+(* Schema *)
+
+let abc =
+  Schema.make
+    [
+      Schema.attr "a" Vtype.int_full;
+      Schema.attr "b" Vtype.string_any;
+      Schema.attr "c" Vtype.boolean;
+    ]
+    ~key:[ "a" ]
+
+let test_schema_accessors () =
+  Alcotest.(check int) "arity" 3 (Schema.arity abc);
+  Alcotest.(check int) "index of b" 1 (Schema.index_of abc "b");
+  Alcotest.(check (list string)) "key" [ "a" ] (Schema.key_names abc);
+  Alcotest.(check bool) "mem" true (Schema.mem abc "c");
+  match Schema.index_of abc "z" with
+  | _ -> Alcotest.fail "expected Unknown_attribute"
+  | exception Errors.Unknown_attribute _ -> ()
+
+let test_schema_project_rename () =
+  let p = Schema.project abc [ "c"; "a" ] in
+  Alcotest.(check (list string)) "projection order" [ "c"; "a" ] (Schema.names p);
+  let r = Schema.rename abc [ ("a", "x") ] in
+  Alcotest.(check (list string)) "renamed" [ "x"; "b"; "c" ] (Schema.names r);
+  match Schema.rename abc [ ("a", "b") ] with
+  | _ -> Alcotest.fail "expected Schema_error on clash"
+  | exception Errors.Schema_error _ -> ()
+
+let test_schema_errors () =
+  (match
+     Schema.make
+       [ Schema.attr "a" Vtype.int_full; Schema.attr "a" Vtype.boolean ]
+       ~key:[]
+   with
+  | _ -> Alcotest.fail "duplicate names accepted"
+  | exception Errors.Schema_error _ -> ());
+  match Schema.make [ Schema.attr "a" Vtype.int_full ] ~key:[ "z" ] with
+  | _ -> Alcotest.fail "bad key accepted"
+  | exception Errors.Schema_error _ -> ()
+
+(* --------------------------------------------------------------- *)
+(* Tuple *)
+
+let test_tuple_operations () =
+  let t = Tuple.of_list [ Value.int 1; Value.str "x"; Value.bool true ] in
+  Alcotest.check Helpers.value "by name" (Value.str "x")
+    (Tuple.get_by_name abc t "b");
+  Alcotest.(check bool) "well typed" true (Tuple.well_typed abc t);
+  let bad = Tuple.of_list [ Value.str "no"; Value.str "x"; Value.bool true ] in
+  Alcotest.(check bool) "ill typed" false (Tuple.well_typed abc bad);
+  Alcotest.check Helpers.tuple "project"
+    (Tuple.of_list [ Value.bool true; Value.int 1 ])
+    (Tuple.project_names abc [ "c"; "a" ] t);
+  Alcotest.(check (list Helpers.value))
+    "key values" [ Value.int 1 ] (Tuple.key_of abc t);
+  (* lexicographic comparison: shorter first, then pointwise *)
+  let t2 = Tuple.of_list [ Value.int 1; Value.str "y"; Value.bool true ] in
+  Alcotest.(check bool) "t < t2" true (Tuple.compare t t2 < 0);
+  Alcotest.(check bool) "shorter first" true
+    (Tuple.compare (Tuple.of_list [ Value.int 9 ]) t < 0)
+
+(* --------------------------------------------------------------- *)
+(* Index *)
+
+let test_index_build_and_probe () =
+  let db = Fixtures.make () in
+  let timetable = Database.find_relation db "timetable" in
+  let idx = Index.build timetable ~on:[ "tcnr" ] in
+  Alcotest.(check int) "3 entries" 3 (Index.entry_count idx);
+  Alcotest.(check int) "2 distinct course numbers" 2 (Index.distinct_keys idx);
+  Alcotest.(check int) "course 10 taught by two" 2
+    (List.length (Index.lookup1 idx (Value.int 10)));
+  Alcotest.(check int) "course 99 by none" 0
+    (List.length (Index.lookup1 idx (Value.int 99)));
+  (* General-operator probe: tcnr <= 10. *)
+  let le10 =
+    Index.fold_matching idx Value.Le (Value.int 10) (fun acc _ -> acc + 1) 0
+  in
+  Alcotest.(check int) "tcnr <= 10" 2 le10;
+  let gt10 =
+    Index.fold_matching idx Value.Gt (Value.int 10) (fun acc _ -> acc + 1) 0
+  in
+  Alcotest.(check int) "tcnr > 10" 1 gt10
+
+let test_index_partial () =
+  let db = Fixtures.make () in
+  let papers = Database.find_relation db "papers" in
+  let schema = Relation.schema papers in
+  let idx =
+    Index.build papers ~on:[ "penr" ] ~filter:(fun t ->
+        Value.equal (Tuple.get_by_name schema t "pyear") (Value.int 1977))
+  in
+  Alcotest.(check int) "only 1977 papers" 2 (Index.entry_count idx)
+
+let test_index_to_relation () =
+  let db = Fixtures.make () in
+  let timetable = Database.find_relation db "timetable" in
+  let idx = Index.build timetable ~on:[ "tcnr" ] in
+  let rel = Index.to_relation ~name:"ind_t_cnr" idx (Relation.schema timetable) in
+  (* Figure 2's ind_t_cnr: RELATION <tcnr, tref>. *)
+  Alcotest.(check (list string)) "schema" [ "tcnr"; "ref" ]
+    (Schema.names (Relation.schema rel));
+  Alcotest.(check int) "one row per element" 3 (Relation.cardinality rel)
+
+(* --------------------------------------------------------------- *)
+(* Value lists *)
+
+let vl_of ints storage =
+  let vl = Value_list.create ~storage () in
+  List.iter (fun n -> Value_list.add vl (Value.int n)) ints;
+  vl
+
+let test_value_list_full () =
+  let vl = vl_of [ 5; 3; 9; 3; 5 ] Value_list.Full in
+  Alcotest.(check (option int)) "distinct" (Some 3) (Value_list.distinct_count vl);
+  Alcotest.(check int) "stored" 3 (Value_list.stored_size vl);
+  Alcotest.(check (option Helpers.value)) "min" (Some (Value.int 3))
+    (Value_list.min_value vl);
+  Alcotest.(check (option Helpers.value)) "max" (Some (Value.int 9))
+    (Value_list.max_value vl);
+  Alcotest.(check (list Helpers.value))
+    "sorted"
+    [ Value.int 3; Value.int 5; Value.int 9 ]
+    (Value_list.to_sorted_list vl)
+
+(* quant_holds must agree with the brute-force quantifier on every
+   operator for Full storage. *)
+let test_value_list_quant_exhaustive () =
+  let ints = [ 2; 4; 7 ] in
+  let vl = vl_of ints Value_list.Full in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun op ->
+          let brute_some =
+            List.exists (fun w -> Value.apply op (Value.int v) (Value.int w)) ints
+          in
+          let brute_all =
+            List.for_all (fun w -> Value.apply op (Value.int v) (Value.int w)) ints
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "SOME %d %s" v (Value.comparison_to_string op))
+            brute_some
+            (Value_list.quant_holds ~quant:Value_list.Q_some op (Value.int v) vl);
+          Alcotest.(check bool)
+            (Printf.sprintf "ALL %d %s" v (Value.comparison_to_string op))
+            brute_all
+            (Value_list.quant_holds ~quant:Value_list.Q_all op (Value.int v) vl))
+        Value.all_comparisons)
+    [ 0; 2; 3; 4; 7; 9 ]
+
+let test_value_list_bounds_storage () =
+  let vl = vl_of [ 2; 4; 7; 4 ] Value_list.Bounds in
+  Alcotest.(check int) "stores two values" 2 (Value_list.stored_size vl);
+  (* Order comparisons still decided exactly. *)
+  Alcotest.(check bool) "3 < SOME" true
+    (Value_list.quant_holds ~quant:Value_list.Q_some Value.Lt (Value.int 3) vl);
+  Alcotest.(check bool) "3 < ALL" false
+    (Value_list.quant_holds ~quant:Value_list.Q_all Value.Lt (Value.int 3) vl);
+  Alcotest.(check bool) "1 < ALL" true
+    (Value_list.quant_holds ~quant:Value_list.Q_all Value.Lt (Value.int 1) vl);
+  (* Membership is not available. *)
+  match Value_list.mem vl (Value.int 4) with
+  | _ -> Alcotest.fail "expected Type_error"
+  | exception Errors.Type_error _ -> ()
+
+let test_value_list_at_most_one () =
+  let single = vl_of [ 6; 6; 6 ] Value_list.At_most_one in
+  Alcotest.(check int) "one stored value" 1 (Value_list.stored_size single);
+  Alcotest.(check bool) "6 = ALL" true
+    (Value_list.quant_holds ~quant:Value_list.Q_all Value.Eq (Value.int 6) single);
+  Alcotest.(check bool) "5 = ALL" false
+    (Value_list.quant_holds ~quant:Value_list.Q_all Value.Eq (Value.int 5) single);
+  Alcotest.(check bool) "6 <> SOME" false
+    (Value_list.quant_holds ~quant:Value_list.Q_some Value.Ne (Value.int 6) single);
+  let multi = vl_of [ 6; 8 ] Value_list.At_most_one in
+  Alcotest.(check int) "still one stored value" 1 (Value_list.stored_size multi);
+  Alcotest.(check bool) "two distinct: ALL-= false" false
+    (Value_list.quant_holds ~quant:Value_list.Q_all Value.Eq (Value.int 6) multi);
+  Alcotest.(check bool) "two distinct: SOME-<> true" true
+    (Value_list.quant_holds ~quant:Value_list.Q_some Value.Ne (Value.int 6) multi)
+
+let test_value_list_empty () =
+  let vl = vl_of [] Value_list.Full in
+  Alcotest.(check bool) "SOME over empty" false
+    (Value_list.quant_holds ~quant:Value_list.Q_some Value.Eq (Value.int 1) vl);
+  Alcotest.(check bool) "ALL over empty" true
+    (Value_list.quant_holds ~quant:Value_list.Q_all Value.Eq (Value.int 1) vl)
+
+let suite =
+  [
+    ( "substrate",
+      [
+        Alcotest.test_case "vtype membership" `Quick test_vtype_membership;
+        Alcotest.test_case "vtype comparability" `Quick
+          test_vtype_comparability;
+        Alcotest.test_case "vtype enumerate" `Quick test_vtype_enumerate;
+        Alcotest.test_case "vtype errors" `Quick test_vtype_errors;
+        Alcotest.test_case "schema accessors" `Quick test_schema_accessors;
+        Alcotest.test_case "schema project/rename" `Quick
+          test_schema_project_rename;
+        Alcotest.test_case "schema errors" `Quick test_schema_errors;
+        Alcotest.test_case "tuple operations" `Quick test_tuple_operations;
+        Alcotest.test_case "index build/probe" `Quick test_index_build_and_probe;
+        Alcotest.test_case "partial index" `Quick test_index_partial;
+        Alcotest.test_case "index as Figure-2 relation" `Quick
+          test_index_to_relation;
+        Alcotest.test_case "value list (full)" `Quick test_value_list_full;
+        Alcotest.test_case "value list quantifiers vs brute force" `Quick
+          test_value_list_quant_exhaustive;
+        Alcotest.test_case "value list bounds storage" `Quick
+          test_value_list_bounds_storage;
+        Alcotest.test_case "value list at-most-one storage" `Quick
+          test_value_list_at_most_one;
+        Alcotest.test_case "value list empty" `Quick test_value_list_empty;
+      ] );
+  ]

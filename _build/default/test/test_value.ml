@@ -1,0 +1,95 @@
+open Relalg
+
+let status =
+  { Value.enum_name = "statustype"; labels = [| "student"; "professor" |] }
+
+let test_comparisons () =
+  Alcotest.(check bool) "3 < 5" true (Value.apply Value.Lt (Value.int 3) (Value.int 5));
+  Alcotest.(check bool) "3 >= 5" false (Value.apply Value.Ge (Value.int 3) (Value.int 5));
+  Alcotest.(check bool) "'ab' <= 'ab'" true
+    (Value.apply Value.Le (Value.str "ab") (Value.str "ab"));
+  Alcotest.(check bool) "'ab' <> 'ac'" true
+    (Value.apply Value.Ne (Value.str "ab") (Value.str "ac"));
+  Alcotest.(check bool) "student < professor" true
+    (Value.apply Value.Lt (Value.enum status "student") (Value.enum status "professor"))
+
+let test_cross_domain_comparison () =
+  Alcotest.check_raises "int vs string" (Errors.Type_error "cannot compare integer with string")
+    (fun () -> ignore (Value.apply Value.Eq (Value.int 1) (Value.str "x")))
+
+let test_negate_flip_involution () =
+  List.iter
+    (fun op ->
+      let a = Value.int 3 and b = Value.int 7 in
+      Alcotest.(check bool)
+        ("negate " ^ Value.comparison_to_string op)
+        (not (Value.apply op a b))
+        (Value.apply (Value.negate_comparison op) a b);
+      Alcotest.(check bool)
+        ("flip " ^ Value.comparison_to_string op)
+        (Value.apply op a b)
+        (Value.apply (Value.flip_comparison op) b a))
+    Value.all_comparisons
+
+let test_negate_flip_property =
+  let gen =
+    QCheck.Gen.(
+      pair (map Value.int (int_range (-50) 50)) (map Value.int (int_range (-50) 50)))
+  in
+  let arb = QCheck.make gen in
+  let prop (a, b) =
+    List.for_all
+      (fun op ->
+        Value.apply op a b = not (Value.apply (Value.negate_comparison op) a b)
+        && Value.apply op a b = Value.apply (Value.flip_comparison op) b a)
+      Value.all_comparisons
+  in
+  QCheck.Test.make ~name:"negate/flip laws" ~count:500 arb prop
+
+let test_references () =
+  let r = Reference.make ~target:"employees" ~key:[ Value.int 7 ] in
+  Alcotest.check Helpers.value "round trip"
+    (Value.VRef r)
+    (Reference.to_value (Reference.of_value (Value.VRef r)));
+  Alcotest.(check string) "target" "employees" (Reference.target r);
+  Alcotest.(check bool) "self equal" true (Reference.equal r r)
+
+let test_enum_errors () =
+  Alcotest.check_raises "bad label"
+    (Errors.Type_error "enum statustype has no label dean") (fun () ->
+      ignore (Value.enum status "dean"));
+  Alcotest.check_raises "bad ordinal"
+    (Errors.Type_error "enum statustype has no ordinal 9") (fun () ->
+      ignore (Value.enum_ordinal status 9))
+
+let test_hash_consistent_with_equal () =
+  let vs =
+    [
+      Value.int 3;
+      Value.str "abc";
+      Value.bool true;
+      Value.enum status "student";
+      Value.VRef (Reference.make ~target:"t" ~key:[ Value.int 1; Value.str "a" ]);
+    ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "hash stable" (Value.hash v) (Value.hash v))
+    vs
+
+let suite =
+  [
+    ( "value",
+      [
+        Alcotest.test_case "comparison operators" `Quick test_comparisons;
+        Alcotest.test_case "cross-domain comparison rejected" `Quick
+          test_cross_domain_comparison;
+        Alcotest.test_case "negate/flip involutions" `Quick
+          test_negate_flip_involution;
+        QCheck_alcotest.to_alcotest test_negate_flip_property;
+        Alcotest.test_case "references" `Quick test_references;
+        Alcotest.test_case "enum errors" `Quick test_enum_errors;
+        Alcotest.test_case "hash consistency" `Quick
+          test_hash_consistent_with_equal;
+      ] );
+  ]
