@@ -27,6 +27,47 @@ let time_median ?(repeat = 3) f =
   | [] -> 0.0
   | ts -> List.nth ts (List.length ts / 2)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results.  Selected experiments record one row per
+   measured cell; everything accumulated here is written to
+   BENCH_results.json when the harness finishes, so runs can be diffed
+   or plotted without scraping the printed tables. *)
+
+let results : Obs.Json.t list ref = ref []
+
+let record ~experiment ~query ~strategy ~scale ~wall_ms ~scans ~probes
+    ~max_ntuple ?pool_hit_rate ?(extra = []) () =
+  let open Obs.Json in
+  results :=
+    Obj
+      ([
+         ("experiment", Str experiment);
+         ("query", Str query);
+         ("strategy", Str strategy);
+         ("scale", Int scale);
+         ("wall_ms", Float wall_ms);
+         ("scans", Int scans);
+         ("probes", Int probes);
+         ("max_ntuple", Int max_ntuple);
+         ( "pool_hit_rate",
+           match pool_hit_rate with Some r -> Float r | None -> Null );
+       ]
+      @ extra)
+    :: !results
+
+let write_results path =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("harness", Obs.Json.Str "pascalr-bench");
+        ("results", Obs.Json.List (List.rev !results));
+      ]
+  in
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Fmt.pf ppf "%a@." Obs.Json.pp_pretty doc;
+  close_out oc
+
 (* University database scaled so the unoptimized combination phase stays
    tractable at the largest scale it is asked to run. *)
 let uni_params s =
@@ -77,15 +118,25 @@ let bench_scale () =
       Database.reset_counters db;
       let naive_ms = time_median ~repeat:1 (fun () -> Naive_eval.run db q) in
       let naive_scans = Database.total_scans db in
-      let cell (_, st) =
+      record ~experiment:"B-SCALE" ~query:"running" ~strategy:"naive" ~scale:s
+        ~wall_ms:naive_ms ~scans:naive_scans
+        ~probes:(Database.total_probes db) ~max_ntuple:0 ();
+      let cell (sname, st) =
         let feasible =
           s <= max_palermo_scale
           || (st.Strategy.range_extension && s <= 4)
           || st.Strategy.quantifier_push
         in
-        if feasible then
-          Some
-            (time_median ~repeat:1 (fun () -> Phased_eval.run ~strategy:st db q))
+        if feasible then begin
+          let report, ms =
+            time (fun () -> Phased_eval.run_report ~strategy:st db q)
+          in
+          record ~experiment:"B-SCALE" ~query:"running" ~strategy:sname
+            ~scale:s ~wall_ms:ms ~scans:report.Phased_eval.scans
+            ~probes:report.Phased_eval.probes
+            ~max_ntuple:report.Phased_eval.max_ntuple ();
+          Some ms
+        end
         else None
       in
       let cells = List.map cell strategies in
@@ -313,16 +364,29 @@ let bench_division () =
       in
       List.iter
         (fun (qname, q) ->
+          Database.reset_counters db;
           let naive_ms = time_median ~repeat:1 (fun () -> Naive_eval.run db q) in
-          let run st =
-            time_median ~repeat:1 (fun () -> Phased_eval.run ~strategy:st db q)
+          record ~experiment:"B-DIV" ~query:qname ~strategy:"naive" ~scale:s
+            ~wall_ms:naive_ms ~scans:(Database.total_scans db)
+            ~probes:(Database.total_probes db) ~max_ntuple:0 ();
+          let run sname st =
+            let report, ms =
+              time (fun () -> Phased_eval.run_report ~strategy:st db q)
+            in
+            record ~experiment:"B-DIV" ~query:qname ~strategy:sname ~scale:s
+              ~wall_ms:ms ~scans:report.Phased_eval.scans
+              ~probes:report.Phased_eval.probes
+              ~max_ntuple:report.Phased_eval.max_ntuple ();
+            ms
           in
           let palermo =
-            if s <= 2 then Fmt.str "%10.2f" (run Strategy.palermo)
+            if s <= 2 then Fmt.str "%10.2f" (run "palermo" Strategy.palermo)
             else Fmt.str "%10s" "-"
           in
           Fmt.pr "%-6d | %-20s | %10.2f %s %10.2f %10.2f@." s qname naive_ms
-            palermo (run Strategy.s123) (run Strategy.s1234))
+            palermo
+            (run "s1+s2+s3" Strategy.s123)
+            (run "s1+s2+s3+s4" Strategy.s1234))
         [
           ("ships all parts", Workload.Suppliers.ships_all_parts db);
           ("ships all red", Workload.Suppliers.ships_all_red_parts db);
@@ -340,17 +404,28 @@ let bench_page_io () =
   section "B-PAGE" "page I/O through the buffer pool (running query, scale 2)";
   Fmt.pr "%-12s | %13s %8s | %14s %8s@." "evaluator" "reads(pool 4)"
     "fetches" "reads(pool 32)" "fetches";
-  let run_with pool_pages eval =
+  let run_with pool_pages name eval =
     let db = Workload.University.generate (uni_params 2) in
     let q = Workload.Queries.running_query db in
     let pool = Database.attach_storage db ~pool_pages in
-    eval db q;
+    Database.reset_counters db;
+    let _, ms = time (fun () -> eval db q) in
     let s = Buffer_pool.stats pool in
+    record ~experiment:"B-PAGE" ~query:"running" ~strategy:name ~scale:2
+      ~wall_ms:ms ~scans:(Database.total_scans db)
+      ~probes:(Database.total_probes db) ~max_ntuple:0
+      ~pool_hit_rate:(Buffer_pool.hit_rate s)
+      ~extra:
+        [
+          ("pool_pages", Obs.Json.Int pool_pages);
+          ("page_reads", Obs.Json.Int s.Buffer_pool.misses);
+        ]
+      ();
     (s.Buffer_pool.misses, s.Buffer_pool.fetches)
   in
   let row name eval =
-    let m4, f4 = run_with 4 eval in
-    let m32, f32 = run_with 32 eval in
+    let m4, f4 = run_with 4 name eval in
+    let m32, f32 = run_with 32 name eval in
     Fmt.pr "%-12s | %13d %8d | %14d %8d@." name m4 f4 m32 f32
   in
   row "naive" (fun db q -> ignore (Naive_eval.run db q));
@@ -548,4 +623,6 @@ let () =
   bench_cnf ();
   bench_joins ();
   bench_bechamel ();
+  write_results "BENCH_results.json";
+  Fmt.pr "@.machine-readable results written to BENCH_results.json@.";
   Fmt.pr "@.done.@."

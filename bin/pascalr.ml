@@ -2,6 +2,8 @@
 
    Subcommands:
      run       evaluate a query against a generated sample database
+     analyze   EXPLAIN ANALYZE: evaluate under the span tracer and
+               report measured per-phase cost (text or --json)
      explain   show the transformation pipeline and evaluation plan
      plan      show the cost-based planner's decision
      normalize show the standard form (prenex + DNF) of a query
@@ -82,10 +84,71 @@ let resolve_query db ~query ~file ~example =
 let strategy_of_string = function
   | "palermo" -> Strategy.palermo
   | "s1" -> Strategy.s1
-  | "s12" -> Strategy.s12
-  | "s123" -> Strategy.s123
-  | "s1234" | "full" -> Strategy.full
+  | "s12" | "s1+s2" -> Strategy.s12
+  | "s123" | "s1+s2+s3" -> Strategy.s123
+  | "s1234" | "s1+s2+s3+s4" | "full" -> Strategy.full
+  | "s123c" | "s1+s2+s3cnf" -> Strategy.s123c
+  | "full-cnf" | "s1+s2+s3cnf+s4" -> Strategy.full_cnf
   | other -> failwith ("unknown strategy: " ^ other)
+
+(* ----------------------------------------------------------------- *)
+(* Logs wiring.  The library's [pascalr.eval] source has debug-level
+   messages for every pipeline transformation; without a reporter they
+   are unreachable.  --verbosity installs one writing to stderr. *)
+
+let log_reporter =
+  {
+    Logs.report =
+      (fun src level ~over k msgf ->
+        let k _ =
+          over ();
+          k ()
+        in
+        msgf (fun ?header ?tags fmt ->
+            ignore header;
+            ignore tags;
+            Format.kfprintf k Format.err_formatter
+              ("%s: [%s] " ^^ fmt ^^ "@.") (Logs.Src.name src)
+              (match level with
+              | Logs.App -> "app"
+              | Logs.Error -> "error"
+              | Logs.Warning -> "warning"
+              | Logs.Info -> "info"
+              | Logs.Debug -> "debug")));
+  }
+
+let setup_logs = function
+  | None -> ()
+  | Some level ->
+    Logs.set_level level;
+    Logs.set_reporter log_reporter
+
+let verbosity_arg =
+  (* [Some None] = reporter installed, all logging off. *)
+  let levels =
+    [
+      ("quiet", Some None);
+      ("error", Some (Some Logs.Error));
+      ("warn", Some (Some Logs.Warning));
+      ("warning", Some (Some Logs.Warning));
+      ("info", Some (Some Logs.Info));
+      ("debug", Some (Some Logs.Debug));
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) None
+    & info [ "verbosity" ] ~docv:"LEVEL"
+        ~doc:
+          "Install a Logs reporter at this level (quiet, error, warn, \
+           info, debug).  $(b,debug) surfaces the pipeline's \
+           transformation log (pascalr.eval source).")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the span trace (timing tree with metric deltas).")
 
 (* ----------------------------------------------------------------- *)
 (* Common options *)
@@ -94,7 +157,7 @@ let db_arg =
   Arg.(
     value
     & opt string "university"
-    & info [ "d"; "database" ] ~docv:"KIND"
+    & info [ "d"; "db"; "database" ] ~docv:"KIND"
         ~doc:"Sample database: university or suppliers.")
 
 let scale_arg =
@@ -181,18 +244,24 @@ let with_setup kind scale seed schema loads query file example k =
     1
 
 let run_cmd =
-  let go kind scale seed schema loads query file example strategy verbose =
+  let go kind scale seed schema loads query file example strategy verbose
+      trace verbosity =
+    setup_logs verbosity;
     with_setup kind scale seed schema loads query file example (fun db q ->
         Fmt.pr "query: %a@.@." Calculus.pp_query q;
         let t0 = Unix.gettimeofday () in
-        let decision, report =
+        let decision, st =
           match strategy with
-          | Some s ->
-            let st = strategy_of_string s in
-            (None, Phased_eval.run_report ~strategy:st db q)
+          | Some s -> (None, strategy_of_string s)
           | None ->
             let d = Planner.choose db q in
-            (Some d, Phased_eval.run_report ~strategy:d.Planner.d_strategy db q)
+            (Some d, d.Planner.d_strategy)
+        in
+        let report, span =
+          if trace then
+            let report, span = Phased_eval.run_traced ~strategy:st db q in
+            (report, Some span)
+          else (Phased_eval.run_report ~strategy:st db q, None)
         in
         let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
         (match decision with
@@ -208,7 +277,10 @@ let run_cmd =
           List.iter
             (fun (key, size) -> Fmt.pr "  %6d  %s@." size key)
             report.Phased_eval.intermediates
-        end)
+        end;
+        match span with
+        | Some span -> Fmt.pr "@.%a" Obs.Trace.pp span
+        | None -> ())
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show intermediates.")
@@ -217,7 +289,219 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Evaluate a query")
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
-      $ query_arg $ file_arg $ example_arg $ strategy_arg $ verbose)
+      $ query_arg $ file_arg $ example_arg $ strategy_arg $ verbose
+      $ trace_arg $ verbosity_arg)
+
+(* ----------------------------------------------------------------- *)
+(* analyze: EXPLAIN ANALYZE for the three-phase pipeline.  Runs the
+   query under the span tracer and reports, per pipeline step, measured
+   wall time and the metric deltas (relation scans/probes, index work,
+   tuples materialized, n-tuple growth, buffer-pool traffic) incurred
+   inside it — the paper's Sections 3-4 cost story as data. *)
+
+let phase_names =
+  [
+    "adapt";
+    "standard_form";
+    "range_extension";
+    "plan";
+    "quant_push";
+    "collection";
+    "combination";
+    "construction";
+  ]
+
+let eval_phases = [ "collection"; "combination"; "construction" ]
+
+type phase_row = {
+  ph_name : string;
+  ph_ms : float;
+  ph_scans : int;
+  ph_probes : int;
+  ph_max_ntuple : int;
+  ph_tuples : int;
+  ph_index_probes : int;
+  ph_pool_fetches : int;
+  ph_pool_misses : int;
+}
+
+let phase_row_of_span (s : Obs.Trace.span) =
+  let c = Obs.Trace.counter s in
+  {
+    ph_name = s.Obs.Trace.sp_name;
+    ph_ms = s.Obs.Trace.sp_elapsed_ms;
+    ph_scans = c "relation.scans";
+    ph_probes = c "relation.probes";
+    ph_max_ntuple =
+      (match
+         Obs.Metrics.get_gauge s.Obs.Trace.sp_metrics "combination.max_ntuple"
+       with
+      | Some g -> int_of_float g
+      | None -> 0);
+    ph_tuples = c "relation.inserts";
+    ph_index_probes = c "index.probes";
+    ph_pool_fetches = c "pool.fetches";
+    ph_pool_misses = c "pool.misses";
+  }
+
+(* A row for every pipeline step that actually ran, in pipeline order;
+   the three evaluation phases are always present (zero row if their
+   span is somehow missing) so the report shape is stable. *)
+let phase_rows root =
+  List.filter_map
+    (fun name ->
+      match Obs.Trace.find root name with
+      | Some s -> Some (phase_row_of_span s)
+      | None ->
+        if List.mem name eval_phases then
+          Some
+            {
+              ph_name = name;
+              ph_ms = 0.0;
+              ph_scans = 0;
+              ph_probes = 0;
+              ph_max_ntuple = 0;
+              ph_tuples = 0;
+              ph_index_probes = 0;
+              ph_pool_fetches = 0;
+              ph_pool_misses = 0;
+            }
+        else None)
+    phase_names
+
+let phase_row_json r =
+  let open Obs.Json in
+  let hit_rate =
+    if r.ph_pool_fetches = 0 then Null
+    else
+      Float
+        (float_of_int (r.ph_pool_fetches - r.ph_pool_misses)
+        /. float_of_int r.ph_pool_fetches)
+  in
+  Obj
+    [
+      ("name", Str r.ph_name);
+      ("wall_ms", Float r.ph_ms);
+      ("scans", Int r.ph_scans);
+      ("probes", Int r.ph_probes);
+      ("max_ntuple", Int r.ph_max_ntuple);
+      ("tuples_inserted", Int r.ph_tuples);
+      ("index_probes", Int r.ph_index_probes);
+      ("pool_fetches", Int r.ph_pool_fetches);
+      ("pool_misses", Int r.ph_pool_misses);
+      ("pool_hit_rate", hit_rate);
+    ]
+
+let pool_stats_json db =
+  let open Obs.Json in
+  match Database.pool_stats db with
+  | None -> Null
+  | Some s ->
+    Obj
+      [
+        ("fetches", Int s.Buffer_pool.fetches);
+        ("misses", Int s.Buffer_pool.misses);
+        ("evictions", Int s.Buffer_pool.evictions);
+        ("invalidations", Int s.Buffer_pool.invalidations);
+        ("hit_rate", Float (Buffer_pool.hit_rate s));
+      ]
+
+let analyze_cmd =
+  let go kind scale seed schema loads query file example strategy json
+      show_trace pool_pages verbosity =
+    setup_logs verbosity;
+    with_setup kind scale seed schema loads query file example (fun db q ->
+        (match pool_pages with
+        | Some n when n <= 0 -> failwith "--pool-pages must be positive"
+        | Some n -> ignore (Database.attach_storage db ~pool_pages:n)
+        | None -> ());
+        let st =
+          match strategy with
+          | Some s -> strategy_of_string s
+          | None -> (Planner.choose db q).Planner.d_strategy
+        in
+        let report, root = Phased_eval.run_traced ~strategy:st db q in
+        let rows = phase_rows root in
+        let total_ms = root.Obs.Trace.sp_elapsed_ms in
+        if json then begin
+          let doc =
+            Obs.Json.Obj
+              [
+                ("database", Obs.Json.Str kind);
+                ("scale", Obs.Json.Int scale);
+                ("query", Obs.Json.Str (Fmt.str "%a" Calculus.pp_query q));
+                ("strategy", Obs.Json.Str (Strategy.to_string st));
+                ( "result_cardinality",
+                  Obs.Json.Int
+                    (Relation.cardinality report.Phased_eval.result) );
+                ( "totals",
+                  Obs.Json.Obj
+                    [
+                      ("wall_ms", Obs.Json.Float total_ms);
+                      ("scans", Obs.Json.Int report.Phased_eval.scans);
+                      ("probes", Obs.Json.Int report.Phased_eval.probes);
+                      ( "max_ntuple",
+                        Obs.Json.Int report.Phased_eval.max_ntuple );
+                      ("pool", pool_stats_json db);
+                    ] );
+                ("phases", Obs.Json.List (List.map phase_row_json rows));
+                ( "intermediates",
+                  Obs.Json.Obj
+                    (List.map
+                       (fun (k, n) -> (k, Obs.Json.Int n))
+                       report.Phased_eval.intermediates) );
+                ("plan", Obs.Json.Str (Explain.explain ~strategy:st db q));
+                ("trace", Obs.Trace.to_json root);
+              ]
+          in
+          Fmt.pr "%a@." Obs.Json.pp_pretty doc
+        end
+        else begin
+          Fmt.pr "query: %a@.@." Calculus.pp_query q;
+          Fmt.pr "%s@." (Explain.explain ~strategy:st db q);
+          Fmt.pr "measured (wall clock, metric deltas per pipeline step):@.";
+          Fmt.pr "%-16s %10s %8s %8s %12s %10s@." "step" "wall ms" "scans"
+            "probes" "max-ntuple" "tuples";
+          List.iter
+            (fun r ->
+              Fmt.pr "%-16s %10.3f %8d %8d %12d %10d@." r.ph_name r.ph_ms
+                r.ph_scans r.ph_probes r.ph_max_ntuple r.ph_tuples)
+            rows;
+          Fmt.pr "%-16s %10.3f %8d %8d %12d@." "total" total_ms
+            report.Phased_eval.scans report.Phased_eval.probes
+            report.Phased_eval.max_ntuple;
+          (match Database.pool_stats db with
+          | Some s -> Fmt.pr "buffer pool: %a@." Buffer_pool.pp_stats s
+          | None -> ());
+          Fmt.pr "@.%d elements in the result.@."
+            (Relation.cardinality report.Phased_eval.result);
+          if show_trace then Fmt.pr "@.%a" Obs.Trace.pp root
+        end)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the full report as machine-readable JSON.")
+  in
+  let pool_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool-pages" ] ~docv:"N"
+          ~doc:
+            "Attach paged storage with a shared buffer pool of N pages \
+             before evaluating, so the report includes simulated page \
+             I/O and the pool hit rate.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Evaluate a query under the span tracer and report measured \
+          per-phase cost (EXPLAIN ANALYZE)")
+    Term.(
+      const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
+      $ query_arg $ file_arg $ example_arg $ strategy_arg $ json_arg
+      $ trace_arg $ pool_arg $ verbosity_arg)
 
 let explain_cmd =
   let go kind scale seed schema loads query file example strategy =
@@ -270,7 +554,8 @@ let normalize_cmd =
    END), e.g. the paper's Example 4.3; prints the named relations
    afterwards. *)
 let script_cmd =
-  let go path show =
+  let go path show verbosity =
+    setup_logs verbosity;
     try
       let db = Pascalr_lang.Interp.run_string (read_file path) in
       (match show with
@@ -310,7 +595,7 @@ let script_cmd =
   in
   Cmd.v
     (Cmd.info "script" ~doc:"Execute a statement-level PASCAL/R program")
-    Term.(const go $ path $ show)
+    Term.(const go $ path $ show $ verbosity_arg)
 
 let () =
   let info =
@@ -320,4 +605,11 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; explain_cmd; plan_cmd; normalize_cmd; script_cmd ]))
+          [
+            run_cmd;
+            analyze_cmd;
+            explain_cmd;
+            plan_cmd;
+            normalize_cmd;
+            script_cmd;
+          ]))

@@ -664,9 +664,13 @@ let rec execute_lazy t (specs_by_key : (string, spec) Hashtbl.t) (sp : spec) =
             invalid_arg ("Collection: unknown dependency " ^ dep))
       sp.sp_deps;
     let rel = Database.find_relation t.db sp.sp_rel in
-    let per_tuple, finish = sp.sp_start t in
-    Relation.scan per_tuple rel;
-    Hashtbl.replace t.cache sp.sp_key (finish ())
+    Obs.Trace.with_span
+      ~attrs:[ ("structure", Obs.Json.Str sp.sp_key) ]
+      ("scan " ^ sp.sp_rel)
+      (fun () ->
+        let per_tuple, finish = sp.sp_start t in
+        Relation.scan per_tuple rel;
+        Hashtbl.replace t.cache sp.sp_key (finish ()))
   end
 
 (* Strategy-1 execution: repeatedly pick the relation with the most
@@ -696,14 +700,25 @@ let execute_grouped t specs =
         by_rel ("", [])
     in
     let rel = Database.find_relation t.db best_rel in
-    let started = List.map (fun sp -> (sp, sp.sp_start t)) best in
-    Relation.scan
-      (fun tuple -> List.iter (fun (_, (per_tuple, _)) -> per_tuple tuple) started)
-      rel;
-    List.iter
-      (fun (sp, (_, finish)) -> Hashtbl.replace t.cache sp.sp_key (finish ()))
-      started;
-    let done_keys = List.map (fun (sp, _) -> sp.sp_key) started in
+    Obs.Trace.with_span
+      ~attrs:
+        [
+          ( "structures",
+            Obs.Json.List
+              (List.map (fun sp -> Obs.Json.Str sp.sp_key) best) );
+        ]
+      ("scan " ^ best_rel)
+      (fun () ->
+        let started = List.map (fun sp -> (sp, sp.sp_start t)) best in
+        Relation.scan
+          (fun tuple ->
+            List.iter (fun (_, (per_tuple, _)) -> per_tuple tuple) started)
+          rel;
+        List.iter
+          (fun (sp, (_, finish)) ->
+            Hashtbl.replace t.cache sp.sp_key (finish ()))
+          started);
+    let done_keys = List.map (fun sp -> sp.sp_key) best in
     pending :=
       List.filter (fun sp -> not (List.mem sp.sp_key done_keys)) !pending
   done

@@ -88,11 +88,19 @@ let eliminate_quantifiers coll (plan : Plan.t) rel =
     (fun acc (e : Normalize.prefix_entry) ->
       let v = e.Normalize.v in
       let remaining = List.filter (fun c -> not (String.equal c v)) (columns acc) in
-      match e.Normalize.q with
-      | Normalize.Q_some -> Algebra.project ~name:"refrel" acc remaining
-      | Normalize.Q_all ->
-        let divisor = Collection.base_list coll v in
-        Algebra.divide ~name:"refrel" ~on:[ (v, v) ] acc divisor)
+      Obs.Trace.with_span
+        (Fmt.str "eliminate %s %s" (Normalize.quant_to_string e.Normalize.q) v)
+        (fun () ->
+          let reduced =
+            match e.Normalize.q with
+            | Normalize.Q_some -> Algebra.project ~name:"refrel" acc remaining
+            | Normalize.Q_all ->
+              let divisor = Collection.base_list coll v in
+              Algebra.divide ~name:"refrel" ~on:[ (v, v) ] acc divisor
+          in
+          Obs.Trace.add_attr "ntuples"
+            (Obs.Json.Int (Relation.cardinality reduced));
+          reduced))
     rel
     (List.rev plan.Plan.prefix)
 
@@ -105,22 +113,31 @@ let evaluate_with_stats coll (plan : Plan.t) =
   let order = Plan.variable_order plan in
   let free_names = List.map fst plan.Plan.free in
   let max_ntuple = ref 0 in
+  let grow n =
+    max_ntuple := max !max_ntuple n;
+    Obs.Metrics.gauge_max "combination.max_ntuple" (float_of_int !max_ntuple)
+  in
   let conj_rels =
-    List.map
-      (fun conj ->
-        let components = Collection.components coll conj in
-        let r = pad coll order (combine_conjunction components) in
-        max_ntuple := max !max_ntuple (Relation.cardinality r);
-        r)
+    List.mapi
+      (fun i conj ->
+        Obs.Trace.with_span (Fmt.str "conjunction %d" i) (fun () ->
+            let components = Collection.components coll conj in
+            let r = pad coll order (combine_conjunction components) in
+            grow (Relation.cardinality r);
+            Obs.Trace.add_attr "ntuples"
+              (Obs.Json.Int (Relation.cardinality r));
+            r))
       plan.Plan.conjs
   in
   let unioned =
     match conj_rels with
     | [] -> Relation.create ~name:"refrel" (ntuple_schema plan order)
     | [ r ] -> r
-    | r :: rest -> List.fold_left (fun acc x -> Algebra.union ~name:"refrel" acc x) r rest
+    | r :: rest ->
+      Obs.Trace.with_span "union" (fun () ->
+          List.fold_left (fun acc x -> Algebra.union ~name:"refrel" acc x) r rest)
   in
-  max_ntuple := max !max_ntuple (Relation.cardinality unioned);
+  grow (Relation.cardinality unioned);
   let reduced = eliminate_quantifiers coll plan unioned in
   (Algebra.project ~name:"refrel" reduced free_names, !max_ntuple)
 

@@ -84,6 +84,7 @@ and holds db (env : benv) = function
    ranges, keep the combinations satisfying the body, project on the
    component selection. *)
 let run ?name db (q : query) =
+  Obs.Trace.with_span "naive_eval" @@ fun () ->
   let out_schema = Wellformed.result_schema db q in
   let result = Relation.create ?name out_schema in
   let project env =

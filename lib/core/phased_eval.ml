@@ -27,13 +27,23 @@ type report = {
 }
 
 let prepare db strategy query =
-  let adapted = Standard_form.adapt_query db query in
+  let adapted =
+    Obs.Trace.with_span "adapt" (fun () -> Standard_form.adapt_query db query)
+  in
   if not (Calculus.equal_formula adapted.Calculus.body query.Calculus.body)
   then
     Log.debug (fun m ->
         m "empty-range adaptation rewrote the query to %a" Calculus.pp_query
           adapted);
-  let sf = Standard_form.of_query adapted in
+  let sf =
+    Obs.Trace.with_span "standard_form" (fun () ->
+        let sf = Standard_form.of_query adapted in
+        Obs.Trace.add_attr "conjunctions"
+          (Obs.Json.Int (List.length sf.Standard_form.matrix));
+        Obs.Trace.add_attr "prefix"
+          (Obs.Json.Int (List.length sf.Standard_form.prefix));
+        sf)
+  in
   Log.debug (fun m ->
       m "standard form: %d conjunctions, prefix %d"
         (List.length sf.Standard_form.matrix)
@@ -41,7 +51,10 @@ let prepare db strategy query =
   let sf =
     if strategy.Strategy.range_extension || strategy.Strategy.cnf_extension
     then begin
-      let sf' = Range_ext.apply ~cnf:strategy.Strategy.cnf_extension db sf in
+      let sf' =
+        Obs.Trace.with_span "range_extension" (fun () ->
+            Range_ext.apply ~cnf:strategy.Strategy.cnf_extension db sf)
+      in
       Log.debug (fun m ->
           m "range extension: %d -> %d conjunctions"
             (List.length sf.Standard_form.matrix)
@@ -50,9 +63,11 @@ let prepare db strategy query =
     end
     else sf
   in
-  let plan = Plan.of_standard_form sf in
+  let plan = Obs.Trace.with_span "plan" (fun () -> Plan.of_standard_form sf) in
   if strategy.Strategy.quantifier_push then begin
-    let plan' = Quant_push.apply db plan in
+    let plan' =
+      Obs.Trace.with_span "quant_push" (fun () -> Quant_push.apply db plan)
+    in
     Log.debug (fun m ->
         m "quantifier pushing: prefix %d -> %d"
           (List.length plan.Plan.prefix)
@@ -64,9 +79,12 @@ let prepare db strategy query =
 let run ?name ?(strategy = Strategy.full) db query =
   let plan = prepare db strategy query in
   let coll = Collection.create db strategy plan in
-  Collection.run coll;
-  let refs = Combination.evaluate coll plan in
-  Construction.run ?name db plan refs
+  Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
+  let refs =
+    Obs.Trace.with_span "combination" (fun () -> Combination.evaluate coll plan)
+  in
+  Obs.Trace.with_span "construction" (fun () ->
+      Construction.run ?name db plan refs)
 
 (* Run with instrumentation.  Scan/probe counters of the database
    relations are reset first, so the report reflects this query alone. *)
@@ -74,17 +92,34 @@ let run_report ?name ?(strategy = Strategy.full) db query =
   Database.reset_counters db;
   let plan = prepare db strategy query in
   let coll = Collection.create db strategy plan in
-  Collection.run coll;
-  let refs, max_ntuple = Combination.evaluate_with_stats coll plan in
-  let result = Construction.run ?name db plan refs in
+  Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
+  let refs, max_ntuple =
+    Obs.Trace.with_span "combination" (fun () ->
+        Combination.evaluate_with_stats coll plan)
+  in
+  let result =
+    Obs.Trace.with_span "construction" (fun () ->
+        Construction.run ?name db plan refs)
+  in
   {
     result;
     plan;
     scans = Database.total_scans db;
-    probes =
-      List.fold_left
-        (fun acc r -> acc + Relation.probe_count r)
-        0 (Database.relations db);
+    probes = Database.total_probes db;
     max_ntuple;
     intermediates = Collection.intermediate_sizes coll;
   }
+
+(* Run under the span tracer: the whole pipeline executes below a root
+   span, so each phase (and each conjunction, quantifier elimination and
+   collection-phase scan below it) carries its own wall time and metric
+   deltas.  [Database.reset_counters] runs inside {!run_report}; the
+   per-span metric attribution is diff-based and unaffected. *)
+let run_traced ?name ?(strategy = Strategy.full) db query =
+  (* The high-water gauge is cumulative across queries in one process;
+     zero it so this trace's combination span reports this query's
+     maximum, not a larger one left over from an earlier run. *)
+  Obs.Metrics.set_gauge "combination.max_ntuple" 0.0;
+  Obs.Trace.collect "query"
+    ~attrs:[ ("strategy", Obs.Json.Str (Strategy.to_string strategy)) ]
+    (fun () -> run_report ?name ~strategy db query)

@@ -26,3 +26,15 @@ val run_report :
   ?name:string -> ?strategy:Strategy.t -> Database.t -> query -> report
 (** Evaluate with instrumentation; resets the database scan/probe
     counters first. *)
+
+val run_traced :
+  ?name:string ->
+  ?strategy:Strategy.t ->
+  Database.t ->
+  query ->
+  report * Obs.Trace.span
+(** {!run_report} under the span tracer: returns the report plus the
+    root span ("query") whose children are the pipeline steps — adapt,
+    standard_form, (range_extension,) plan, (quant_push,) collection,
+    combination, construction — each carrying wall time and the metric
+    deltas (scans, probes, tuples, pool traffic) incurred inside it. *)

@@ -52,6 +52,7 @@ let s4_applies db plan =
   List.length plan'.Plan.prefix < List.length plan.Plan.prefix
 
 let choose db query =
+  Obs.Trace.with_span "planner" @@ fun () ->
   let stats = Stats.collect db in
   let adapted = Standard_form.adapt_query db query in
   let sf = Standard_form.of_query adapted in
@@ -149,6 +150,7 @@ let choose db query =
     }
   in
   let final_plan = Phased_eval.prepare db strategy query in
+  Obs.Trace.add_attr "strategy" (Obs.Json.Str (Strategy.to_string strategy));
   {
     d_strategy = strategy;
     d_reasons = List.rev !reasons;

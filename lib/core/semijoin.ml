@@ -200,6 +200,7 @@ let reduce db (ranges : (var * range) list) (conj : Normalize.conjunction) =
   match graph_of_conjunction vars conj with
   | None -> None
   | Some g ->
+    Obs.Trace.with_span "semijoin_reduce" @@ fun () ->
     let monadic v = Plan.monadic_over v conj in
     let rels =
       List.map
@@ -236,6 +237,11 @@ let reduce db (ranges : (var * range) list) (conj : Normalize.conjunction) =
       end
     in
     let after = List.map (fun (v, r) -> (v, Relation.cardinality r)) rels in
+    let sizes l =
+      Obs.Json.Obj (List.map (fun (v, n) -> (v, Obs.Json.Int n)) l)
+    in
+    Obs.Trace.add_attr "before" (sizes before);
+    Obs.Trace.add_attr "after" (sizes after);
     Some { red_vars = rels; red_steps = steps; red_before = before; red_after = after }
 
 (* ----------------------------------------------------------------- *)

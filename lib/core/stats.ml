@@ -48,6 +48,7 @@ let collect_relation rel =
 type t = { per_rel : (string, rel_stats) Hashtbl.t }
 
 let collect db =
+  Obs.Trace.with_span "stats_collect" @@ fun () ->
   let per_rel = Hashtbl.create 8 in
   List.iter
     (fun rel -> Hashtbl.replace per_rel (Relation.name rel) (collect_relation rel))

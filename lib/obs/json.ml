@@ -1,0 +1,63 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity literals. *)
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Float f -> Fmt.string ppf (float_repr f)
+  | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | List items ->
+    Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ", ") pp) items
+  | Obj fields ->
+    Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") pp_field) fields
+
+and pp_field ppf (k, v) = Fmt.pf ppf "\"%s\": %a" (escape k) pp v
+
+let to_string t = Fmt.str "%a" pp t
+
+let rec pp_pretty ppf = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> pp ppf v
+  | List [] -> Fmt.string ppf "[]"
+  | List items ->
+    Fmt.pf ppf "@[<v2>[@,%a@;<0 -2>]@]"
+      (Fmt.list ~sep:(Fmt.any ",@,") pp_pretty)
+      items
+  | Obj [] -> Fmt.string ppf "{}"
+  | Obj fields ->
+    Fmt.pf ppf "@[<v2>{@,%a@;<0 -2>}@]"
+      (Fmt.list ~sep:(Fmt.any ",@,") (fun ppf (k, v) ->
+           Fmt.pf ppf "\"%s\": %a" (escape k) pp_pretty v))
+      fields
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None

@@ -1,0 +1,28 @@
+(** A minimal JSON document type and serializer.
+
+    The observability layer renders metric snapshots, trace trees and
+    benchmark results as JSON; nothing in the container provides a JSON
+    library, so this is the (small) machine-readable surface.  Only
+    construction and printing are supported — the engine never needs to
+    parse JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : t Fmt.t
+(** Compact rendering (no insignificant whitespace beyond single spaces
+    after [:] and [,]). *)
+
+val to_string : t -> string
+
+val pp_pretty : t Fmt.t
+(** Indented, human-skimmable rendering; still valid JSON. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] looks up field [k]; [None] on other variants. *)

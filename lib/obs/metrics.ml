@@ -1,0 +1,134 @@
+type datum =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; min : float; max : float }
+
+type instrument =
+  | I_counter of { mutable c : int }
+  | I_gauge of { mutable g : float }
+  | I_histogram of {
+      mutable count : int;
+      mutable sum : float;
+      mutable min : float;
+      mutable max : float;
+    }
+
+type snapshot = (string * datum) list
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let incr ?(by = 1) name =
+  match Hashtbl.find_opt registry name with
+  | Some (I_counter c) -> c.c <- c.c + by
+  | Some (I_gauge _ | I_histogram _) ->
+    invalid_arg ("Metrics.incr: " ^ name ^ " is not a counter")
+  | None -> Hashtbl.replace registry name (I_counter { c = by })
+
+let set_gauge name v =
+  match Hashtbl.find_opt registry name with
+  | Some (I_gauge g) -> g.g <- v
+  | Some (I_counter _ | I_histogram _) ->
+    invalid_arg ("Metrics.set_gauge: " ^ name ^ " is not a gauge")
+  | None -> Hashtbl.replace registry name (I_gauge { g = v })
+
+let gauge_max name v =
+  match Hashtbl.find_opt registry name with
+  | Some (I_gauge g) -> if v > g.g then g.g <- v
+  | Some (I_counter _ | I_histogram _) ->
+    invalid_arg ("Metrics.gauge_max: " ^ name ^ " is not a gauge")
+  | None -> Hashtbl.replace registry name (I_gauge { g = v })
+
+let observe name v =
+  match Hashtbl.find_opt registry name with
+  | Some (I_histogram h) ->
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min then h.min <- v;
+    if v > h.max then h.max <- v
+  | Some (I_counter _ | I_gauge _) ->
+    invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
+  | None ->
+    Hashtbl.replace registry name
+      (I_histogram { count = 1; sum = v; min = v; max = v })
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (I_counter c) -> c.c
+  | Some (I_gauge _ | I_histogram _) | None -> 0
+
+let freeze = function
+  | I_counter c -> Counter c.c
+  | I_gauge g -> Gauge g.g
+  | I_histogram h ->
+    Histogram { count = h.count; sum = h.sum; min = h.min; max = h.max }
+
+let snapshot () =
+  Hashtbl.fold (fun name i acc -> (name, freeze i) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Activity in the window between two snapshots.  Counters and histogram
+   count/sum subtract; a counter absent from [before] counts from zero.
+   Gauges are point-in-time: keep the [after] value, but only when it
+   differs from [before] (an untouched gauge is not activity). *)
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, d_after) ->
+      match d_after, List.assoc_opt name before with
+      | Counter a, Some (Counter b) ->
+        if a = b then None else Some (name, Counter (a - b))
+      | Counter a, _ -> if a = 0 then None else Some (name, Counter a)
+      | Gauge a, Some (Gauge b) -> if a = b then None else Some (name, Gauge a)
+      | Gauge a, _ -> Some (name, Gauge a)
+      | Histogram h, Some (Histogram b) ->
+        if h.count = b.count then None
+        else
+          Some
+            ( name,
+              Histogram
+                {
+                  count = h.count - b.count;
+                  sum = h.sum -. b.sum;
+                  min = h.min;
+                  max = h.max;
+                } )
+      | Histogram h, _ -> if h.count = 0 then None else Some (name, Histogram h))
+    after
+
+let find snap name = List.assoc_opt name snap
+
+let get_counter snap name =
+  match find snap name with
+  | Some (Counter c) -> c
+  | Some (Gauge _ | Histogram _) | None -> 0
+
+let get_gauge snap name =
+  match find snap name with
+  | Some (Gauge g) -> Some g
+  | Some (Counter _ | Histogram _) | None -> None
+
+let datum_to_json = function
+  | Counter c -> Json.Int c
+  | Gauge g -> Json.Float g
+  | Histogram h ->
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("sum", Json.Float h.sum);
+        ("min", Json.Float h.min);
+        ("max", Json.Float h.max);
+      ]
+
+let to_json snap = Json.Obj (List.map (fun (n, d) -> (n, datum_to_json d)) snap)
+
+let reset () = Hashtbl.reset registry
+
+let pp_datum ppf = function
+  | Counter c -> Fmt.int ppf c
+  | Gauge g -> Fmt.pf ppf "%g" g
+  | Histogram h ->
+    Fmt.pf ppf "count %d, sum %g, min %g, max %g" h.count h.sum h.min h.max
+
+let pp ppf snap =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (n, d) -> Fmt.pf ppf "%s: %a" n pp_datum d))
+    snap

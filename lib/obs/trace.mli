@@ -1,0 +1,52 @@
+(** Hierarchical span tracing for the query pipeline.
+
+    A span is one timed step (adapt, standard-form, plan, collection,
+    combination, construction, one conjunction, one quantifier
+    elimination, ...).  Spans nest; each closed span carries the
+    {!Metrics} activity that happened inside it ({!Metrics.diff} of the
+    registry around the span), so a trace answers both "where did the
+    time go" and "where did the scans/probes/tuples go".
+
+    Tracing is off by default and costs one flag test per
+    {!with_span} when off; the instrumentation sites stay in place
+    permanently.  {!collect} turns it on for the duration of one
+    callback and returns the finished tree.  The tracer is global and
+    single-threaded, like the metrics registry. *)
+
+type span = {
+  sp_name : string;
+  sp_elapsed_ms : float;
+  sp_attrs : (string * Json.t) list;  (** explicit attachments, in order *)
+  sp_metrics : Metrics.snapshot;  (** metric activity inside the span *)
+  sp_children : span list;  (** in execution order *)
+}
+
+val enabled : unit -> bool
+
+val with_span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run the callback under a child span of the current span.  When
+    tracing is off, just runs the callback.  The span is closed (timed,
+    metric delta attached) even if the callback raises. *)
+
+val add_attr : string -> Json.t -> unit
+(** Attach an attribute to the innermost open span; no-op when tracing
+    is off or no span is open.  A repeated key overwrites. *)
+
+val collect :
+  ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a * span
+(** [collect name f] enables tracing, runs [f] under a root span called
+    [name], disables tracing, and returns [f]'s result with the tree.
+    Nested calls raise [Invalid_argument]. *)
+
+val find : span -> string -> span option
+(** First descendant (preorder, the span itself included) with the given
+    name. *)
+
+val counter : span -> string -> int
+(** Counter delta recorded on the span; 0 when absent. *)
+
+val to_json : span -> Json.t
+(** [{name, elapsed_ms, attrs..., metrics, children}]. *)
+
+val pp : span Fmt.t
+(** Indented tree with timings and non-zero metric deltas. *)

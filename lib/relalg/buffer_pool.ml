@@ -7,6 +7,7 @@ type stats = {
   mutable fetches : int;  (* page requests *)
   mutable misses : int;  (* requests that had to "read from disk" *)
   mutable evictions : int;
+  mutable invalidations : int;  (* pages dropped by file rewrites *)
 }
 
 type t = {
@@ -22,9 +23,13 @@ let create ~capacity =
     capacity;
     resident = Hashtbl.create (2 * capacity);
     tick = 0;
-    stats = { fetches = 0; misses = 0; evictions = 0 };
+    stats = { fetches = 0; misses = 0; evictions = 0; invalidations = 0 };
   }
 
+(* O(resident) fold to find the LRU victim — up to O(capacity) per miss
+   once the pool is full.  Acceptable at the pool sizes the substrate
+   simulates (a few dozen frames); an intrusive doubly-linked list would
+   make this O(1) if pools ever grow. *)
 let evict_lru t =
   let victim =
     Hashtbl.fold
@@ -37,7 +42,8 @@ let evict_lru t =
   match victim with
   | Some (key, _) ->
     Hashtbl.remove t.resident key;
-    t.stats.evictions <- t.stats.evictions + 1
+    t.stats.evictions <- t.stats.evictions + 1;
+    Obs.Metrics.incr "pool.evictions"
   | None -> ()
 
 (* Record an access to [page] of [file]; returns [true] on a hit. *)
@@ -45,36 +51,53 @@ let access t ~file ~page =
   let key = (file, page) in
   t.tick <- t.tick + 1;
   t.stats.fetches <- t.stats.fetches + 1;
+  Obs.Metrics.incr "pool.fetches";
   match Hashtbl.find_opt t.resident key with
   | Some _ ->
     Hashtbl.replace t.resident key t.tick;
     true
   | None ->
     t.stats.misses <- t.stats.misses + 1;
+    Obs.Metrics.incr "pool.misses";
     if Hashtbl.length t.resident >= t.capacity then evict_lru t;
     Hashtbl.replace t.resident key t.tick;
     false
 
-(* Drop a file's pages (the file was rewritten). *)
+(* Drop a file's pages (the file was rewritten).  Dropped pages are
+   counted as [invalidations], not [evictions]: they leave the pool for
+   a different reason than capacity pressure, and the eviction count
+   must keep satisfying fetches = hits + misses bookkeeping under the
+   LRU experiments. *)
 let invalidate_file t ~file =
   let keys =
     Hashtbl.fold
       (fun (f, p) _ acc -> if f = file then (f, p) :: acc else acc)
       t.resident []
   in
-  List.iter (Hashtbl.remove t.resident) keys
+  List.iter (Hashtbl.remove t.resident) keys;
+  let n = List.length keys in
+  if n > 0 then begin
+    t.stats.invalidations <- t.stats.invalidations + n;
+    Obs.Metrics.incr ~by:n "pool.invalidations"
+  end
 
 let stats t = t.stats
 
 let reset_stats t =
   t.stats.fetches <- 0;
   t.stats.misses <- 0;
-  t.stats.evictions <- 0
+  t.stats.evictions <- 0;
+  t.stats.invalidations <- 0
 
 let resident_count t = Hashtbl.length t.resident
 
+let hit_rate s =
+  if s.fetches = 0 then 0.0
+  else float_of_int (s.fetches - s.misses) /. float_of_int s.fetches
+
 let pp_stats ppf s =
-  Fmt.pf ppf "fetches %d, misses %d (%.1f%%), evictions %d" s.fetches s.misses
+  Fmt.pf ppf "fetches %d, misses %d (%.1f%%), evictions %d, invalidations %d"
+    s.fetches s.misses
     (if s.fetches = 0 then 0.0
      else 100.0 *. float_of_int s.misses /. float_of_int s.fetches)
-    s.evictions
+    s.evictions s.invalidations

@@ -5,7 +5,8 @@
 type stats = {
   mutable fetches : int;
   mutable misses : int;  (** the simulated disk reads *)
-  mutable evictions : int;
+  mutable evictions : int;  (** dropped by LRU capacity pressure *)
+  mutable invalidations : int;  (** dropped because their file was rewritten *)
 }
 
 type t
@@ -19,6 +20,9 @@ val access : t -> file:int -> page:int -> bool
 val invalidate_file : t -> file:int -> unit
 
 val stats : t -> stats
+val hit_rate : stats -> float
+(** Fraction of fetches served from the pool; 0 with no fetches. *)
+
 val reset_stats : t -> unit
 val resident_count : t -> int
 val pp_stats : stats Fmt.t

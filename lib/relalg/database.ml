@@ -101,8 +101,57 @@ let attach_storage db ~pool_pages =
   Hashtbl.iter (fun _ r -> Relation.attach_storage r ~pool) db.rels;
   pool
 
+(* One call resets *all* measurement state — relation scan/probe
+   counters, permanent-index probe counters, and the stats of every
+   attached buffer pool — so benchmark iterations and [analyze] runs
+   never leak counts into each other.  Pools may be shared between
+   relations; resetting a shared pool more than once is harmless. *)
 let reset_counters db =
-  Hashtbl.iter (fun _ r -> Relation.reset_counters r) db.rels
+  Hashtbl.iter
+    (fun _ r ->
+      Relation.reset_counters r;
+      match Relation.buffer_pool r with
+      | Some pool -> Buffer_pool.reset_stats pool
+      | None -> ())
+    db.rels;
+  Hashtbl.iter (fun _ idx -> Index.reset_counters idx) db.perm_indexes
+
+let total_probes db =
+  Hashtbl.fold (fun _ r acc -> acc + Relation.probe_count r) db.rels 0
+
+let pool_stats db =
+  (* The combined stats of the distinct pools attached to this
+     database's relations (normally one shared pool). *)
+  let pools =
+    Hashtbl.fold
+      (fun _ r acc ->
+        match Relation.buffer_pool r with
+        | Some p when not (List.memq p acc) -> p :: acc
+        | Some _ | None -> acc)
+      db.rels []
+  in
+  match pools with
+  | [] -> None
+  | _ ->
+    let acc =
+      {
+        Buffer_pool.fetches = 0;
+        misses = 0;
+        evictions = 0;
+        invalidations = 0;
+      }
+    in
+    List.iter
+      (fun p ->
+        let s = Buffer_pool.stats p in
+        acc.Buffer_pool.fetches <- acc.Buffer_pool.fetches + s.Buffer_pool.fetches;
+        acc.Buffer_pool.misses <- acc.Buffer_pool.misses + s.Buffer_pool.misses;
+        acc.Buffer_pool.evictions <-
+          acc.Buffer_pool.evictions + s.Buffer_pool.evictions;
+        acc.Buffer_pool.invalidations <-
+          acc.Buffer_pool.invalidations + s.Buffer_pool.invalidations)
+      pools;
+    Some acc
 
 let total_scans db =
   Hashtbl.fold (fun _ r acc -> acc + Relation.scan_count r) db.rels 0

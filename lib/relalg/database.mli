@@ -43,6 +43,15 @@ val attach_storage : t -> pool_pages:int -> Buffer_pool.t
     the given capacity (in pages); returns the pool for statistics. *)
 
 val reset_counters : t -> unit
+(** Reset {e all} measurement state in one call: every relation's
+    scan/probe counters, every permanent index's probe counter, and the
+    stats of every attached buffer pool. *)
+
 val total_scans : t -> int
+val total_probes : t -> int
+
+val pool_stats : t -> Buffer_pool.stats option
+(** Combined stats of the distinct buffer pools attached to this
+    database's relations; [None] when no paged storage is attached. *)
 
 val pp : t Fmt.t

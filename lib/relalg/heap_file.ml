@@ -66,6 +66,7 @@ let iter ~pool t f =
   let pages = Array.of_list (List.rev t.pages) in
   Array.iteri
     (fun pageno page ->
+      Obs.Metrics.incr "heap.page_reads";
       ignore (Buffer_pool.access pool ~file:t.file_id ~page:pageno);
       let used = page_used page in
       let pos = ref header_size in

@@ -13,11 +13,18 @@ type t = {
   positions : int array;
   tbl : Value.reference list Value_key.table;
   mutable entry_count : int;
+  mutable probes : int;  (* lookups and comparison walks against this index *)
 }
 
 let source t = t.source
 let on t = t.on
 let entry_count t = t.entry_count
+let probe_count t = t.probes
+let reset_counters t = t.probes <- 0
+
+let count_probe t =
+  t.probes <- t.probes + 1;
+  Obs.Metrics.incr "index.probes"
 
 let create rel ~on =
   let schema = Relation.schema rel in
@@ -30,22 +37,27 @@ let create rel ~on =
     positions;
     tbl = Value_key.create 64;
     entry_count = 0;
+    probes = 0;
   }
 
 let add t rel tuple =
   let key = Array.to_list (Tuple.project t.positions tuple) in
   Value_key.add_multi t.tbl key (Reference.of_tuple rel tuple);
-  t.entry_count <- t.entry_count + 1
+  t.entry_count <- t.entry_count + 1;
+  Obs.Metrics.incr "index.entries"
 
 (* Build by a (counted) scan of the source relation; [filter] makes the
    index partial. *)
 let build ?filter rel ~on =
+  Obs.Metrics.incr "index.builds";
   let t = create rel ~on in
   let keep = Option.value filter ~default:(fun _ -> true) in
   Relation.scan (fun tuple -> if keep tuple then add t rel tuple) rel;
   t
 
-let lookup t values = Value_key.find_multi t.tbl values
+let lookup t values =
+  count_probe t;
+  Value_key.find_multi t.tbl values
 
 let lookup1 t v = lookup t [ v ]
 
@@ -64,6 +76,7 @@ let fold_matching t op probe f init =
   match op with
   | Value.Eq -> List.fold_left f init (lookup t [ probe ])
   | Value.Ne | Value.Lt | Value.Le | Value.Gt | Value.Ge ->
+    count_probe t;
     fold_entries
       (fun acc key refs ->
         match key with
@@ -79,6 +92,7 @@ let exists_matching t op probe =
   match op with
   | Value.Eq -> lookup t [ probe ] <> []
   | Value.Ne | Value.Lt | Value.Le | Value.Gt | Value.Ge ->
+    count_probe t;
     let found = ref false in
     (try
        iter_entries

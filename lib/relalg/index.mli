@@ -18,6 +18,11 @@ val on : t -> string list
 val entry_count : t -> int
 val distinct_keys : t -> int
 
+val probe_count : t -> int
+(** Lookups and comparison walks served by this index. *)
+
+val reset_counters : t -> unit
+
 val lookup : t -> Value.t list -> Value.reference list
 val lookup1 : t -> Value.t -> Value.reference list
 val mem : t -> Value.t list -> bool

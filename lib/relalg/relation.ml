@@ -62,6 +62,7 @@ let insert r t =
   match Key_table.find_opt r.tbl key with
   | None ->
     Key_table.replace r.tbl key t;
+    Obs.Metrics.incr "relation.inserts";
     (match r.backing with
     | Some b -> Heap_file.append b.hf (Codec.encode_tuple r.schema t)
     | None -> ())
@@ -78,6 +79,7 @@ let insert_list r ts = List.iter (insert r) ts
 
 let delete_key r key =
   r.probes <- r.probes + 1;
+  Obs.Metrics.incr "relation.probes";
   Key_table.remove r.tbl key;
   match r.backing with Some b -> b.dirty <- true | None -> ()
 
@@ -88,6 +90,7 @@ let clear r =
 (* Selected variable rel[keyval]. *)
 let find_key r key =
   r.probes <- r.probes + 1;
+  Obs.Metrics.incr "relation.probes";
   Key_table.find_opt r.tbl key
 
 let find_key_exn r key =
@@ -100,6 +103,7 @@ let find_key_exn r key =
 
 let mem_key r key =
   r.probes <- r.probes + 1;
+  Obs.Metrics.incr "relation.probes";
   Key_table.mem r.tbl key
 
 let mem_tuple r t =
@@ -130,6 +134,9 @@ let attach_storage r ~pool =
 
 let detach_storage r = r.backing <- None
 
+let buffer_pool r =
+  match r.backing with Some b -> Some b.pool | None -> None
+
 let backing_pages r =
   match r.backing with
   | Some b -> Some (Heap_file.page_count b.hf)
@@ -140,6 +147,7 @@ let backing_pages r =
    buffer pool. *)
 let scan f r =
   r.scans <- r.scans + 1;
+  Obs.Metrics.incr "relation.scans";
   match r.backing with
   | None -> iter f r
   | Some b ->
@@ -151,6 +159,7 @@ let scan_fold f init r =
   match r.backing with
   | None ->
     r.scans <- r.scans + 1;
+    Obs.Metrics.incr "relation.scans";
     fold f init r
   | Some _ ->
     let acc = ref init in

@@ -52,6 +52,9 @@ val attach_storage : t -> pool:Buffer_pool.t -> unit
 
 val detach_storage : t -> unit
 
+val buffer_pool : t -> Buffer_pool.t option
+(** The pool the relation's paged storage reads through, if attached. *)
+
 val backing_pages : t -> int option
 (** Number of heap-file pages, when paged storage is attached. *)
 

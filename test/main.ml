@@ -22,4 +22,6 @@ let () =
          Test_storage.suite;
          Test_csv.suite;
          Test_joins.suite;
+         Test_obs.suite;
+         Test_stats.suite;
        ])

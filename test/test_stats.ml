@@ -1,0 +1,71 @@
+(* Boundary cases of the statistics-based selectivity model. *)
+
+open Relalg
+open Pascalr
+
+let db_with rows =
+  let db = Database.create () in
+  let schema =
+    Schema.make
+      [ Schema.attr "k" Vtype.int_full; Schema.attr "s" Vtype.string_any ]
+      ~key:[]
+  in
+  let r = Database.declare_relation db ~name:"r" schema in
+  List.iter
+    (fun (k, s) ->
+      ignore (Relation.insert r (Tuple.of_list [ Value.int k; Value.str s ])))
+    rows;
+  db
+
+let sel db attr op c = Stats.monadic_selectivity (Stats.collect db) "r" attr op c
+
+let close = Alcotest.(check (float 1e-9))
+
+let test_eq_distinct () =
+  let db = db_with [ (1, "a"); (2, "b"); (3, "c"); (3, "d") ] in
+  close "eq is 1/distinct" (1.0 /. 3.0) (sel db "k" Value.Eq (Value.int 3));
+  close "ne is complement" (1.0 -. (1.0 /. 3.0))
+    (sel db "k" Value.Ne (Value.int 3))
+
+let test_interpolation_and_clamp () =
+  let db = db_with [ (0, "a"); (100, "b") ] in
+  close "midpoint interpolates" 0.5 (sel db "k" Value.Lt (Value.int 50));
+  close "below-min clamps low" 0.01 (sel db "k" Value.Lt (Value.int 0));
+  close "above-max clamps high" 0.99 (sel db "k" Value.Lt (Value.int 100));
+  close "gt mirrors lt" 0.99 (sel db "k" Value.Gt (Value.int 0));
+  close "gt at max clamps low" 0.01 (sel db "k" Value.Gt (Value.int 100))
+
+let test_degenerate_domain () =
+  (* min = max: interpolation is undefined, the model answers 0.5. *)
+  let db = db_with [ (7, "a"); (7, "b"); (7, "c") ] in
+  close "degenerate domain is neutral" 0.5
+    (sel db "k" Value.Lt (Value.int 7));
+  close "degenerate domain for ge" 0.5 (sel db "k" Value.Ge (Value.int 7))
+
+let test_string_values_neutral () =
+  (* Strings have no interpolatable domain: a neutral 0.5 guess. *)
+  let db = db_with [ (1, "alpha"); (2, "omega") ] in
+  close "string comparison is neutral" 0.5
+    (sel db "s" Value.Lt (Value.str "beta"))
+
+let test_missing_minmax () =
+  (* An empty relation has no min/max at all: the fallback is 0.33. *)
+  let db = db_with [] in
+  close "empty relation falls back" 0.33 (sel db "k" Value.Lt (Value.int 5));
+  (* Eq on an empty relation still answers via distinct (clamped to 1). *)
+  close "eq on empty relation" 1.0 (sel db "k" Value.Eq (Value.int 5))
+
+let suite =
+  [
+    ( "stats-selectivity",
+      [
+        Alcotest.test_case "eq via distinct" `Quick test_eq_distinct;
+        Alcotest.test_case "interpolation and clamping" `Quick
+          test_interpolation_and_clamp;
+        Alcotest.test_case "degenerate min=max domain" `Quick
+          test_degenerate_domain;
+        Alcotest.test_case "non-interpolatable strings" `Quick
+          test_string_values_neutral;
+        Alcotest.test_case "missing min/max" `Quick test_missing_minmax;
+      ] );
+  ]
