@@ -150,6 +150,29 @@ let trace_arg =
     & info [ "trace" ]
         ~doc:"Print the span trace (timing tree with metric deltas).")
 
+(* --failpoint SITE=TRIGGER: arm storage-layer fault-injection sites
+   before evaluating, e.g. --failpoint heap.read.short=nth:2. *)
+let failpoint_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "failpoint" ] ~docv:"SITE=TRIGGER"
+        ~doc:
+          "Arm a fault-injection site before evaluating (repeatable).  \
+           Sites: heap.write.partial, heap.read.short, pool.evict.io, \
+           codec.decode.corrupt, db.save.crash.  Triggers: $(b,nth:N), \
+           $(b,every:K), $(b,prob:P:SEED).")
+
+(* Called outside [with_setup]'s recovery, so report bad specs directly
+   with the usual prefix and exit code instead of an uncaught escape. *)
+let arm_failpoints specs =
+  List.iter
+    (fun spec ->
+      try Relalg.Failpoint.arm_spec spec
+      with Invalid_argument msg ->
+        Fmt.epr "pascalr: %s@." msg;
+        exit 1)
+    specs
+
 (* ----------------------------------------------------------------- *)
 (* Common options *)
 
@@ -242,12 +265,33 @@ let with_setup kind scale seed schema loads query file example k =
     Fmt.epr "pascalr: lexical error at line %d, column %d: %s@."
       pos.Pascalr_lang.Token.line pos.Pascalr_lang.Token.column msg;
     1
+  | Errors.Io_error msg ->
+    Fmt.epr "pascalr: I/O fault: %s@." msg;
+    1
+  | Errors.Corruption msg ->
+    Fmt.epr "pascalr: corruption detected: %s@." msg;
+    1
+
+let pool_pages_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pool-pages" ] ~docv:"N"
+        ~doc:
+          "Attach paged storage with a shared buffer pool of N pages \
+           before evaluating, so the run includes simulated page I/O \
+           (and fault-injection sites at the storage layer).")
 
 let run_cmd =
   let go kind scale seed schema loads query file example strategy verbose
-      trace verbosity =
+      trace pool_pages verbosity failpoints =
     setup_logs verbosity;
+    arm_failpoints failpoints;
     with_setup kind scale seed schema loads query file example (fun db q ->
+        (match pool_pages with
+        | Some n when n <= 0 -> failwith "--pool-pages must be positive"
+        | Some n -> ignore (Database.attach_storage db ~pool_pages:n)
+        | None -> ());
         Fmt.pr "query: %a@.@." Calculus.pp_query q;
         let t0 = Unix.gettimeofday () in
         let decision, st =
@@ -290,172 +334,35 @@ let run_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ verbose
-      $ trace_arg $ verbosity_arg)
+      $ trace_arg $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
 
 (* ----------------------------------------------------------------- *)
-(* analyze: EXPLAIN ANALYZE for the three-phase pipeline.  Runs the
-   query under the span tracer and reports, per pipeline step, measured
-   wall time and the metric deltas (relation scans/probes, index work,
-   tuples materialized, n-tuple growth, buffer-pool traffic) incurred
-   inside it — the paper's Sections 3-4 cost story as data. *)
-
-let phase_names =
-  [
-    "adapt";
-    "standard_form";
-    "range_extension";
-    "plan";
-    "quant_push";
-    "collection";
-    "combination";
-    "construction";
-  ]
-
-let eval_phases = [ "collection"; "combination"; "construction" ]
-
-type phase_row = {
-  ph_name : string;
-  ph_ms : float;
-  ph_scans : int;
-  ph_probes : int;
-  ph_max_ntuple : int;
-  ph_tuples : int;
-  ph_index_probes : int;
-  ph_pool_fetches : int;
-  ph_pool_misses : int;
-}
-
-let phase_row_of_span (s : Obs.Trace.span) =
-  let c = Obs.Trace.counter s in
-  {
-    ph_name = s.Obs.Trace.sp_name;
-    ph_ms = s.Obs.Trace.sp_elapsed_ms;
-    ph_scans = c "relation.scans";
-    ph_probes = c "relation.probes";
-    ph_max_ntuple =
-      (match
-         Obs.Metrics.get_gauge s.Obs.Trace.sp_metrics "combination.max_ntuple"
-       with
-      | Some g -> int_of_float g
-      | None -> 0);
-    ph_tuples = c "relation.inserts";
-    ph_index_probes = c "index.probes";
-    ph_pool_fetches = c "pool.fetches";
-    ph_pool_misses = c "pool.misses";
-  }
-
-(* A row for every pipeline step that actually ran, in pipeline order;
-   the three evaluation phases are always present (zero row if their
-   span is somehow missing) so the report shape is stable. *)
-let phase_rows root =
-  List.filter_map
-    (fun name ->
-      match Obs.Trace.find root name with
-      | Some s -> Some (phase_row_of_span s)
-      | None ->
-        if List.mem name eval_phases then
-          Some
-            {
-              ph_name = name;
-              ph_ms = 0.0;
-              ph_scans = 0;
-              ph_probes = 0;
-              ph_max_ntuple = 0;
-              ph_tuples = 0;
-              ph_index_probes = 0;
-              ph_pool_fetches = 0;
-              ph_pool_misses = 0;
-            }
-        else None)
-    phase_names
-
-let phase_row_json r =
-  let open Obs.Json in
-  let hit_rate =
-    if r.ph_pool_fetches = 0 then Null
-    else
-      Float
-        (float_of_int (r.ph_pool_fetches - r.ph_pool_misses)
-        /. float_of_int r.ph_pool_fetches)
-  in
-  Obj
-    [
-      ("name", Str r.ph_name);
-      ("wall_ms", Float r.ph_ms);
-      ("scans", Int r.ph_scans);
-      ("probes", Int r.ph_probes);
-      ("max_ntuple", Int r.ph_max_ntuple);
-      ("tuples_inserted", Int r.ph_tuples);
-      ("index_probes", Int r.ph_index_probes);
-      ("pool_fetches", Int r.ph_pool_fetches);
-      ("pool_misses", Int r.ph_pool_misses);
-      ("pool_hit_rate", hit_rate);
-    ]
-
-let pool_stats_json db =
-  let open Obs.Json in
-  match Database.pool_stats db with
-  | None -> Null
-  | Some s ->
-    Obj
-      [
-        ("fetches", Int s.Buffer_pool.fetches);
-        ("misses", Int s.Buffer_pool.misses);
-        ("evictions", Int s.Buffer_pool.evictions);
-        ("invalidations", Int s.Buffer_pool.invalidations);
-        ("hit_rate", Float (Buffer_pool.hit_rate s));
-      ]
+(* analyze: EXPLAIN ANALYZE for the three-phase pipeline.  The report
+   assembly (per-phase rows, JSON document) lives in {!Pascalr.Analyze}
+   so its schema is pinned by the golden-file test; this command only
+   prints it. *)
 
 let analyze_cmd =
   let go kind scale seed schema loads query file example strategy json
-      show_trace pool_pages verbosity =
+      show_trace pool_pages verbosity failpoints =
     setup_logs verbosity;
+    arm_failpoints failpoints;
     with_setup kind scale seed schema loads query file example (fun db q ->
-        (match pool_pages with
-        | Some n when n <= 0 -> failwith "--pool-pages must be positive"
-        | Some n -> ignore (Database.attach_storage db ~pool_pages:n)
-        | None -> ());
         let st =
           match strategy with
           | Some s -> strategy_of_string s
           | None -> (Planner.choose db q).Planner.d_strategy
         in
-        let report, root = Phased_eval.run_traced ~strategy:st db q in
-        let rows = phase_rows root in
-        let total_ms = root.Obs.Trace.sp_elapsed_ms in
-        if json then begin
-          let doc =
-            Obs.Json.Obj
-              [
-                ("database", Obs.Json.Str kind);
-                ("scale", Obs.Json.Int scale);
-                ("query", Obs.Json.Str (Fmt.str "%a" Calculus.pp_query q));
-                ("strategy", Obs.Json.Str (Strategy.to_string st));
-                ( "result_cardinality",
-                  Obs.Json.Int
-                    (Relation.cardinality report.Phased_eval.result) );
-                ( "totals",
-                  Obs.Json.Obj
-                    [
-                      ("wall_ms", Obs.Json.Float total_ms);
-                      ("scans", Obs.Json.Int report.Phased_eval.scans);
-                      ("probes", Obs.Json.Int report.Phased_eval.probes);
-                      ( "max_ntuple",
-                        Obs.Json.Int report.Phased_eval.max_ntuple );
-                      ("pool", pool_stats_json db);
-                    ] );
-                ("phases", Obs.Json.List (List.map phase_row_json rows));
-                ( "intermediates",
-                  Obs.Json.Obj
-                    (List.map
-                       (fun (k, n) -> (k, Obs.Json.Int n))
-                       report.Phased_eval.intermediates) );
-                ("plan", Obs.Json.Str (Explain.explain ~strategy:st db q));
-                ("trace", Obs.Trace.to_json root);
-              ]
-          in
-          Fmt.pr "%a@." Obs.Json.pp_pretty doc
-        end
+        let a =
+          try Analyze.run ?pool_pages ~strategy:st db q
+          with Invalid_argument _ -> failwith "--pool-pages must be positive"
+        in
+        let rows = a.Analyze.a_rows in
+        let total_ms = a.Analyze.a_root.Obs.Trace.sp_elapsed_ms in
+        let report = a.Analyze.a_report in
+        if json then
+          Fmt.pr "%a@." Obs.Json.pp_pretty
+            (Analyze.to_json ~database:kind ~scale db q a)
         else begin
           Fmt.pr "query: %a@.@." Calculus.pp_query q;
           Fmt.pr "%s@." (Explain.explain ~strategy:st db q);
@@ -464,8 +371,9 @@ let analyze_cmd =
             "probes" "max-ntuple" "tuples";
           List.iter
             (fun r ->
-              Fmt.pr "%-16s %10.3f %8d %8d %12d %10d@." r.ph_name r.ph_ms
-                r.ph_scans r.ph_probes r.ph_max_ntuple r.ph_tuples)
+              Fmt.pr "%-16s %10.3f %8d %8d %12d %10d@." r.Analyze.ph_name
+                r.Analyze.ph_ms r.Analyze.ph_scans r.Analyze.ph_probes
+                r.Analyze.ph_max_ntuple r.Analyze.ph_tuples)
             rows;
           Fmt.pr "%-16s %10.3f %8d %8d %12d@." "total" total_ms
             report.Phased_eval.scans report.Phased_eval.probes
@@ -473,25 +381,22 @@ let analyze_cmd =
           (match Database.pool_stats db with
           | Some s -> Fmt.pr "buffer pool: %a@." Buffer_pool.pp_stats s
           | None -> ());
+          (match Failpoint.armed_sites () with
+          | [] -> ()
+          | armed ->
+            Fmt.pr "failpoints: %a@."
+              (Fmt.list ~sep:Fmt.comma (fun ppf (site, trig) ->
+                   Fmt.pf ppf "%s=%s" site (Failpoint.trigger_to_string trig)))
+              armed);
           Fmt.pr "@.%d elements in the result.@."
             (Relation.cardinality report.Phased_eval.result);
-          if show_trace then Fmt.pr "@.%a" Obs.Trace.pp root
+          if show_trace then Fmt.pr "@.%a" Obs.Trace.pp a.Analyze.a_root
         end)
   in
   let json_arg =
     Arg.(
       value & flag
       & info [ "json" ] ~doc:"Emit the full report as machine-readable JSON.")
-  in
-  let pool_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "pool-pages" ] ~docv:"N"
-          ~doc:
-            "Attach paged storage with a shared buffer pool of N pages \
-             before evaluating, so the report includes simulated page \
-             I/O and the pool hit rate.")
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -501,7 +406,7 @@ let analyze_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ json_arg
-      $ trace_arg $ pool_arg $ verbosity_arg)
+      $ trace_arg $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
 
 let explain_cmd =
   let go kind scale seed schema loads query file example strategy =

@@ -1,0 +1,189 @@
+(* EXPLAIN ANALYZE report assembly.
+
+   Runs a query under the span tracer and shapes the result into the
+   per-phase cost rows and the machine-readable JSON document that
+   `pascalr analyze` prints.  Lives in the library (rather than the CLI)
+   so the report schema is a tested artifact: the golden-file test pins
+   the JSON key paths, and any drift fails the suite instead of silently
+   breaking downstream consumers. *)
+
+open Relalg
+
+let phase_names =
+  [
+    "adapt";
+    "standard_form";
+    "range_extension";
+    "plan";
+    "quant_push";
+    "collection";
+    "combination";
+    "construction";
+  ]
+
+let eval_phases = [ "collection"; "combination"; "construction" ]
+
+type phase_row = {
+  ph_name : string;
+  ph_ms : float;
+  ph_scans : int;
+  ph_probes : int;
+  ph_max_ntuple : int;
+  ph_tuples : int;
+  ph_index_probes : int;
+  ph_pool_fetches : int;
+  ph_pool_misses : int;
+}
+
+let phase_row_of_span (s : Obs.Trace.span) =
+  let c = Obs.Trace.counter s in
+  {
+    ph_name = s.Obs.Trace.sp_name;
+    ph_ms = s.Obs.Trace.sp_elapsed_ms;
+    ph_scans = c "relation.scans";
+    ph_probes = c "relation.probes";
+    ph_max_ntuple =
+      (match
+         Obs.Metrics.get_gauge s.Obs.Trace.sp_metrics "combination.max_ntuple"
+       with
+      | Some g -> int_of_float g
+      | None -> 0);
+    ph_tuples = c "relation.inserts";
+    ph_index_probes = c "index.probes";
+    ph_pool_fetches = c "pool.fetches";
+    ph_pool_misses = c "pool.misses";
+  }
+
+(* A row for every pipeline step that actually ran, in pipeline order;
+   the three evaluation phases are always present (zero row if their
+   span is somehow missing) so the report shape is stable. *)
+let phase_rows root =
+  List.filter_map
+    (fun name ->
+      match Obs.Trace.find root name with
+      | Some s -> Some (phase_row_of_span s)
+      | None ->
+        if List.mem name eval_phases then
+          Some
+            {
+              ph_name = name;
+              ph_ms = 0.0;
+              ph_scans = 0;
+              ph_probes = 0;
+              ph_max_ntuple = 0;
+              ph_tuples = 0;
+              ph_index_probes = 0;
+              ph_pool_fetches = 0;
+              ph_pool_misses = 0;
+            }
+        else None)
+    phase_names
+
+type t = {
+  a_report : Phased_eval.report;
+  a_root : Obs.Trace.span;
+  a_rows : phase_row list;
+  a_strategy : Strategy.t;
+}
+
+let run ?pool_pages ~strategy db q =
+  (match pool_pages with
+  | Some n when n <= 0 -> invalid_arg "Analyze.run: pool_pages must be positive"
+  | Some n -> ignore (Database.attach_storage db ~pool_pages:n)
+  | None -> ());
+  let report, root = Phased_eval.run_traced ~strategy db q in
+  { a_report = report; a_root = root; a_rows = phase_rows root; a_strategy = strategy }
+
+let phase_row_json r =
+  let open Obs.Json in
+  let hit_rate =
+    if r.ph_pool_fetches = 0 then Null
+    else
+      Float
+        (float_of_int (r.ph_pool_fetches - r.ph_pool_misses)
+        /. float_of_int r.ph_pool_fetches)
+  in
+  Obj
+    [
+      ("name", Str r.ph_name);
+      ("wall_ms", Float r.ph_ms);
+      ("scans", Int r.ph_scans);
+      ("probes", Int r.ph_probes);
+      ("max_ntuple", Int r.ph_max_ntuple);
+      ("tuples_inserted", Int r.ph_tuples);
+      ("index_probes", Int r.ph_index_probes);
+      ("pool_fetches", Int r.ph_pool_fetches);
+      ("pool_misses", Int r.ph_pool_misses);
+      ("pool_hit_rate", hit_rate);
+    ]
+
+let pool_stats_json db =
+  let open Obs.Json in
+  match Database.pool_stats db with
+  | None -> Null
+  | Some s ->
+    Obj
+      [
+        ("fetches", Int s.Buffer_pool.fetches);
+        ("misses", Int s.Buffer_pool.misses);
+        ("evictions", Int s.Buffer_pool.evictions);
+        ("invalidations", Int s.Buffer_pool.invalidations);
+        ("hit_rate", Float (Buffer_pool.hit_rate s));
+      ]
+
+(* Fault-injection and recovery activity, as counted in the global
+   metrics registry, plus the currently armed failpoint sites. *)
+let fault_counters =
+  [
+    "failpoint.fired";
+    "heap.torn_writes";
+    "storage.corruption_detected";
+    "storage.recovery_rebuilds";
+    "pool.evict_io_failures";
+    "db.save_crashes";
+  ]
+
+let faults_json () =
+  let open Obs.Json in
+  Obj
+    (List.map
+       (fun name -> (name, Int (Obs.Metrics.counter_value name)))
+       fault_counters
+    @ [
+        ( "armed",
+          List
+            (List.map
+               (fun (site, trig) ->
+                 Str (site ^ "=" ^ Failpoint.trigger_to_string trig))
+               (Failpoint.armed_sites ())) );
+      ])
+
+let to_json ~database ~scale db q a =
+  let open Obs.Json in
+  Obj
+    [
+      ("database", Str database);
+      ("scale", Int scale);
+      ("query", Str (Fmt.str "%a" Calculus.pp_query q));
+      ("strategy", Str (Strategy.to_string a.a_strategy));
+      ( "result_cardinality",
+        Int (Relation.cardinality a.a_report.Phased_eval.result) );
+      ( "totals",
+        Obj
+          [
+            ("wall_ms", Float a.a_root.Obs.Trace.sp_elapsed_ms);
+            ("scans", Int a.a_report.Phased_eval.scans);
+            ("probes", Int a.a_report.Phased_eval.probes);
+            ("max_ntuple", Int a.a_report.Phased_eval.max_ntuple);
+            ("pool", pool_stats_json db);
+          ] );
+      ("phases", List (List.map phase_row_json a.a_rows));
+      ( "intermediates",
+        Obj
+          (List.map
+             (fun (k, n) -> (k, Int n))
+             a.a_report.Phased_eval.intermediates) );
+      ("faults", faults_json ());
+      ("plan", Str (Explain.explain ~strategy:a.a_strategy db q));
+      ("trace", Obs.Trace.to_json a.a_root);
+    ]

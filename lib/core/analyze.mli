@@ -1,0 +1,42 @@
+(** EXPLAIN ANALYZE report assembly: runs a query under the span tracer
+    and shapes the per-phase cost rows and the JSON document printed by
+    [pascalr analyze].  Library-level so the report schema is pinned by
+    a golden-file test. *)
+
+open Relalg
+
+val phase_names : string list
+(** Pipeline steps in order; the three evaluation phases are always
+    present in the report. *)
+
+type phase_row = {
+  ph_name : string;
+  ph_ms : float;
+  ph_scans : int;
+  ph_probes : int;
+  ph_max_ntuple : int;
+  ph_tuples : int;
+  ph_index_probes : int;
+  ph_pool_fetches : int;
+  ph_pool_misses : int;
+}
+
+type t = {
+  a_report : Phased_eval.report;
+  a_root : Obs.Trace.span;
+  a_rows : phase_row list;
+  a_strategy : Strategy.t;
+}
+
+val run : ?pool_pages:int -> strategy:Strategy.t -> Database.t -> Calculus.query -> t
+(** Evaluate under the tracer; [pool_pages] first attaches paged storage
+    with a shared buffer pool.  @raise Invalid_argument on non-positive
+    [pool_pages]. *)
+
+val to_json : database:string -> scale:int -> Database.t -> Calculus.query -> t -> Obs.Json.t
+(** The full analyze document: query, strategy, totals, per-phase rows,
+    intermediates, fault/recovery counters, plan and span trace. *)
+
+val faults_json : unit -> Obs.Json.t
+(** Fault-injection and recovery counters from the metrics registry,
+    plus the currently armed failpoint sites. *)

@@ -1,7 +1,12 @@
 (* A buffer pool over the paged heap files: a fixed number of frames
    with LRU replacement, and the fetch/hit/miss/eviction statistics that
    make the paper's 1982 cost model (pages read from disk) measurable on
-   the in-memory substrate. *)
+   the in-memory substrate.
+
+   Recency is an intrusive doubly-linked list threaded through the
+   frames (most-recent at the head), so a hit's move-to-front and a
+   miss's eviction are both O(1) — the previous implementation scanned
+   all resident frames for the minimum tick on every eviction. *)
 
 type stats = {
   mutable fetches : int;  (* page requests *)
@@ -10,10 +15,17 @@ type stats = {
   mutable invalidations : int;  (* pages dropped by file rewrites *)
 }
 
+type node = {
+  key : int * int;  (* (file, page) *)
+  mutable prev : node option;  (* towards the MRU head *)
+  mutable next : node option;  (* towards the LRU tail *)
+}
+
 type t = {
   capacity : int;
-  resident : (int * int, int) Hashtbl.t;  (* (file, page) -> last-used tick *)
-  mutable tick : int;
+  resident : (int * int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used: the victim *)
   stats : stats;
 }
 
@@ -22,63 +34,87 @@ let create ~capacity =
   {
     capacity;
     resident = Hashtbl.create (2 * capacity);
-    tick = 0;
+    head = None;
+    tail = None;
     stats = { fetches = 0; misses = 0; evictions = 0; invalidations = 0 };
   }
 
-(* O(resident) fold to find the LRU victim — up to O(capacity) per miss
-   once the pool is full.  Acceptable at the pool sizes the substrate
-   simulates (a few dozen frames); an intrusive doubly-linked list would
-   make this O(1) if pools ever grow. *)
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+(* Evict the LRU tail in O(1).  Consults the [pool.evict.io] failpoint:
+   a fired site models a failed write-back of the victim frame — the
+   pool is left unchanged and {!Errors.Io_error} is raised. *)
 let evict_lru t =
-  let victim =
-    Hashtbl.fold
-      (fun key tick acc ->
-        match acc with
-        | Some (_, best) when best <= tick -> acc
-        | _ -> Some (key, tick))
-      t.resident None
-  in
-  match victim with
-  | Some (key, _) ->
-    Hashtbl.remove t.resident key;
+  match t.tail with
+  | None -> ()
+  | Some victim ->
+    if Failpoint.should_fire "pool.evict.io" then begin
+      Obs.Metrics.incr "pool.evict_io_failures";
+      Errors.io_error
+        "pool.evict.io: write-back of victim page (%d, %d) failed"
+        (fst victim.key) (snd victim.key)
+    end;
+    unlink t victim;
+    Hashtbl.remove t.resident victim.key;
     t.stats.evictions <- t.stats.evictions + 1;
     Obs.Metrics.incr "pool.evictions"
-  | None -> ()
 
 (* Record an access to [page] of [file]; returns [true] on a hit. *)
 let access t ~file ~page =
   let key = (file, page) in
-  t.tick <- t.tick + 1;
   t.stats.fetches <- t.stats.fetches + 1;
   Obs.Metrics.incr "pool.fetches";
   match Hashtbl.find_opt t.resident key with
-  | Some _ ->
-    Hashtbl.replace t.resident key t.tick;
+  | Some n ->
+    (match t.head with
+    | Some h when h == n -> ()  (* already the MRU *)
+    | _ ->
+      unlink t n;
+      push_front t n);
     true
   | None ->
     t.stats.misses <- t.stats.misses + 1;
     Obs.Metrics.incr "pool.misses";
     if Hashtbl.length t.resident >= t.capacity then evict_lru t;
-    Hashtbl.replace t.resident key t.tick;
+    let n = { key; prev = None; next = None } in
+    push_front t n;
+    Hashtbl.replace t.resident key n;
     false
 
-(* Drop a file's pages (the file was rewritten).  Dropped pages are
-   counted as [invalidations], not [evictions]: they leave the pool for
-   a different reason than capacity pressure, and the eviction count
-   must keep satisfying fetches = hits + misses bookkeeping under the
-   LRU experiments. *)
+(* Drop a file's pages (the file was rewritten, or a checksum failure
+   forced an invalidate-and-refetch).  Dropped pages are counted as
+   [invalidations], not [evictions]: they leave the pool for a different
+   reason than capacity pressure, and the eviction count must keep
+   satisfying fetches = hits + misses bookkeeping under the LRU
+   experiments. *)
 let invalidate_file t ~file =
-  let keys =
+  let nodes =
     Hashtbl.fold
-      (fun (f, p) _ acc -> if f = file then (f, p) :: acc else acc)
+      (fun (f, _) n acc -> if f = file then n :: acc else acc)
       t.resident []
   in
-  List.iter (Hashtbl.remove t.resident) keys;
-  let n = List.length keys in
-  if n > 0 then begin
-    t.stats.invalidations <- t.stats.invalidations + n;
-    Obs.Metrics.incr ~by:n "pool.invalidations"
+  List.iter
+    (fun n ->
+      unlink t n;
+      Hashtbl.remove t.resident n.key)
+    nodes;
+  let count = List.length nodes in
+  if count > 0 then begin
+    t.stats.invalidations <- t.stats.invalidations + count;
+    Obs.Metrics.incr ~by:count "pool.invalidations"
   end
 
 let stats t = t.stats
@@ -90,6 +126,15 @@ let reset_stats t =
   t.stats.invalidations <- 0
 
 let resident_count t = Hashtbl.length t.resident
+
+(* Resident (file, page) keys from most- to least-recently used: the
+   reverse of eviction order.  For tests and diagnostics. *)
+let resident_keys_mru t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n -> walk (n.key :: acc) n.next
+  in
+  walk [] t.head
 
 let hit_rate s =
   if s.fetches = 0 then 0.0

@@ -1,6 +1,7 @@
-(** A buffer pool over paged heap files: fixed frame count, LRU
-    replacement, and fetch/miss/eviction statistics — the measured form
-    of the paper's 1982 cost model (pages read from disk). *)
+(** A buffer pool over paged heap files: fixed frame count, O(1) LRU
+    replacement (intrusive recency list), and fetch/miss/eviction
+    statistics — the measured form of the paper's 1982 cost model
+    (pages read from disk). *)
 
 type stats = {
   mutable fetches : int;
@@ -15,9 +16,16 @@ val create : capacity:int -> t
 (** @raise Invalid_argument on non-positive capacity. *)
 
 val access : t -> file:int -> page:int -> bool
-(** Record an access; [true] on a buffer hit. *)
+(** Record an access; [true] on a buffer hit.  Misses at capacity evict
+    the least-recently-used frame in O(1); the eviction consults the
+    [pool.evict.io] failpoint.
+    @raise Errors.Io_error if the injected write-back failure fires. *)
 
 val invalidate_file : t -> file:int -> unit
+
+val resident_keys_mru : t -> (int * int) list
+(** Resident [(file, page)] keys from most- to least-recently used —
+    the reverse of eviction order.  For tests and diagnostics. *)
 
 val stats : t -> stats
 val hit_rate : stats -> float

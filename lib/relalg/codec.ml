@@ -23,7 +23,20 @@ let put_string buf s =
 
 type cursor = { bytes : Bytes.t; mutable pos : int }
 
+let cursor bytes = { bytes; pos = 0 }
+
+(* Every cursor read is bounds-checked: running off the end of the
+   buffer means the stored bytes are damaged (short read, torn write),
+   and must surface as a typed {!Errors.Corruption}, never as an
+   [Invalid_argument] crash from [Bytes.get]. *)
+let need c k =
+  if c.pos + k > Bytes.length c.bytes then
+    Errors.corruption
+      "codec: truncated record (need %d bytes at offset %d of %d)" k c.pos
+      (Bytes.length c.bytes)
+
 let get_u8 c =
+  need c 1;
   let n = Char.code (Bytes.get c.bytes c.pos) in
   c.pos <- c.pos + 1;
   n
@@ -42,9 +55,22 @@ let get_i64 c =
 
 let get_string c =
   let len = get_u16 c in
+  need c len;
   let s = Bytes.sub_string c.bytes c.pos len in
   c.pos <- c.pos + len;
   s
+
+(* Adler-32 over [len] bytes of [bytes] starting at [pos]: the checksum
+   word stored in heap pages and at the tail of database snapshots.
+   Fast, order-sensitive, and catches the single-byte and truncation
+   damage the fault injector produces. *)
+let adler32 bytes ~pos ~len =
+  let a = ref 1 and b = ref 0 in
+  for i = pos to pos + len - 1 do
+    a := (!a + Char.code (Bytes.get bytes i)) mod 65521;
+    b := (!b + !a) mod 65521
+  done;
+  (!b lsl 16) lor !a
 
 (* Self-described value encoding (used inside references). *)
 let rec put_value buf (v : Value.t) =
@@ -84,7 +110,7 @@ let rec get_value c : Value.t =
     let n = get_u16 c in
     let key = List.init n (fun _ -> get_value c) in
     Value.VRef { Value.target; key }
-  | tag -> Errors.type_error "codec: unknown value tag %c" tag
+  | tag -> Errors.corruption "codec: unknown value tag %C" tag
 
 (* Schema-directed encoding: enumerations shrink to their ordinal and
    are reconstructed with the schema's full enum info. *)
@@ -96,13 +122,14 @@ let put_typed buf ty (v : Value.t) =
   | _, v -> put_value buf v
 
 let get_typed c ty : Value.t =
+  need c 1;
   match Char.chr (Char.code (Bytes.get c.bytes c.pos)) with
   | 'o' -> (
     c.pos <- c.pos + 1;
     let ord = get_u16 c in
     match ty with
     | Vtype.TEnum info -> Value.VEnum (info, ord)
-    | _ -> Errors.type_error "codec: ordinal for a non-enum attribute")
+    | _ -> Errors.corruption "codec: ordinal for a non-enum attribute")
   | _ -> get_value c
 
 let encode_tuple schema (t : Tuple.t) =
@@ -111,5 +138,19 @@ let encode_tuple schema (t : Tuple.t) =
   Buffer.to_bytes buf
 
 let decode_tuple schema bytes : Tuple.t =
+  (* codec.decode.corrupt: damage the first byte of (a copy of) the
+     record before decoding.  0xFF is not a value tag, so the damage is
+     always detected and surfaces as {!Errors.Corruption}. *)
+  let bytes =
+    if Failpoint.should_fire "codec.decode.corrupt" then
+      if Bytes.length bytes = 0 then
+        Errors.corruption "codec: injected corruption on empty record"
+      else begin
+        let damaged = Bytes.copy bytes in
+        Bytes.set damaged 0 '\xFF';
+        damaged
+      end
+    else bytes
+  in
   let c = { bytes; pos = 0 } in
   Array.init (Schema.arity schema) (fun i -> get_typed c (Schema.type_at schema i))

@@ -160,3 +160,225 @@ let pp ppf db =
   Fmt.pf ppf "@[<v>%a@]"
     (Fmt.list ~sep:Fmt.cut Relation.pp)
     (relations db)
+
+(* ------------------------------------------------------------------ *)
+(* Durable snapshots.
+
+   A database is saved as one self-contained binary file:
+
+     magic "PASCALRDB1"
+     u16 #enums;      each: name, u16 #labels, labels
+     u16 #relations;  each (sorted by name): name, schema (u16 arity;
+                      each attribute: name, domain; u16 #key, key
+                      names), i64 cardinality, tuples (u16 length +
+                      schema-directed record, in Tuple.compare order)
+     u16 #permanent indexes; each: relation name, component name
+     u32 Adler-32 of everything above
+
+   Everything is emitted in a deterministic order, so saving the same
+   logical database twice produces byte-identical files — the property
+   the differential fault harness checks commits against.
+
+   [save] is atomic: the snapshot is written to a temp file alongside
+   the target, fsync'd, and renamed into place, so a crash (including
+   the injected [db.save.crash]) at any point leaves the previous
+   committed snapshot untouched. *)
+
+let snapshot_magic = "PASCALRDB1"
+
+let put_vtype buf (ty : Vtype.t) =
+  match ty with
+  | Vtype.TInt { lo; hi } ->
+    Buffer.add_char buf 'J';
+    Codec.put_i64 buf lo;
+    Codec.put_i64 buf hi
+  | Vtype.TStr { width = None } -> Buffer.add_char buf 'S'
+  | Vtype.TStr { width = Some w } ->
+    Buffer.add_char buf 'W';
+    Codec.put_u16 buf w
+  | Vtype.TBool -> Buffer.add_char buf 'B'
+  | Vtype.TEnum info ->
+    Buffer.add_char buf 'E';
+    Codec.put_string buf info.Value.enum_name;
+    Codec.put_u16 buf (Array.length info.Value.labels);
+    Array.iter (Codec.put_string buf) info.Value.labels
+  | Vtype.TRef target ->
+    Buffer.add_char buf 'R';
+    Codec.put_string buf target
+
+let get_vtype c : Vtype.t =
+  match Char.chr (Codec.get_u8 c) with
+  | 'J' ->
+    let lo = Codec.get_i64 c in
+    let hi = Codec.get_i64 c in
+    Vtype.TInt { lo; hi }
+  | 'S' -> Vtype.TStr { width = None }
+  | 'W' -> Vtype.TStr { width = Some (Codec.get_u16 c) }
+  | 'B' -> Vtype.TBool
+  | 'E' ->
+    let name = Codec.get_string c in
+    let n = Codec.get_u16 c in
+    let labels = Array.init n (fun _ -> Codec.get_string c) in
+    Vtype.TEnum { Value.enum_name = name; labels }
+  | 'R' -> Vtype.TRef (Codec.get_string c)
+  | tag -> Errors.corruption "snapshot: unknown domain tag %C" tag
+
+let snapshot_bytes db =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf snapshot_magic;
+  let enum_list = enums db in
+  Codec.put_u16 buf (List.length enum_list);
+  List.iter
+    (fun info ->
+      Codec.put_string buf info.Value.enum_name;
+      Codec.put_u16 buf (Array.length info.Value.labels);
+      Array.iter (Codec.put_string buf) info.Value.labels)
+    enum_list;
+  let rels = relations db in
+  Codec.put_u16 buf (List.length rels);
+  List.iter
+    (fun r ->
+      let schema = Relation.schema r in
+      Codec.put_string buf (Relation.name r);
+      Codec.put_u16 buf (Schema.arity schema);
+      List.iteri
+        (fun i name ->
+          Codec.put_string buf name;
+          put_vtype buf (Schema.type_at schema i))
+        (Schema.names schema);
+      let key = Schema.key_names schema in
+      Codec.put_u16 buf (List.length key);
+      List.iter (Codec.put_string buf) key;
+      Codec.put_i64 buf (Relation.cardinality r);
+      List.iter
+        (fun t ->
+          let record = Codec.encode_tuple schema t in
+          Codec.put_u16 buf (Bytes.length record);
+          Buffer.add_bytes buf record)
+        (Relation.to_list r))
+    rels;
+  let indexes = permanent_index_list db in
+  Codec.put_u16 buf (List.length indexes);
+  List.iter
+    (fun (rel, on) ->
+      Codec.put_string buf rel;
+      Codec.put_string buf on)
+    indexes;
+  let body = Buffer.to_bytes buf in
+  let sum = Codec.adler32 body ~pos:0 ~len:(Bytes.length body) in
+  let tail = Buffer.create 4 in
+  for i = 0 to 3 do
+    Buffer.add_char tail (Char.chr ((sum lsr (8 * i)) land 0xFF))
+  done;
+  Bytes.cat body (Buffer.to_bytes tail)
+
+let write_file_fsync path data len =
+  let oc = open_out_bin path in
+  (try
+     output_bytes oc (Bytes.sub data 0 len);
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let save db ~path =
+  let data = snapshot_bytes db in
+  let tmp = path ^ ".tmp" in
+  (* Crash point 1: mid-write of the temp file — half the snapshot
+     lands, the committed file is never touched. *)
+  if Failpoint.should_fire "db.save.crash" then begin
+    write_file_fsync tmp data (Bytes.length data / 2);
+    Obs.Metrics.incr "db.save_crashes";
+    Errors.io_error "db.save.crash: crash while writing %s" tmp
+  end;
+  write_file_fsync tmp data (Bytes.length data);
+  (* Crash point 2: temp fully written and durable, but never renamed
+     into place; the committed file still wins. *)
+  if Failpoint.should_fire "db.save.crash" then begin
+    Obs.Metrics.incr "db.save_crashes";
+    Errors.io_error "db.save.crash: crash before renaming %s" tmp
+  end;
+  Unix.rename tmp path;
+  Obs.Metrics.incr "db.saves"
+
+let load ~path =
+  let data =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    close_in ic;
+    b
+  in
+  let n = Bytes.length data in
+  let magic_len = String.length snapshot_magic in
+  if n < magic_len + 4 then
+    Errors.corruption "snapshot %s: too short (%d bytes)" path n;
+  if not (String.equal (Bytes.sub_string data 0 magic_len) snapshot_magic) then
+    Errors.corruption "snapshot %s: bad magic" path;
+  let stored =
+    let b = ref 0 in
+    for i = 3 downto 0 do
+      b := (!b lsl 8) lor Char.code (Bytes.get data (n - 4 + i))
+    done;
+    !b
+  in
+  let computed = Codec.adler32 data ~pos:0 ~len:(n - 4) in
+  if stored <> computed then
+    Errors.corruption "snapshot %s: checksum mismatch (stored %x, computed %x)"
+      path stored computed;
+  let c = Codec.cursor (Bytes.sub data 0 (n - 4)) in
+  c.Codec.pos <- magic_len;
+  let db = create () in
+  let n_enums = Codec.get_u16 c in
+  for _ = 1 to n_enums do
+    let name = Codec.get_string c in
+    let k = Codec.get_u16 c in
+    let labels = Array.init k (fun _ -> Codec.get_string c) in
+    ignore (declare_enum db name labels)
+  done;
+  let n_rels = Codec.get_u16 c in
+  for _ = 1 to n_rels do
+    let name = Codec.get_string c in
+    let arity = Codec.get_u16 c in
+    let attrs =
+      List.init arity (fun _ ->
+          let aname = Codec.get_string c in
+          let ty =
+            match get_vtype c with
+            | Vtype.TEnum info -> (
+              (* Share the registered enumeration's info so values
+                 compare against the catalogued labels. *)
+              match find_enum_opt db info.Value.enum_name with
+              | Some shared -> Vtype.TEnum shared
+              | None -> Vtype.TEnum info)
+            | ty -> ty
+          in
+          Schema.attr aname ty)
+    in
+    let n_key = Codec.get_u16 c in
+    let key = List.init n_key (fun _ -> Codec.get_string c) in
+    let schema = Schema.make attrs ~key in
+    let rel = declare_relation db ~name schema in
+    let card = Codec.get_i64 c in
+    for _ = 1 to card do
+      let len = Codec.get_u16 c in
+      if c.Codec.pos + len > Bytes.length c.Codec.bytes then
+        Errors.corruption "snapshot %s: truncated tuple in %s" path name;
+      let record = Bytes.sub c.Codec.bytes c.Codec.pos len in
+      c.Codec.pos <- c.Codec.pos + len;
+      Relation.insert rel (Codec.decode_tuple schema record)
+    done
+  done;
+  let n_indexes = Codec.get_u16 c in
+  for _ = 1 to n_indexes do
+    let rel = Codec.get_string c in
+    let on = Codec.get_string c in
+    ignore (register_index db rel ~on)
+  done;
+  if c.Codec.pos <> Bytes.length c.Codec.bytes then
+    Errors.corruption "snapshot %s: %d trailing bytes" path
+      (Bytes.length c.Codec.bytes - c.Codec.pos);
+  db

@@ -55,3 +55,23 @@ val pool_stats : t -> Buffer_pool.stats option
     database's relations; [None] when no paged storage is attached. *)
 
 val pp : t Fmt.t
+
+(** {2 Durable snapshots} *)
+
+val snapshot_bytes : t -> Bytes.t
+(** The deterministic single-file snapshot encoding (magic, enums,
+    relations with schemas and tuples in sorted order, permanent index
+    registrations, trailing Adler-32).  Saving the same logical database
+    twice yields byte-identical output. *)
+
+val save : t -> path:string -> unit
+(** Atomically persist the snapshot: write [path ^ ".tmp"], fsync,
+    rename over [path].  Consults the [db.save.crash] failpoint at two
+    crash points (mid-write and pre-rename); in both cases the
+    previously committed snapshot at [path] is left untouched.
+    @raise Errors.Io_error on an injected crash. *)
+
+val load : path:string -> t
+(** Rebuild a database from a snapshot, re-registering permanent
+    indexes.  @raise Errors.Corruption on bad magic, checksum mismatch
+    or truncated content. *)

@@ -26,5 +26,17 @@ exception Unknown_attribute of string
 exception Dangling_reference of string
 (** Dereferencing a reference whose target element has been deleted. *)
 
+exception Io_error of string
+(** A (simulated) device or operating-system failure: a torn write, a
+    failed write-back during eviction, a crash during [Database.save].
+    The operation did not take effect; committed state is unchanged. *)
+
+exception Corruption of string
+(** Stored bytes failed validation: a page checksum mismatch, a short
+    read, or undecodable record bytes.  Raised instead of crashing so
+    the storage layer can invalidate, refetch and rebuild. *)
+
 let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 let schema_error fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+let io_error fmt = Format.kasprintf (fun s -> raise (Io_error s)) fmt
+let corruption fmt = Format.kasprintf (fun s -> raise (Corruption s)) fmt

@@ -1,0 +1,152 @@
+(* Failpoint fault injection: named sites at the storage layer's I/O
+   boundaries consult this registry on every hit.  Tests and the CLI arm
+   a site with a deterministic trigger; the instrumented code then
+   simulates the corresponding fault (torn write, short read, eviction
+   I/O failure, record corruption, crash during save).
+
+   The unarmed fast path is one integer load and compare, so the
+   instrumentation costs nothing measurable when no site is armed. *)
+
+type trigger =
+  | Nth of int  (* fire on exactly the Nth hit (1-based), once *)
+  | Every of int  (* fire on every Kth hit *)
+  | Seeded of { seed : int; prob : float }  (* per-hit Bernoulli, own PRNG *)
+
+let trigger_to_string = function
+  | Nth n -> Printf.sprintf "nth:%d" n
+  | Every k -> Printf.sprintf "every:%d" k
+  | Seeded { seed; prob } -> Printf.sprintf "prob:%g:%d" prob seed
+
+(* "nth:N" | "every:K" | "prob:P:SEED" (seed optional, default 0). *)
+let trigger_of_string spec =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf
+         "Failpoint.trigger_of_string: %S (expected nth:N, every:K or \
+          prob:P:SEED)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "nth"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 1 -> Nth n
+    | _ -> fail ())
+  | [ "every"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Every k
+    | _ -> fail ())
+  | [ "prob"; p ] | [ "prob"; p; "" ] -> (
+    match float_of_string_opt p with
+    | Some p when p >= 0.0 && p <= 1.0 -> Seeded { seed = 0; prob = p }
+    | _ -> fail ())
+  | [ "prob"; p; s ] -> (
+    match float_of_string_opt p, int_of_string_opt s with
+    | Some p, Some seed when p >= 0.0 && p <= 1.0 -> Seeded { seed; prob = p }
+    | _ -> fail ())
+  | _ -> fail ()
+
+(* The storage layer's instrumented sites. *)
+let standard_sites =
+  [
+    "heap.write.partial";
+    "heap.read.short";
+    "pool.evict.io";
+    "codec.decode.corrupt";
+    "db.save.crash";
+  ]
+
+type armed_site = {
+  trigger : trigger;
+  mutable hits : int;  (* consultations since arming *)
+  mutable fired : int;  (* times the site actually fired *)
+  mutable rng : int64;  (* splitmix64 state (Seeded triggers) *)
+}
+
+let registry : (string, armed_site) Hashtbl.t = Hashtbl.create 8
+let armed_count = ref 0
+
+let arm site trigger =
+  if not (Hashtbl.mem registry site) then incr armed_count;
+  let rng =
+    match trigger with
+    | Seeded { seed; _ } -> Int64.of_int seed
+    | Nth _ | Every _ -> 0L
+  in
+  Hashtbl.replace registry site { trigger; hits = 0; fired = 0; rng }
+
+let disarm site =
+  if Hashtbl.mem registry site then begin
+    Hashtbl.remove registry site;
+    decr armed_count
+  end
+
+let disarm_all () =
+  Hashtbl.reset registry;
+  armed_count := 0
+
+let any_armed () = !armed_count > 0
+let armed site = Option.map (fun a -> a.trigger) (Hashtbl.find_opt registry site)
+
+let armed_sites () =
+  Hashtbl.fold (fun site a acc -> (site, a.trigger) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let hit_count site =
+  match Hashtbl.find_opt registry site with Some a -> a.hits | None -> 0
+
+let fire_count site =
+  match Hashtbl.find_opt registry site with Some a -> a.fired | None -> 0
+
+(* splitmix64 step; the same generator the workload PRNG uses, inlined
+   here because relalg must not depend on the workload library. *)
+let splitmix_next st =
+  let open Int64 in
+  let z = add !st 0x9E3779B97F4A7C15L in
+  st := z;
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let uniform_float st =
+  (* 53 random bits into [0, 1). *)
+  let bits = Int64.shift_right_logical (splitmix_next st) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let fired site a =
+  a.fired <- a.fired + 1;
+  Obs.Metrics.incr "failpoint.fired";
+  Obs.Metrics.incr ("failpoint.fired." ^ site);
+  true
+
+let consult site a =
+  a.hits <- a.hits + 1;
+  match a.trigger with
+  | Nth n -> if a.hits = n then fired site a else false
+  | Every k -> if a.hits mod k = 0 then fired site a else false
+  | Seeded { prob; _ } ->
+    let st = ref a.rng in
+    let u = uniform_float st in
+    a.rng <- !st;
+    if u < prob then fired site a else false
+
+(* Should the fault at [site] fire now?  One compare when nothing is
+   armed anywhere; a hashtable probe when the framework is active. *)
+let should_fire site =
+  if !armed_count = 0 then false
+  else
+    match Hashtbl.find_opt registry site with
+    | None -> false
+    | Some a -> consult site a
+
+(* "SITE=SPEC" (CLI syntax), e.g. "heap.read.short=nth:2". *)
+let arm_spec spec =
+  match String.index_opt spec '=' with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Failpoint.arm_spec: %S (expected SITE=TRIGGER)" spec)
+  | Some i ->
+    let site = String.sub spec 0 i in
+    let trig = String.sub spec (i + 1) (String.length spec - i - 1) in
+    if String.equal site "" then
+      invalid_arg "Failpoint.arm_spec: empty site name";
+    arm site (trigger_of_string trig)

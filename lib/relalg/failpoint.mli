@@ -1,0 +1,46 @@
+(** Failpoint fault injection.
+
+    Named sites at the storage layer's I/O boundaries ([standard_sites])
+    consult this registry on every hit; tests and the CLI arm a site
+    with a deterministic trigger and the instrumented code simulates the
+    corresponding fault.  When no site is armed the check is a single
+    integer compare, so instrumentation costs nothing measurable. *)
+
+type trigger =
+  | Nth of int  (** fire on exactly the Nth consultation (1-based), once *)
+  | Every of int  (** fire on every Kth consultation *)
+  | Seeded of { seed : int; prob : float }
+      (** per-consultation Bernoulli driven by a private splitmix64
+          stream, so a given seed reproduces the same fault schedule *)
+
+val trigger_to_string : trigger -> string
+
+val trigger_of_string : string -> trigger
+(** Parse ["nth:N"], ["every:K"] or ["prob:P:SEED"] (seed optional).
+    @raise Invalid_argument on malformed specs. *)
+
+val standard_sites : string list
+(** The catalogue of instrumented sites: [heap.write.partial],
+    [heap.read.short], [pool.evict.io], [codec.decode.corrupt],
+    [db.save.crash]. *)
+
+val arm : string -> trigger -> unit
+(** Arm a site (re-arming resets its hit count and PRNG stream). *)
+
+val arm_spec : string -> unit
+(** Arm from CLI syntax ["SITE=TRIGGER"], e.g.
+    ["heap.read.short=nth:2"].  @raise Invalid_argument. *)
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+val any_armed : unit -> bool
+val armed : string -> trigger option
+val armed_sites : unit -> (string * trigger) list
+
+val should_fire : string -> bool
+(** Consult the site: count the hit and decide whether the fault fires.
+    Fired sites increment the [failpoint.fired] and
+    [failpoint.fired.<site>] metrics. *)
+
+val hit_count : string -> int
+val fire_count : string -> int

@@ -1,10 +1,21 @@
 (* Paged heap files: relations stored as length-prefixed records packed
    into fixed-size pages.  The page array stands in for the disk; every
    page access during iteration goes through a {!Buffer_pool}, whose
-   miss count is the simulated I/O. *)
+   miss count is the simulated I/O.
+
+   Page layout:
+     bytes 0-1   u16  used bytes in this page (header included)
+     bytes 2-5   u32  Adler-32 of the payload region [6, used)
+     bytes 6..   length-prefixed records
+
+   The checksum word is updated on every append and validated whenever
+   a page is fetched into the pool — a miss, i.e. the simulated disk
+   read; resident frames were validated when they came in — so torn
+   writes and short reads surface as a typed {!Errors.Corruption}
+   instead of garbage tuples or a crash. *)
 
 let page_size = 1024
-let header_size = 2 (* u16: used bytes in this page *)
+let header_size = 6 (* u16 used + u32 checksum *)
 
 type t = {
   file_id : int;
@@ -29,12 +40,33 @@ let set_page_used page n =
   Bytes.set page 0 (Char.chr (n land 0xFF));
   Bytes.set page 1 (Char.chr ((n lsr 8) land 0xFF))
 
+let page_checksum page =
+  Char.code (Bytes.get page 2)
+  lor (Char.code (Bytes.get page 3) lsl 8)
+  lor (Char.code (Bytes.get page 4) lsl 16)
+  lor (Char.code (Bytes.get page 5) lsl 24)
+
+let set_page_checksum page v =
+  Bytes.set page 2 (Char.chr (v land 0xFF));
+  Bytes.set page 3 (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set page 4 (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set page 5 (Char.chr ((v lsr 24) land 0xFF))
+
+let compute_checksum page used =
+  Codec.adler32 page ~pos:header_size ~len:(used - header_size)
+
 let fresh_page () =
   let page = Bytes.create page_size in
   set_page_used page header_size;
+  set_page_checksum page (compute_checksum page header_size);
   page
 
-(* Append one encoded record; starts a new page when it does not fit. *)
+(* Append one encoded record; starts a new page when it does not fit.
+   Consults the [heap.write.partial] failpoint: a fired site leaves the
+   page torn — the used count covers the new record but only part of its
+   bytes landed and the checksum was never updated — and raises
+   {!Errors.Io_error}.  The next validated read of the page detects the
+   stale checksum. *)
 let append t (record : Bytes.t) =
   let len = Bytes.length record in
   if len + 2 > page_size - header_size then
@@ -52,8 +84,19 @@ let append t (record : Bytes.t) =
   let used = page_used page in
   Bytes.set page used (Char.chr (len land 0xFF));
   Bytes.set page (used + 1) (Char.chr ((len lsr 8) land 0xFF));
+  if Failpoint.should_fire "heap.write.partial" then begin
+    (* Torn write: half the record reaches the page, the used count is
+       advanced, the checksum stays stale. *)
+    Bytes.blit record 0 page (used + 2) (len / 2);
+    set_page_used page (used + 2 + len);
+    Obs.Metrics.incr "heap.torn_writes";
+    Errors.io_error
+      "heap.write.partial: torn write of a %d-byte record on file %d" len
+      t.file_id
+  end;
   Bytes.blit record 0 page (used + 2) len;
   set_page_used page (used + 2 + len);
+  set_page_checksum page (compute_checksum page (used + 2 + len));
   t.record_count <- t.record_count + 1
 
 let clear t =
@@ -61,14 +104,30 @@ let clear t =
   t.npages <- 0;
   t.record_count <- 0
 
-(* Iterate all records, accessing each page through the pool. *)
+(* Iterate all records, accessing each page through the pool.  A pool
+   miss is the simulated disk read: it validates the checksum word and
+   consults the [heap.read.short] failpoint; damage raises
+   {!Errors.Corruption} so the caller can invalidate the pool and
+   rebuild.  Pool hits skip validation — the frame was checked when it
+   was fetched, and recovery paths invalidate frames before retrying. *)
 let iter ~pool t f =
   let pages = Array.of_list (List.rev t.pages) in
   Array.iteri
     (fun pageno page ->
       Obs.Metrics.incr "heap.page_reads";
-      ignore (Buffer_pool.access pool ~file:t.file_id ~page:pageno);
+      let hit = Buffer_pool.access pool ~file:t.file_id ~page:pageno in
       let used = page_used page in
+      if (not hit) && Failpoint.should_fire "heap.read.short" then begin
+        Obs.Metrics.incr "storage.corruption_detected";
+        Errors.corruption
+          "heap.read.short: short read of page %d of file %d (%d of %d bytes)"
+          pageno t.file_id (used / 2) used
+      end;
+      if (not hit) && page_checksum page <> compute_checksum page used then begin
+        Obs.Metrics.incr "storage.corruption_detected";
+        Errors.corruption "heap: checksum mismatch on page %d of file %d"
+          pageno t.file_id
+      end;
       let pos = ref header_size in
       while !pos < used do
         let len =

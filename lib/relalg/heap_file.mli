@@ -1,7 +1,12 @@
 (** Paged heap files: length-prefixed records packed into fixed-size
-    pages; iteration goes through a {!Buffer_pool}. *)
+    pages with a per-page checksum word; iteration goes through a
+    {!Buffer_pool}. *)
 
 val page_size : int
+
+val header_size : int
+(** Bytes reserved at the head of every page: u16 used count plus the
+    u32 Adler-32 checksum of the payload region. *)
 
 type t
 
@@ -11,9 +16,15 @@ val page_count : t -> int
 val record_count : t -> int
 
 val append : t -> Bytes.t -> unit
-(** @raise Errors.Type_error if the record exceeds the page size. *)
+(** Appends and updates the page checksum.  Consults the
+    [heap.write.partial] failpoint: a fired site leaves the page torn
+    with a stale checksum and raises {!Errors.Io_error}.
+    @raise Errors.Type_error if the record exceeds the page size. *)
 
 val clear : t -> unit
 
 val iter : pool:Buffer_pool.t -> t -> (Bytes.t -> unit) -> unit
-(** Iterate all records; each page access is charged to [pool]. *)
+(** Iterate all records; each page access is charged to [pool] and
+    validated against the page checksum (the [heap.read.short]
+    failpoint is consulted per page).
+    @raise Errors.Corruption on checksum mismatch or short read. *)

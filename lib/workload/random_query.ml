@@ -115,13 +115,24 @@ let rec random_formula ctx scope ~depth ~quants =
       if Prng.bool rng then F_some (v, range, body) else F_all (v, range, body)
 
 (* A complete random query: one or two free variables, a depth-3 body
-   with at most two quantifiers. *)
-let generate db seed =
+   with at most two quantifiers.  [first_rel] pins the first free
+   variable's range to a chosen relation — tests that empty a relation
+   use it to guarantee the query actually ranges over the empty one
+   (Lemma-1 adaptation, Examples 2.1/2.2). *)
+let generate ?first_rel db seed =
   let ctx = { db; rng = Prng.create seed; fresh = 0 } in
   let n_free = 1 + Prng.int ctx.rng 2 in
   let free =
-    List.init n_free (fun _ ->
-        let rel, range = random_range ctx in
+    List.init n_free (fun i ->
+        let rel, range =
+          match first_rel with
+          | Some rel when i = 0 ->
+            if Prng.flip ctx.rng 0.25 then
+              let v = fresh_var ctx "r" in
+              (rel, restricted rel v (random_restriction ctx rel v))
+            else (rel, base rel)
+          | _ -> random_range ctx
+        in
         let v = fresh_var ctx "f" in
         (v, rel, range))
   in

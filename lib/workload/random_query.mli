@@ -12,10 +12,12 @@ val rel_attrs : string -> (string * attr_kind) list
 
 val relations : string list
 
-val generate : Database.t -> int -> query
+val generate : ?first_rel:string -> Database.t -> int -> query
 (** [generate db seed]: one or two free variables, a depth-3 body with
     at most two quantifiers, all six comparison operators, occasional
-    user-written extended ranges and occasionally-empty subranges. *)
+    user-written extended ranges and occasionally-empty subranges.
+    [first_rel] pins the first free variable's range relation, so tests
+    that empty a relation can force queries to range over it. *)
 
 val tiny_db : int -> Database.t
 (** A database small enough for the unoptimized combination phase. *)

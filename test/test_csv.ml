@@ -58,11 +58,55 @@ let test_file_io () =
   Sys.remove path;
   Alcotest.(check bool) "file round trip" true (Relation.equal_set r r')
 
+(* Property: write -> read is the identity on random relations over the
+   fixed 4-column schema, including strings with embedded commas and
+   quotes (the parser splits on lines first, so no \n/\r in values),
+   enum ordinals, and the empty relation. *)
+let roundtrip_on seed =
+  let rng = Workload.Prng.create (seed * 2654435761) in
+  let n = Workload.Prng.int rng 12 (* 0 hits the empty relation *) in
+  let random_string () =
+    let pieces =
+      List.init
+        (Workload.Prng.int rng 4)
+        (fun _ ->
+          match Workload.Prng.int rng 5 with
+          | 0 -> ","
+          | 1 -> "\""
+          | 2 -> " "
+          | 3 -> "\"\""
+          | _ -> Workload.Prng.word rng (1 + Workload.Prng.int rng 6))
+    in
+    String.concat "" pieces
+  in
+  let tuples =
+    List.init n (fun i ->
+        Tuple.of_list
+          [
+            Value.int (i + 1);
+            Value.str (random_string ());
+            Value.enum_ordinal status (Workload.Prng.int rng 2);
+            Value.bool (Workload.Prng.bool rng);
+          ])
+  in
+  let r = Relation.of_list ~name:"r" schema tuples in
+  let r' = Csv_io.of_string ~name:"r2" schema (Csv_io.to_string r) in
+  Relation.equal_set r r'
+  || QCheck.Test.fail_reportf "csv round trip differs on seed %d" seed
+
+let test_roundtrip_property =
+  QCheck.Test.make
+    ~name:"csv write -> read is identity (quoting, enums, empty relations)"
+    ~count:300
+    QCheck.(make Gen.(int_range 0 100_000))
+    roundtrip_on
+
 let suite =
   [
     ( "csv",
       [
         Alcotest.test_case "round trip" `Quick test_roundtrip;
+        QCheck_alcotest.to_alcotest test_roundtrip_property;
         Alcotest.test_case "header" `Quick test_header;
         Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
         Alcotest.test_case "file io" `Quick test_file_io;

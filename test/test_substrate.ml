@@ -249,6 +249,57 @@ let test_value_list_empty () =
   Alcotest.(check bool) "ALL over empty" true
     (Value_list.quant_holds ~quant:Value_list.Q_all Value.Eq (Value.int 1) vl)
 
+(* --------------------------------------------------------------- *)
+(* Buffer pool LRU order *)
+
+(* The recency list must evict the least-recently-*accessed* frame, not
+   merely some resident frame: a hit moves the frame to the MRU end. *)
+let test_pool_lru_eviction_order () =
+  let pool = Buffer_pool.create ~capacity:3 in
+  let touch page = ignore (Buffer_pool.access pool ~file:1 ~page) in
+  touch 0;
+  touch 1;
+  touch 2;
+  Alcotest.(check (list (pair int int)))
+    "MRU order after three misses"
+    [ (1, 2); (1, 1); (1, 0) ]
+    (Buffer_pool.resident_keys_mru pool);
+  (* A hit on the oldest page promotes it to MRU... *)
+  touch 0;
+  Alcotest.(check (list (pair int int)))
+    "hit promotes to MRU"
+    [ (1, 0); (1, 2); (1, 1) ]
+    (Buffer_pool.resident_keys_mru pool);
+  (* ...so the next miss evicts page 1, now the true LRU, not page 0. *)
+  touch 3;
+  Alcotest.(check (list (pair int int)))
+    "miss evicts the LRU tail"
+    [ (1, 3); (1, 0); (1, 2) ]
+    (Buffer_pool.resident_keys_mru pool);
+  (* Sequential sweep through a pool-sized window keeps exactly the last
+     [capacity] pages, newest first. *)
+  for p = 10 to 20 do
+    touch p
+  done;
+  Alcotest.(check (list (pair int int)))
+    "sweep leaves the newest window"
+    [ (1, 20); (1, 19); (1, 18) ]
+    (Buffer_pool.resident_keys_mru pool)
+
+let test_pool_invalidate_unlinks () =
+  let pool = Buffer_pool.create ~capacity:4 in
+  ignore (Buffer_pool.access pool ~file:1 ~page:0);
+  ignore (Buffer_pool.access pool ~file:2 ~page:0);
+  ignore (Buffer_pool.access pool ~file:1 ~page:1);
+  Buffer_pool.invalidate_file pool ~file:1;
+  Alcotest.(check (list (pair int int)))
+    "only file 2 remains, list consistent"
+    [ (2, 0) ]
+    (Buffer_pool.resident_keys_mru pool);
+  (* The recency list survived the surgery: more accesses still work. *)
+  ignore (Buffer_pool.access pool ~file:3 ~page:0);
+  Alcotest.(check int) "resident count" 2 (Buffer_pool.resident_count pool)
+
 let suite =
   [
     ( "substrate",
@@ -275,5 +326,9 @@ let suite =
         Alcotest.test_case "value list at-most-one storage" `Quick
           test_value_list_at_most_one;
         Alcotest.test_case "value list empty" `Quick test_value_list_empty;
+        Alcotest.test_case "buffer pool LRU eviction order" `Quick
+          test_pool_lru_eviction_order;
+        Alcotest.test_case "buffer pool invalidate keeps list consistent"
+          `Quick test_pool_invalidate_unlinks;
       ] );
   ]
