@@ -5,10 +5,23 @@
    a measured table: who wins, by what factor, and where the effect
    comes from (scans, intermediate sizes, value-list storage).
 
-     dune exec bench/main.exe *)
+     dune exec bench/main.exe [-- --only B-SCALE,B-DIV --max-scale 2 --out F]
+
+   --only LIST     run only the named experiments (comma-separated ids)
+   --max-scale N   skip scale points above N in the scale-parametric
+                   experiments (B-SCALE, B-DIV, B-ORDER) — the CI
+                   regression gate runs at scale <= 2
+   --out FILE      where to write the machine-readable results *)
 
 open Relalg
 open Pascalr
+
+let only : string list option ref = ref None
+let max_scale : int option ref = ref None
+let out_path = ref "BENCH_results.json"
+
+let scales l =
+  match !max_scale with None -> l | Some m -> List.filter (fun s -> s <= m) l
 
 let section id title =
   Fmt.pr "@.============================================================@.";
@@ -135,24 +148,29 @@ let bench_scale () =
             ~scale:s ~wall_ms:ms ~scans:report.Phased_eval.scans
             ~probes:report.Phased_eval.probes
             ~max_ntuple:report.Phased_eval.max_ntuple ();
-          Some ms
+          Some (ms, report.Phased_eval.scans)
         end
         else None
       in
       let cells = List.map cell strategies in
+      (* s1234 is the last strategy and always feasible; its scans
+         figure was just measured in the loop — reuse it instead of
+         running the query a second time. *)
       let full_scans =
-        (Phased_eval.run_report ~strategy:Strategy.s1234 db q).Phased_eval.scans
+        match List.rev cells with
+        | Some (_, scans) :: _ -> scans
+        | _ -> 0
       in
       Fmt.pr "%-6d %-6d | %10.2f %8d |" s
         (Relation.cardinality (Database.find_relation db "employees"))
         naive_ms naive_scans;
       List.iter
         (function
-          | Some ms -> Fmt.pr " %10.2f" ms
+          | Some (ms, _) -> Fmt.pr " %10.2f" ms
           | None -> Fmt.pr " %10s" "-")
         cells;
       Fmt.pr " | %8d@." full_scans)
-    [ 1; 2; 4; 8 ];
+    (scales [ 1; 2; 4; 8 ]);
   Fmt.pr "(palermo/s1/s1+2 omitted beyond scale %d: their padded n-tuple@." 2;
   Fmt.pr " products grow with the full Cartesian volume)@."
 
@@ -392,7 +410,64 @@ let bench_division () =
           ("ships all red", Workload.Suppliers.ships_all_red_parts db);
           ("no red part", Workload.Suppliers.ships_no_red_part db);
         ])
-    [ 1; 2; 4 ]
+    (scales [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* B-ORDER: the streaming combination engine (cost-ordered joins, eager
+   quantifier elimination) against the declaration-order baseline that
+   pads every conjunction to the full variable order.  Same plans, same
+   collection structures — the gap is pure combination-phase execution,
+   visible in the intermediate volume (max_ntuple) and the join traffic
+   through the engine. *)
+
+let bench_order () =
+  section "B-ORDER" "cost-ordered streaming combination vs declaration order";
+  Fmt.pr "%-14s %-6s %-12s | %10s %12s %12s %12s@." "query" "scale" "engine"
+    "wall_ms" "max_ntuple" "join_in" "join_out";
+  let engines =
+    [ ("ordered", Combination.Cost_ordered); ("declaration", Combination.Declaration) ]
+  in
+  let case qname scale strategy db q =
+    List.iter
+      (fun (ename, join_order) ->
+        let in0 = Obs.Metrics.counter_value "combination.join_rows_in" in
+        let out0 = Obs.Metrics.counter_value "combination.join_rows_out" in
+        let report, ms =
+          time (fun () -> Phased_eval.run_report ~strategy ~join_order db q)
+        in
+        let join_in =
+          Obs.Metrics.counter_value "combination.join_rows_in" - in0
+        in
+        let join_out =
+          Obs.Metrics.counter_value "combination.join_rows_out" - out0
+        in
+        record ~experiment:"B-ORDER" ~query:qname ~strategy:ename ~scale
+          ~wall_ms:ms ~scans:report.Phased_eval.scans
+          ~probes:report.Phased_eval.probes
+          ~max_ntuple:report.Phased_eval.max_ntuple
+          ~extra:
+            [
+              ("join_rows_in", Obs.Json.Int join_in);
+              ("join_rows_out", Obs.Json.Int join_out);
+            ]
+          ();
+        Fmt.pr "%-14s %-6d %-12s | %10.2f %12d %12d %12d@." qname scale ename
+          ms report.Phased_eval.max_ntuple join_in join_out)
+      engines
+  in
+  List.iter
+    (fun s ->
+      let db = Workload.University.generate (uni_params s) in
+      case "running" s Strategy.s12 db (Workload.Queries.running_query db))
+    (scales [ 1; 2 ]);
+  List.iter
+    (fun s ->
+      let db =
+        Workload.Suppliers.generate (Workload.Suppliers.scaled ~seed:(7 + s) s)
+      in
+      case "no red part" s Strategy.s123 db
+        (Workload.Suppliers.ships_no_red_part db))
+    (scales [ 2; 4 ])
 
 (* ------------------------------------------------------------------ *)
 (* B-PAGE: the 1982 cost model made real — page reads through a buffer
@@ -606,23 +681,54 @@ let bench_bechamel () =
       Fmt.pr "%-32s %14.0f ns/run (%8.3f ms)@." name ns (ns /. 1e6))
     (List.sort (fun (_, a) (_, b) -> compare a b) rows)
 
+let experiments =
+  [
+    ("B-SCALE", bench_scale);
+    ("B-S1", bench_s1);
+    ("B-S2", bench_s2);
+    ("B-S3", bench_s3);
+    ("B-S4", bench_s4);
+    ("B-MM", bench_minmax);
+    ("B-EQ", bench_eq_ne);
+    ("B-EMPTY", bench_empty);
+    ("B-DIV", bench_division);
+    ("B-ORDER", bench_order);
+    ("B-PAGE", bench_page_io);
+    ("B-IDX", bench_permanent_indexes);
+    ("B-CNF", bench_cnf);
+    ("B-JOIN", bench_joins);
+    ("B-MICRO", bench_bechamel);
+  ]
+
 let () =
+  let spec =
+    [
+      ( "--only",
+        Arg.String
+          (fun s ->
+            let ids = String.split_on_char ',' s |> List.map String.trim in
+            List.iter
+              (fun id ->
+                if not (List.mem_assoc id experiments) then
+                  raise (Arg.Bad ("unknown experiment " ^ id)))
+              ids;
+            only := Some ids),
+        "LIST run only the named experiments (comma-separated ids)" );
+      ( "--max-scale",
+        Arg.Int (fun n -> max_scale := Some n),
+        "N skip scale points above N (B-SCALE, B-DIV, B-ORDER)" );
+      ("--out", Arg.Set_string out_path, "FILE results path");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--only LIST] [--max-scale N] [--out FILE]";
   Fmt.pr "PASCAL/R query processing strategies — experiment harness@.";
   Fmt.pr "(Jarke & Schmidt, SIGMOD 1982; see DESIGN.md section 4)@.";
-  bench_scale ();
-  bench_s1 ();
-  bench_s2 ();
-  bench_s3 ();
-  bench_s4 ();
-  bench_minmax ();
-  bench_eq_ne ();
-  bench_empty ();
-  bench_division ();
-  bench_page_io ();
-  bench_permanent_indexes ();
-  bench_cnf ();
-  bench_joins ();
-  bench_bechamel ();
-  write_results "BENCH_results.json";
-  Fmt.pr "@.machine-readable results written to BENCH_results.json@.";
+  let enabled name =
+    match !only with None -> true | Some ids -> List.mem name ids
+  in
+  List.iter (fun (name, f) -> if enabled name then f ()) experiments;
+  write_results !out_path;
+  Fmt.pr "@.machine-readable results written to %s@." !out_path;
   Fmt.pr "@.done.@."

@@ -158,6 +158,32 @@ let faults_json () =
                (Failpoint.armed_sites ())) );
       ])
 
+(* Combination-engine activity: join traffic through the streaming
+   pipeline plus the per-operator fused/materialized tallies.  Fixed
+   key lists (absent counters read as 0) keep the report shape stable
+   across queries and engines. *)
+let fused_ops = [ "select"; "project"; "join"; "product"; "dedup" ]
+let materialized_ops =
+  [ "select"; "project"; "join"; "product"; "union"; "divide"; "stream" ]
+
+let combination_json () =
+  let open Obs.Json in
+  let tally prefix ops =
+    Obj
+      (List.map
+         (fun op -> (op, Int (Obs.Metrics.counter_value (prefix ^ op))))
+         ops)
+  in
+  Obj
+    [
+      ( "join_rows_in",
+        Int (Obs.Metrics.counter_value "combination.join_rows_in") );
+      ( "join_rows_out",
+        Int (Obs.Metrics.counter_value "combination.join_rows_out") );
+      ("fused", tally "algebra.fused." fused_ops);
+      ("materialized", tally "algebra.materialized." materialized_ops);
+    ]
+
 let to_json ~database ~scale db q a =
   let open Obs.Json in
   Obj
@@ -183,6 +209,7 @@ let to_json ~database ~scale db q a =
           (List.map
              (fun (k, n) -> (k, Int n))
              a.a_report.Phased_eval.intermediates) );
+      ("combination", combination_json ());
       ("faults", faults_json ());
       ("plan", Str (Explain.explain ~strategy:a.a_strategy db q));
       ("trace", Obs.Trace.to_json a.a_root);

@@ -2,24 +2,74 @@
    relations; evaluate logical operators and quantifiers in three steps:
 
    1. each conjunction is combined from its single lists and indirect
-      joins into n-tuples of references (joins and Cartesian products),
-      padded with the range's base single list for variables the
-      conjunction does not mention;
+      joins into n-tuples of references (joins and Cartesian products);
    2. the full disjunctive form is evaluated by a union of those
       n-tuple relations;
    3. quantifiers are evaluated from right to left — projection for
       existential quantification, division for universal quantification
-      (Codd / Palermo). *)
+      (Codd / Palermo).
+
+   Two engines implement the phase:
+
+   - [Declaration]: the paper's literal reading — pad every conjunction
+     with base single lists up to the full variable order, union, then
+     eliminate the prefix over the padded n-tuple relation.  Kept as
+     the comparison baseline (B-ORDER) and differential-test oracle.
+
+   - [Cost_ordered] (default): a streaming engine that joins each
+     conjunction's components in greedy cost order (true cardinalities
+     are available — the inputs are materialized), projects
+     existentially quantified variables away eagerly inside the
+     combine, and eliminates the prefix DISJUNCT-WISE, never
+     materializing the full padded union:
+
+       ∃v:  projection distributes over union, so project [v] out of
+            exactly the disjuncts that carry it; a disjunct without [v]
+            is untouched (∃v P ≡ P over a non-empty range).
+       ∀v:  ∀v (P ∨ Q(v)) ≡ P ∨ ∀v Q(v) for a non-empty range, so only
+            the disjuncts carrying [v] are padded to their common
+            column set, unioned, and divided; the rest pass through.
+
+     Both identities need non-empty prefix ranges, which
+     {!Standard_form.adapt_query} guarantees (empty-range quantifiers
+     are rewritten away before planning).  Free-variable padding
+     happens last, just before the final union, so a variable that is
+     only padded and then projected away is never joined at all.
+     max_ntuple is thereby bounded by the live-variable frontier
+     rather than the full prefix width. *)
 
 open Relalg
 open Calculus
+
+type join_order = Cost_ordered | Declaration
+
+let columns rel = Schema.names (Relation.schema rel)
+
+let rel_of = function
+  | Collection.C_single (_, r) -> r
+  | Collection.C_pair (_, _, r) -> r
+
+let has_col rel v = Schema.mem (Relation.schema rel) v
+
+(* Schema of the n-tuple reference relations over [order]. *)
+let ntuple_schema (plan : Plan.t) order =
+  Schema.make
+    (List.map
+       (fun v ->
+         match Plan.range_of plan v with
+         | Some r -> Schema.attr v (Vtype.reference r.range_rel)
+         | None -> invalid_arg "Combination: variable without range")
+       order)
+    ~key:[]
+
+(* ------------------------------------------------------------------ *)
+(* Declaration-order engine (the paper's baseline).                    *)
+(* ------------------------------------------------------------------ *)
 
 (* Join two reference relations on their shared variable columns
    (natural join); disjoint column sets degrade to a Cartesian
    product. *)
 let combine a b = Algebra.natural_join ~name:"refrel" a b
-
-let columns rel = Schema.names (Relation.schema rel)
 
 (* Combine the components of one conjunction, greedily preferring
    components that share a variable with the accumulated result so that
@@ -28,10 +78,6 @@ let columns rel = Schema.names (Relation.schema rel)
 let combine_conjunction components =
   let shares acc_cols comp_cols =
     List.exists (fun c -> List.mem c acc_cols) comp_cols
-  in
-  let rel_of = function
-    | Collection.C_single (_, r) -> r
-    | Collection.C_pair (_, _, r) -> r
   in
   let rec go acc remaining =
     match remaining with
@@ -68,17 +114,6 @@ let pad coll order rel_opt =
   | None -> invalid_arg "Combination.pad: no variables"
   | Some r -> Algebra.project ~name:"refrel" r order
 
-(* Schema of the n-tuple reference relations over [order]. *)
-let ntuple_schema (plan : Plan.t) order =
-  Schema.make
-    (List.map
-       (fun v ->
-         match Plan.range_of plan v with
-         | Some r -> Schema.attr v (Vtype.reference r.range_rel)
-         | None -> invalid_arg "Combination: variable without range")
-       order)
-    ~key:[]
-
 (* Eliminate the quantifier prefix right to left over an n-tuple
    relation: projection for SOME, division by the variable's base single
    list for ALL.  Precondition (established by the adaptation pass): all
@@ -104,19 +139,9 @@ let eliminate_quantifiers coll (plan : Plan.t) rel =
     rel
     (List.rev plan.Plan.prefix)
 
-(* Full combination phase: n-tuples per conjunction, union, quantifier
-   elimination.  Returns the reference relation over the free variables
-   (declaration order) and the cardinality of the largest n-tuple
-   relation built on the way — the combinatorial-growth metric of the
-   experiments. *)
-let evaluate_with_stats coll (plan : Plan.t) =
+let evaluate_declaration coll (plan : Plan.t) grow =
   let order = Plan.variable_order plan in
   let free_names = List.map fst plan.Plan.free in
-  let max_ntuple = ref 0 in
-  let grow n =
-    max_ntuple := max !max_ntuple n;
-    Obs.Metrics.gauge_max "combination.max_ntuple" (float_of_int !max_ntuple)
-  in
   let conj_rels =
     List.mapi
       (fun i conj ->
@@ -133,12 +158,248 @@ let evaluate_with_stats coll (plan : Plan.t) =
     match conj_rels with
     | [] -> Relation.create ~name:"refrel" (ntuple_schema plan order)
     | [ r ] -> r
-    | r :: rest ->
+    | r :: _ ->
       Obs.Trace.with_span "union" (fun () ->
-          List.fold_left (fun acc x -> Algebra.union ~name:"refrel" acc x) r rest)
+          Algebra.union_all ~name:"refrel" (Relation.schema r) conj_rels)
   in
   grow (Relation.cardinality unioned);
   let reduced = eliminate_quantifiers coll plan unioned in
-  (Algebra.project ~name:"refrel" reduced free_names, !max_ntuple)
+  Algebra.project ~name:"refrel" reduced free_names
 
-let evaluate coll plan = fst (evaluate_with_stats coll plan)
+(* ------------------------------------------------------------------ *)
+(* Streaming cost-ordered engine (default).                            *)
+(* ------------------------------------------------------------------ *)
+
+module Stream = Algebra.Stream
+
+(* Filter [order] down to [cols]: every disjunct keeps its columns in
+   the one canonical order (free variables first, then the prefix), so
+   unions of disjuncts line up without per-union reshuffling. *)
+let canonical order cols = List.filter (fun v -> List.mem v cols) order
+
+(* A disjunct that has been reduced to a constant TRUE (e.g. a
+   conjunction whose every variable was existentially projected away,
+   over a non-empty witness): represented by the first free variable's
+   base list, which the final padding extends to the full free product.
+   If that range is empty the whole query answer is empty, so the
+   representation stays faithful. *)
+let true_disjunct coll (plan : Plan.t) =
+  Collection.base_list coll (fst (List.hd plan.Plan.free))
+
+(* The conjunction's SOME variables that may be projected away inside
+   its own combine.  Walking the prefix innermost-first: a SOME
+   variable of the conjunction is eagerly projectable unless an ALL
+   variable of the SAME conjunction sits strictly inside it — the
+   division at that inner ALL step merges this disjunct into a cohort
+   whose quotient must still carry the outer variable.  ALL variables
+   the conjunction does not mention never block: that elimination step
+   passes the disjunct through untouched. *)
+let eager_vars (plan : Plan.t) cols =
+  let in_conj v = List.mem v cols in
+  let eager, _ =
+    List.fold_left
+      (fun (eager, blocked) (e : Normalize.prefix_entry) ->
+        match e.Normalize.q with
+        | Normalize.Q_all when in_conj e.Normalize.v -> (eager, true)
+        | Normalize.Q_some when in_conj e.Normalize.v && not blocked ->
+          (e.Normalize.v :: eager, blocked)
+        | _ -> (eager, blocked))
+      ([], false)
+      (List.rev plan.Plan.prefix)
+  in
+  eager
+
+(* Pad [rel] up to the canonical column set [target] with base single
+   lists, as one fused product-project-materialize chain. *)
+let pad_to coll target rel =
+  let cols = columns rel in
+  if List.equal String.equal cols target then rel
+  else begin
+    let missing = List.filter (fun c -> not (List.mem c cols)) target in
+    let s =
+      List.fold_left
+        (fun s v -> Stream.product s (Collection.base_list coll v))
+        (Stream.of_relation rel) missing
+    in
+    Stream.materialize ~name:"refrel" (Stream.project s target)
+  end
+
+(* Combine one conjunction's components in greedy cost order (true
+   cardinalities and distinct counts — the inputs are materialized),
+   then project the eagerly eliminable variables away in the same
+   streaming pass.  Returns [None] for a component-less conjunction
+   (constant TRUE). *)
+let combine_streaming (plan : Plan.t) order components =
+  match List.map rel_of components with
+  | [] -> None
+  | rels ->
+    let inputs =
+      List.map
+        (fun r ->
+          {
+            Cost.ji_card = Relation.cardinality r;
+            ji_cols = columns r;
+            ji_distinct = Stats.column_distincts r;
+          })
+        rels
+    in
+    let arr = Array.of_list rels in
+    let ordered = List.map (fun i -> arr.(i)) (Cost.greedy_join_order inputs) in
+    let first = List.hd ordered and rest = List.tl ordered in
+    let cols =
+      List.fold_left
+        (fun acc r ->
+          acc @ List.filter (fun c -> not (List.mem c acc)) (columns r))
+        (columns first) rest
+    in
+    let eager = eager_vars plan cols in
+    let keep = List.filter (fun c -> not (List.mem c eager)) cols in
+    (* Never project down to zero columns; keep one and let the normal
+       elimination step reduce it. *)
+    let out_cols =
+      if keep = [] then [ List.hd (canonical order cols) ]
+      else canonical order keep
+    in
+    if rest = [] && List.equal String.equal (columns first) out_cols then
+      Some first (* already in shape: share the collection structure *)
+    else begin
+      let stream =
+        List.fold_left Stream.natural_join (Stream.of_relation first) rest
+      in
+      let stream =
+        if List.equal String.equal (Schema.names (Stream.schema stream)) out_cols
+        then stream
+        else Stream.project stream out_cols
+      in
+      Some (Stream.materialize ~name:"refrel" stream)
+    end
+
+(* Disjunct-wise right-to-left quantifier elimination over the LIST of
+   conjunction relations (heterogeneous column sets); see the header
+   comment for the two distribution identities this rests on. *)
+let eliminate_streaming coll (plan : Plan.t) grow disjuncts =
+  let order = Plan.variable_order plan in
+  List.fold_left
+    (fun djs (e : Normalize.prefix_entry) ->
+      let v = e.Normalize.v in
+      Obs.Trace.with_span
+        (Fmt.str "eliminate %s %s" (Normalize.quant_to_string e.Normalize.q) v)
+        (fun () ->
+          let reduced =
+            match e.Normalize.q with
+            | Normalize.Q_some ->
+              List.filter_map
+                (fun d ->
+                  if not (has_col d v) then Some d
+                  else
+                    let remaining =
+                      List.filter
+                        (fun c -> not (String.equal c v))
+                        (columns d)
+                    in
+                    if remaining = [] then
+                      (* ∃v over a one-column disjunct is a boolean *)
+                      if Relation.is_empty d then None
+                      else Some (true_disjunct coll plan)
+                    else Some (Algebra.project ~name:"refrel" d remaining))
+                djs
+            | Normalize.Q_all -> (
+              let cohort, others = List.partition (fun d -> has_col d v) djs in
+              match cohort with
+              | [] -> djs (* no disjunct constrains v: ∀v is vacuous *)
+              | _ ->
+                let common =
+                  canonical order
+                    (List.sort_uniq String.compare
+                       (List.concat_map columns cohort))
+                in
+                let dividend =
+                  match cohort with
+                  | [ d ] when List.equal String.equal (columns d) common -> d
+                  | _ ->
+                    Obs.Trace.with_span "union" (fun () ->
+                        let padded = List.map (pad_to coll common) cohort in
+                        Algebra.union_all ~name:"refrel"
+                          (Relation.schema (List.hd padded))
+                          padded)
+                in
+                grow (Relation.cardinality dividend);
+                let divisor = Collection.base_list coll v in
+                if List.equal String.equal common [ v ] then
+                  (* boolean: does the cohort cover the whole range? *)
+                  if
+                    Relation.for_all
+                      (fun t -> Relation.mem_tuple dividend t)
+                      divisor
+                  then true_disjunct coll plan :: others
+                  else others
+                else
+                  Algebra.divide ~name:"refrel" ~on:[ (v, v) ] dividend
+                    divisor
+                  :: others)
+          in
+          let total =
+            List.fold_left (fun n d -> n + Relation.cardinality d) 0 reduced
+          in
+          Obs.Trace.add_attr "ntuples" (Obs.Json.Int total);
+          reduced))
+    disjuncts
+    (List.rev plan.Plan.prefix)
+
+let evaluate_streaming coll (plan : Plan.t) grow =
+  let order = Plan.variable_order plan in
+  let free_names = List.map fst plan.Plan.free in
+  let disjuncts =
+    List.mapi
+      (fun i conj ->
+        Obs.Trace.with_span (Fmt.str "conjunction %d" i) (fun () ->
+            let components = Collection.components coll conj in
+            let r =
+              match combine_streaming plan order components with
+              | Some r -> r
+              | None -> true_disjunct coll plan
+            in
+            grow (Relation.cardinality r);
+            Obs.Trace.add_attr "ntuples"
+              (Obs.Json.Int (Relation.cardinality r));
+            r))
+      plan.Plan.conjs
+  in
+  let reduced = eliminate_streaming coll plan grow disjuncts in
+  match reduced with
+  | [] -> Relation.create ~name:"refrel" (ntuple_schema plan free_names)
+  | [ d ] when List.equal String.equal (columns d) free_names -> d
+  | ds ->
+    Obs.Trace.with_span "union" (fun () ->
+        match List.map (pad_to coll free_names) ds with
+        | [ d ] -> d
+        | padded ->
+          let u =
+            Algebra.union_all ~name:"refrel"
+              (Relation.schema (List.hd padded))
+              padded
+          in
+          grow (Relation.cardinality u);
+          u)
+
+(* ------------------------------------------------------------------ *)
+
+(* Full combination phase.  Returns the reference relation over the
+   free variables (declaration order) and the cardinality of the
+   largest n-tuple relation built on the way — the combinatorial-growth
+   metric of the experiments. *)
+let evaluate_with_stats ?(join_order = Cost_ordered) coll (plan : Plan.t) =
+  let max_ntuple = ref 0 in
+  let grow n =
+    max_ntuple := max !max_ntuple n;
+    Obs.Metrics.gauge_max "combination.max_ntuple" (float_of_int !max_ntuple)
+  in
+  let result =
+    match join_order with
+    | Cost_ordered -> evaluate_streaming coll plan grow
+    | Declaration -> evaluate_declaration coll plan grow
+  in
+  (result, !max_ntuple)
+
+let evaluate ?join_order coll plan =
+  fst (evaluate_with_stats ?join_order coll plan)

@@ -5,11 +5,27 @@
 
 open Relalg
 
-val evaluate : Collection.t -> Plan.t -> Relation.t
+type join_order =
+  | Cost_ordered
+      (** Streaming engine (default): joins each conjunction's
+          components in greedy cost order over their true cardinalities,
+          projects existentially quantified variables away eagerly
+          inside the combine, and eliminates the prefix disjunct-wise —
+          a variable that would only be padded and then projected away
+          is never joined at all, so max_ntuple is bounded by the
+          live-variable frontier. *)
+  | Declaration
+      (** The paper's literal baseline: pad every conjunction to the
+          full variable order, union, then eliminate right to left over
+          the padded n-tuple relation. *)
+
+val evaluate :
+  ?join_order:join_order -> Collection.t -> Plan.t -> Relation.t
 (** Returns the reference relation over the free variables, in
     declaration order.  Precondition: every prefix range is non-empty
     (established by {!Standard_form.adapt_query}). *)
 
-val evaluate_with_stats : Collection.t -> Plan.t -> Relation.t * int
+val evaluate_with_stats :
+  ?join_order:join_order -> Collection.t -> Plan.t -> Relation.t * int
 (** Also returns the cardinality of the largest n-tuple relation built —
     the combinatorial-growth metric. *)

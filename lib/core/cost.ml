@@ -114,3 +114,82 @@ let pp ppf e =
     e.e_collection e.e_combination
     (Fmt.list ~sep:Fmt.comma (fun ppf f -> Fmt.pf ppf "%.0f" f))
     e.e_conj_sizes
+
+(* --- Join ordering over materialized inputs ------------------------
+
+   The combination phase joins the reference relations of one
+   conjunction.  Unlike the textual estimates above, here the TRUE
+   cardinalities and per-column distinct counts are available (the
+   inputs are materialized), so a greedy System-R style ordering is
+   cheap and accurate: start from the smallest input and repeatedly
+   join in the input with the least estimated result size, where
+
+     est(acc ⋈ C) = |acc| · |C| · Π_{shared column s} 1 / max(d_acc(s), d_C(s)).
+
+   Inputs sharing no column with the accumulated prefix are estimated
+   as Cartesian products, which the formula naturally penalizes. *)
+
+type join_input = {
+  ji_card : int;
+  ji_cols : string list;
+  ji_distinct : (string * int) list;  (* distinct count per column *)
+}
+
+let greedy_join_order (inputs : join_input list) =
+  match inputs with
+  | [] -> []
+  | [ _ ] -> [ 0 ]
+  | _ ->
+    let arr = Array.of_list inputs in
+    let n = Array.length arr in
+    let used = Array.make n false in
+    (* Distinct-count view of the accumulated intermediate: shared
+       columns keep the smaller distinct count, everything is capped by
+       the running cardinality estimate. *)
+    let acc_distinct : (string, float) Hashtbl.t = Hashtbl.create 16 in
+    let absorb est inp =
+      List.iter
+        (fun (c, d) ->
+          let d = float_of_int (max 1 d) in
+          let d =
+            match Hashtbl.find_opt acc_distinct c with
+            | Some prev -> Float.min prev d
+            | None -> d
+          in
+          Hashtbl.replace acc_distinct c (Float.min d est))
+        inp.ji_distinct
+    in
+    let start = ref 0 in
+    for i = 1 to n - 1 do
+      if arr.(i).ji_card < arr.(!start).ji_card then start := i
+    done;
+    let acc_card = ref (float_of_int (max 1 arr.(!start).ji_card)) in
+    used.(!start) <- true;
+    absorb !acc_card arr.(!start);
+    let order = ref [ !start ] in
+    for _ = 2 to n do
+      let best = ref (-1) and best_est = ref infinity in
+      for i = 0 to n - 1 do
+        if not used.(i) then begin
+          let est =
+            List.fold_left
+              (fun est (c, d) ->
+                match Hashtbl.find_opt acc_distinct c with
+                | Some da -> est /. Float.max da (float_of_int (max 1 d))
+                | None -> est)
+              (!acc_card *. float_of_int (max 1 arr.(i).ji_card))
+              arr.(i).ji_distinct
+          in
+          if est < !best_est then begin
+            best := i;
+            best_est := est
+          end
+        end
+      done;
+      let i = !best in
+      used.(i) <- true;
+      acc_card := Float.max 1.0 !best_est;
+      absorb !acc_card arr.(i);
+      order := i :: !order
+    done;
+    List.rev !order

@@ -76,26 +76,27 @@ let prepare db strategy query =
   end
   else plan
 
-let run ?name ?(strategy = Strategy.full) db query =
+let run ?name ?(strategy = Strategy.full) ?join_order db query =
   let plan = prepare db strategy query in
   let coll = Collection.create db strategy plan in
   Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
   let refs =
-    Obs.Trace.with_span "combination" (fun () -> Combination.evaluate coll plan)
+    Obs.Trace.with_span "combination" (fun () ->
+        Combination.evaluate ?join_order coll plan)
   in
   Obs.Trace.with_span "construction" (fun () ->
       Construction.run ?name db plan refs)
 
 (* Run with instrumentation.  Scan/probe counters of the database
    relations are reset first, so the report reflects this query alone. *)
-let run_report ?name ?(strategy = Strategy.full) db query =
+let run_report ?name ?(strategy = Strategy.full) ?join_order db query =
   Database.reset_counters db;
   let plan = prepare db strategy query in
   let coll = Collection.create db strategy plan in
   Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
   let refs, max_ntuple =
     Obs.Trace.with_span "combination" (fun () ->
-        Combination.evaluate_with_stats coll plan)
+        Combination.evaluate_with_stats ?join_order coll plan)
   in
   let result =
     Obs.Trace.with_span "construction" (fun () ->
@@ -115,11 +116,11 @@ let run_report ?name ?(strategy = Strategy.full) db query =
    collection-phase scan below it) carries its own wall time and metric
    deltas.  [Database.reset_counters] runs inside {!run_report}; the
    per-span metric attribution is diff-based and unaffected. *)
-let run_traced ?name ?(strategy = Strategy.full) db query =
+let run_traced ?name ?(strategy = Strategy.full) ?join_order db query =
   (* The high-water gauge is cumulative across queries in one process;
      zero it so this trace's combination span reports this query's
      maximum, not a larger one left over from an earlier run. *)
   Obs.Metrics.set_gauge "combination.max_ntuple" 0.0;
   Obs.Trace.collect "query"
     ~attrs:[ ("strategy", Obs.Json.Str (Strategy.to_string strategy)) ]
-    (fun () -> run_report ?name ~strategy db query)
+    (fun () -> run_report ?name ~strategy ?join_order db query)

@@ -19,17 +19,30 @@ val prepare : Database.t -> Strategy.t -> query -> Plan.t
 (** Adaptation + standard form + enabled transformations, without
     evaluating. *)
 
-val run : ?name:string -> ?strategy:Strategy.t -> Database.t -> query -> Relation.t
-(** Evaluate; [strategy] defaults to {!Strategy.full}. *)
+val run :
+  ?name:string ->
+  ?strategy:Strategy.t ->
+  ?join_order:Combination.join_order ->
+  Database.t ->
+  query ->
+  Relation.t
+(** Evaluate; [strategy] defaults to {!Strategy.full}, [join_order] to
+    {!Combination.Cost_ordered}. *)
 
 val run_report :
-  ?name:string -> ?strategy:Strategy.t -> Database.t -> query -> report
+  ?name:string ->
+  ?strategy:Strategy.t ->
+  ?join_order:Combination.join_order ->
+  Database.t ->
+  query ->
+  report
 (** Evaluate with instrumentation; resets the database scan/probe
     counters first. *)
 
 val run_traced :
   ?name:string ->
   ?strategy:Strategy.t ->
+  ?join_order:Combination.join_order ->
   Database.t ->
   query ->
   report * Obs.Trace.span

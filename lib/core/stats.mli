@@ -37,3 +37,7 @@ val join_selectivity : t -> string -> string -> string -> string -> float
 (** System-R style [1 / max(distinct, distinct)] for equality joins. *)
 
 val pp : t Fmt.t
+
+val column_distincts : Relation.t -> (string * int) list
+(** Distinct count per column of a materialized relation, in schema
+    order; uninstrumented (used on intermediate reference relations). *)

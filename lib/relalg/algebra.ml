@@ -9,12 +9,19 @@
 
 let fresh_name base = base
 
+(* Per-operator materialization tallies: each classic operator call
+   allocates one output relation; the fused {!Stream} pipeline reports
+   the operators it avoided materializing under [algebra.fused.*]. *)
+let tally op = Obs.Metrics.incr ("algebra.materialized." ^ op)
+
 let select ?(name = fresh_name "select") pred rel =
+  tally "select";
   let out = Relation.create ~name (Relation.schema rel) in
   Relation.scan (fun t -> if pred t then Relation.insert out t) rel;
   out
 
 let project ?(name = fresh_name "project") rel names =
+  tally "project";
   let schema = Relation.schema rel in
   let out_schema = Schema.project schema names in
   let positions =
@@ -30,6 +37,7 @@ let rename ?(name = fresh_name "rename") rel mapping =
   out
 
 let product ?(name = fresh_name "product") a b =
+  tally "product";
   let out_schema = Schema.concat (Relation.schema a) (Relation.schema b) in
   let out = Relation.create ~name out_schema in
   (* Materialize the inner side once; scanning it per outer element would
@@ -44,6 +52,7 @@ let product ?(name = fresh_name "product") a b =
 (* θ-join: product restricted by an arbitrary predicate over the paired
    tuples.  Nested loops; used for the non-equality join terms. *)
 let theta_join ?(name = fresh_name "theta_join") pred a b =
+  tally "join";
   let out_schema = Schema.concat (Relation.schema a) (Relation.schema b) in
   let out = Relation.create ~name out_schema in
   let inner = Relation.scan_fold (fun acc t -> t :: acc) [] b in
@@ -55,7 +64,9 @@ let theta_join ?(name = fresh_name "theta_join") pred a b =
     a;
   out
 
-let join_key positions t = Array.to_list (Tuple.project positions t)
+(* Join keys are value arrays (the projected tuple itself), looked up in
+   array-keyed {!Value_key} tables — no per-probe list allocation. *)
+let join_key positions t = Tuple.project positions t
 
 let positions_of schema names =
   Array.of_list (List.map (Schema.index_of schema) names)
@@ -63,17 +74,18 @@ let positions_of schema names =
 (* Hash equi-join on pairs of equated attributes; output is the
    concatenation of both sides (names must stay distinct). *)
 let equi_join ?(name = fresh_name "join") ~on a b =
+  tally "join";
   let sa = Relation.schema a and sb = Relation.schema b in
   let pa = positions_of sa (List.map fst on) in
   let pb = positions_of sb (List.map snd on) in
   let out = Relation.create ~name (Schema.concat sa sb) in
-  let table = Value_key.create (max 16 (Relation.cardinality b)) in
-  Relation.scan (fun tb -> Value_key.add_multi table (join_key pb tb) tb) b;
+  let table = Value_key.acreate (max 16 (Relation.cardinality b)) in
+  Relation.scan (fun tb -> Value_key.add_multi_a table (join_key pb tb) tb) b;
   Relation.scan
     (fun ta ->
       List.iter
         (fun tb -> Relation.insert out (Tuple.concat ta tb))
-        (Value_key.find_multi table (join_key pa ta)))
+        (Value_key.find_multi_a table (join_key pa ta)))
     a;
   out
 
@@ -82,11 +94,12 @@ let equi_join ?(name = fresh_name "join") ~on a b =
    point where the combination phase performs join and product).  Same
    contract as {!equi_join}. *)
 let merge_join ?(name = fresh_name "merge_join") ~on a b =
+  tally "join";
   let sa = Relation.schema a and sb = Relation.schema b in
   let pa = positions_of sa (List.map fst on) in
   let pb = positions_of sb (List.map snd on) in
   let out = Relation.create ~name (Schema.concat sa sb) in
-  let key_cmp k1 k2 = Value.compare_list k1 k2 in
+  let key_cmp k1 k2 = Tuple.compare k1 k2 in
   let sorted rel positions =
     let items =
       Relation.scan_fold
@@ -135,8 +148,7 @@ let nested_loop_join ?(name = fresh_name "nl_join") ~on a b =
   let pa = positions_of sa (List.map fst on) in
   let pb = positions_of sb (List.map snd on) in
   theta_join ~name
-    (fun ta tb ->
-      List.equal Value.equal (join_key pa ta) (join_key pb tb))
+    (fun ta tb -> Tuple.equal (join_key pa ta) (join_key pb tb))
     a b
 
 (* Natural join: equi-join on the shared attribute names, with the
@@ -147,6 +159,7 @@ let natural_join ?(name = fresh_name "natural_join") a b =
   match shared with
   | [] -> product ~name a b
   | _ ->
+    tally "join";
     let pa = positions_of sa shared and pb = positions_of sb shared in
     let keep_b =
       List.filter (fun n -> not (Schema.mem sa n)) (Schema.names sb)
@@ -158,16 +171,18 @@ let natural_join ?(name = fresh_name "natural_join") a b =
         Schema.concat sa (Schema.project sb keep_b)
     in
     let out = Relation.create ~name out_schema in
-    let table = Value_key.create (max 16 (Relation.cardinality b)) in
-    Relation.scan (fun tb -> Value_key.add_multi table (join_key pb tb) tb) b;
+    let table = Value_key.acreate (max 16 (Relation.cardinality b)) in
+    Relation.scan (fun tb -> Value_key.add_multi_a table (join_key pb tb) tb) b;
     Relation.scan
       (fun ta ->
         List.iter
           (fun tb ->
-            let extra = Tuple.project keep_positions tb in
-            let combined = if keep_b = [] then ta else Tuple.concat ta extra in
+            let combined =
+              if keep_b = [] then ta
+              else Tuple.concat_project ta keep_positions tb
+            in
             Relation.insert out combined)
-          (Value_key.find_multi table (join_key pa ta)))
+          (Value_key.find_multi_a table (join_key pa ta)))
       a;
     out
 
@@ -177,6 +192,7 @@ let require_same_shape op a b =
       (Relation.schema a) Schema.pp (Relation.schema b)
 
 let union ?(name = fresh_name "union") a b =
+  tally "union";
   require_same_shape "union" a b;
   let out = Relation.create ~name (Relation.schema a) in
   Relation.scan (Relation.insert out) a;
@@ -184,6 +200,7 @@ let union ?(name = fresh_name "union") a b =
   out
 
 let union_all ?(name = fresh_name "union") schema rels =
+  tally "union";
   let out = Relation.create ~name schema in
   List.iter
     (fun r ->
@@ -205,9 +222,9 @@ let diff ?(name = fresh_name "diff") a b =
 let semijoin ?(name = fresh_name "semijoin") ~on a b =
   let pa = positions_of (Relation.schema a) (List.map fst on) in
   let pb = positions_of (Relation.schema b) (List.map snd on) in
-  let table = Value_key.create (max 16 (Relation.cardinality b)) in
-  Relation.scan (fun tb -> Value_key.Table.replace table (join_key pb tb) ()) b;
-  select ~name (fun ta -> Value_key.Table.mem table (join_key pa ta)) a
+  let table = Value_key.acreate (max 16 (Relation.cardinality b)) in
+  Relation.scan (fun tb -> Value_key.Atable.replace table (join_key pb tb) ()) b;
+  select ~name (fun ta -> Value_key.Atable.mem table (join_key pa ta)) a
 
 (* Antijoin a ▷ b: elements of a that join with no element of b — the
    universal-quantifier counterpart of the semijoin (Section 5's
@@ -215,9 +232,9 @@ let semijoin ?(name = fresh_name "semijoin") ~on a b =
 let antijoin ?(name = fresh_name "antijoin") ~on a b =
   let pa = positions_of (Relation.schema a) (List.map fst on) in
   let pb = positions_of (Relation.schema b) (List.map snd on) in
-  let table = Value_key.create (max 16 (Relation.cardinality b)) in
-  Relation.scan (fun tb -> Value_key.Table.replace table (join_key pb tb) ()) b;
-  select ~name (fun ta -> not (Value_key.Table.mem table (join_key pa ta))) a
+  let table = Value_key.acreate (max 16 (Relation.cardinality b)) in
+  Relation.scan (fun tb -> Value_key.Atable.replace table (join_key pb tb) ()) b;
+  select ~name (fun ta -> not (Value_key.Atable.mem table (join_key pa ta))) a
 
 (* Division r ÷ s on pairs (r attribute, s attribute): quotient tuples q
    over the remaining attributes of r such that for EVERY element of s
@@ -227,6 +244,7 @@ let antijoin ?(name = fresh_name "antijoin") ~on a b =
    (ALL over the empty relation holds vacuously); callers that need the
    stricter adaptation of Lemma 1 handle emptiness beforehand. *)
 let divide ?(name = fresh_name "divide") ~on r s =
+  tally "divide";
   let sr = Relation.schema r and ss = Relation.schema s in
   let pr_on = positions_of sr (List.map fst on) in
   let ps_on = positions_of ss (List.map snd on) in
@@ -239,12 +257,14 @@ let divide ?(name = fresh_name "divide") ~on r s =
     Errors.schema_error "divide: no quotient attributes remain";
   let pr_quot = positions_of sr quotient_names in
   let out_schema = Schema.project sr quotient_names in
+  (* Distinct divisor images, deduplicated through a hash table rather
+     than a linear membership test over the accumulator. *)
+  let divisor_set = Value_key.acreate (max 16 (Relation.cardinality s)) in
+  Relation.scan
+    (fun t -> Value_key.Atable.replace divisor_set (join_key ps_on t) ())
+    s;
   let divisor =
-    Relation.scan_fold
-      (fun acc t ->
-        let k = join_key ps_on t in
-        if List.exists (List.equal Value.equal k) acc then acc else k :: acc)
-      [] s
+    Value_key.Atable.fold (fun k () acc -> k :: acc) divisor_set []
   in
   let needed = List.length divisor in
   let out = Relation.create ~name out_schema in
@@ -254,30 +274,168 @@ let divide ?(name = fresh_name "divide") ~on r s =
   end
   else begin
     (* Group r by quotient values, collecting the set of divisor images. *)
-    let groups : unit Value_key.table Value_key.table =
-      Value_key.create 64
+    let groups : unit Value_key.atable Value_key.atable =
+      Value_key.acreate 64
     in
     Relation.scan
       (fun t ->
         let q = join_key pr_quot t and d = join_key pr_on t in
         let images =
-          match Value_key.Table.find_opt groups q with
+          match Value_key.Atable.find_opt groups q with
           | Some set -> set
           | None ->
-            let set = Value_key.create 8 in
-            Value_key.Table.replace groups q set;
+            let set = Value_key.acreate 8 in
+            Value_key.Atable.replace groups q set;
             set
         in
-        Value_key.Table.replace images d ())
+        Value_key.Atable.replace images d ())
       r;
-    Value_key.Table.iter
+    Value_key.Atable.iter
       (fun q images ->
         let covers =
-          List.for_all (fun d -> Value_key.Table.mem images d) divisor
+          Value_key.Atable.length images >= needed
+          && List.for_all (fun d -> Value_key.Atable.mem images d) divisor
         in
-        if covers then Relation.insert out (Tuple.of_list q))
+        if covers then Relation.insert out q)
       groups;
     out
   end
+
+(* Fused streaming form of the operators above (combination-phase hot
+   path).  A stream is a push producer: [emit k] drives every tuple of
+   the (virtual) result through the consumer [k].  Chaining streams
+   composes the per-tuple callbacks directly, so an operator chain
+   allocates exactly one output relation — at the final {!Stream.
+   materialize} — instead of one hashtable-backed relation per operator.
+   Joins hash the materialized build side once (lazily, inside the
+   single [emit] run) and probe it with the streamed tuples. *)
+module Stream = struct
+  type t = { schema : Schema.t; emit : (Tuple.t -> unit) -> unit }
+
+  let schema s = s.schema
+  let fused op = Obs.Metrics.incr ("algebra.fused." ^ op)
+
+  let of_relation rel =
+    { schema = Relation.schema rel; emit = (fun k -> Relation.iter k rel) }
+
+  let select pred s =
+    {
+      s with
+      emit =
+        (fun k ->
+          fused "select";
+          s.emit (fun t -> if pred t then k t));
+    }
+
+  let project s names =
+    let positions = positions_of s.schema names in
+    {
+      schema = Schema.project s.schema names;
+      emit =
+        (fun k ->
+          fused "project";
+          s.emit (fun t -> k (Tuple.project positions t)));
+    }
+
+  (* Streaming duplicate elimination: a projection can multiply the rows
+     every downstream operator touches, so collapse duplicates as they
+     pass rather than waiting for the materialization's key table. *)
+  let dedup s =
+    {
+      s with
+      emit =
+        (fun k ->
+          fused "dedup";
+          let seen = Value_key.acreate 64 in
+          s.emit (fun t ->
+              if not (Value_key.Atable.mem seen t) then begin
+                Value_key.Atable.replace seen t ();
+                k t
+              end));
+    }
+
+  let product s rel =
+    let out_schema = Schema.concat s.schema (Relation.schema rel) in
+    {
+      schema = out_schema;
+      emit =
+        (fun k ->
+          fused "product";
+          let inner = Relation.fold (fun acc t -> t :: acc) [] rel in
+          let n_in = ref (Relation.cardinality rel) and n_out = ref 0 in
+          s.emit (fun ta ->
+              incr n_in;
+              List.iter
+                (fun tb ->
+                  incr n_out;
+                  k (Tuple.concat ta tb))
+                inner);
+          Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
+          Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+    }
+
+  (* Natural hash join with the stream as probe side and a materialized
+     relation as build side.  When the build side contributes no new
+     columns this degenerates to a semijoin: one emission per matching
+     probe tuple, regardless of the bucket size. *)
+  let natural_join s rel =
+    let sa = s.schema and sb = Relation.schema rel in
+    let shared = List.filter (fun n -> Schema.mem sa n) (Schema.names sb) in
+    match shared with
+    | [] -> product s rel
+    | _ ->
+      let pa = positions_of sa shared and pb = positions_of sb shared in
+      let keep_b =
+        List.filter (fun n -> not (Schema.mem sa n)) (Schema.names sb)
+      in
+      let keep_positions = positions_of sb keep_b in
+      let out_schema =
+        if keep_b = [] then sa else Schema.concat sa (Schema.project sb keep_b)
+      in
+      let table =
+        lazy
+          (let tbl = Value_key.acreate (max 16 (Relation.cardinality rel)) in
+           Relation.iter
+             (fun tb -> Value_key.add_multi_a tbl (join_key pb tb) tb)
+             rel;
+           tbl)
+      in
+      {
+        schema = out_schema;
+        emit =
+          (fun k ->
+            fused "join";
+            let tbl = Lazy.force table in
+            let n_in = ref (Relation.cardinality rel) and n_out = ref 0 in
+            s.emit (fun ta ->
+                incr n_in;
+                match Value_key.Atable.find_opt tbl (join_key pa ta) with
+                | None -> ()
+                | Some tbs ->
+                  if keep_b = [] then begin
+                    incr n_out;
+                    k ta
+                  end
+                  else
+                    List.iter
+                      (fun tb ->
+                        incr n_out;
+                        k (Tuple.concat_project ta keep_positions tb))
+                      tbs);
+            Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
+            Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+      }
+
+  (* The chain's one output relation.  The schema is re-keyed on the
+     whole tuple (set semantics, like every intermediate reference
+     relation), and the insertions skip the per-value domain check:
+     every emitted tuple is a projection/concatenation of tuples from
+     already-checked relations. *)
+  let materialize ?name s =
+    Obs.Metrics.incr "algebra.materialized.stream";
+    let out = Relation.create ?name (Schema.make (Schema.attrs s.schema) ~key:[]) in
+    s.emit (Relation.insert_unchecked out);
+    out
+end
 
 let cardinality = Relation.cardinality

@@ -82,3 +82,36 @@ val divide :
     @raise Errors.Schema_error if no quotient attributes remain. *)
 
 val cardinality : Relation.t -> int
+
+(** Fused streaming operators: push producers whose per-tuple callbacks
+    compose directly, so a whole operator chain allocates one output
+    relation (at {!Stream.materialize}) instead of one per operator.
+    Joins build their hash table on the materialized side once and probe
+    it with the streamed tuples; counters
+    [combination.join_rows_in]/[combination.join_rows_out] and the
+    [algebra.fused.*] tallies record the traffic. *)
+module Stream : sig
+  type t
+
+  val schema : t -> Schema.t
+  val of_relation : Relation.t -> t
+
+  val select : (Tuple.t -> bool) -> t -> t
+
+  val project : t -> string list -> t
+  (** Streaming projection; duplicates pass through — follow with
+      {!dedup} when fan-out matters. *)
+
+  val dedup : t -> t
+  (** Streaming duplicate elimination (hash set over whole tuples). *)
+
+  val natural_join : t -> Relation.t -> t
+  (** Hash join: the stream probes, the relation is the build side.
+      Degenerates to a semijoin when the build side adds no columns,
+      and to {!product} when no attribute names are shared. *)
+
+  val product : t -> Relation.t -> t
+
+  val materialize : ?name:string -> t -> Relation.t
+  (** Run the chain once, collecting into a whole-tuple-keyed relation. *)
+end

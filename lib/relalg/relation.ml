@@ -84,6 +84,25 @@ let insert r t =
 
 let insert_list r ts = List.iter (insert r) ts
 
+(* Fast-path insertion for operator outputs whose tuples are well typed
+   by construction (projections/concatenations of tuples read from
+   already-checked relations, under the derived schema).  Intended for
+   whole-tuple-key intermediates only: a duplicate key silently keeps
+   the first tuple instead of checking for a key violation. *)
+let insert_unchecked r t =
+  let key = Tuple.key_of r.schema t in
+  if not (Key_table.mem r.tbl key) then begin
+    Key_table.replace r.tbl key t;
+    Obs.Metrics.incr "relation.inserts";
+    match r.backing with
+    | Some b -> (
+      try Heap_file.append b.hf (Codec.encode_tuple r.schema t)
+      with e ->
+        b.dirty <- true;
+        raise e)
+    | None -> ()
+  end
+
 let delete_key r key =
   r.probes <- r.probes + 1;
   Obs.Metrics.incr "relation.probes";
@@ -205,8 +224,22 @@ let scan_fold f init r =
     scan (fun t -> acc := f !acc t) r;
     !acc
 
-let exists p r = fold (fun acc t -> acc || p t) false r
-let for_all p r = fold (fun acc t -> acc && p t) true r
+(* Short-circuiting quantifiers: [for_all] sits on the division and
+   [equal_set] paths, so bail out on the first witness instead of
+   folding the whole key table. *)
+exception Decided
+
+let exists p r =
+  try
+    iter (fun t -> if p t then raise Decided) r;
+    false
+  with Decided -> true
+
+let for_all p r =
+  try
+    iter (fun t -> if not (p t) then raise Decided) r;
+    true
+  with Decided -> false
 
 let scan_count r = r.scans
 let probe_count r = r.probes

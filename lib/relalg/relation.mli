@@ -19,6 +19,11 @@ val insert : t -> Tuple.t -> unit
     @raise Errors.Duplicate_key if the key is bound to a different element.
     @raise Errors.Type_error if the tuple does not fit the schema. *)
 
+val insert_unchecked : t -> Tuple.t -> unit
+(** Fast-path insertion for operator outputs whose tuples are well typed
+    by construction; skips the domain check.  For whole-tuple-key
+    intermediates only: duplicate keys silently keep the first element. *)
+
 val insert_list : t -> Tuple.t list -> unit
 val delete_key : t -> Value.t list -> unit
 val clear : t -> unit

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Guard against combination-engine performance regressions.
+
+Compares a freshly measured benchmark run against the committed
+BENCH_results.json and fails if any fully-optimised (s1+s2+s3+s4) row
+of the B-SCALE or B-DIV experiments at scale <= 2 got more than 3x
+slower.  The generous factor absorbs CI machine noise; the point is to
+catch the combination phase falling back to quadratic padding, which
+shows up as a 100x+ cliff, not a 2x wobble.
+
+Usage: check_bench_regression.py BASELINE.json NEW.json
+"""
+
+import json
+import sys
+
+EXPERIMENTS = {"B-SCALE", "B-DIV"}
+STRATEGY = "s1+s2+s3+s4"
+MAX_SCALE = 2
+FACTOR = 3.0
+
+
+def key_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for r in doc.get("results", doc if isinstance(doc, list) else []):
+        if (
+            r.get("experiment") in EXPERIMENTS
+            and r.get("strategy") == STRATEGY
+            and r.get("scale", 0) <= MAX_SCALE
+        ):
+            rows[(r["experiment"], r.get("query", ""), r["scale"])] = r["wall_ms"]
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    baseline = key_rows(sys.argv[1])
+    new = key_rows(sys.argv[2])
+    compared = 0
+    failed = []
+    for key, base_ms in sorted(baseline.items()):
+        if key not in new:
+            continue
+        compared += 1
+        new_ms = new[key]
+        status = "ok"
+        # Sub-millisecond baselines are all timer noise; hold those rows
+        # to an absolute bound instead of a ratio.
+        if base_ms < 1.0:
+            if new_ms > FACTOR * max(base_ms, 1.0):
+                status = "REGRESSION"
+        elif new_ms > FACTOR * base_ms:
+            status = "REGRESSION"
+        exp, query, scale = key
+        print(
+            f"{exp:8s} {query:16s} scale={scale}  "
+            f"baseline={base_ms:9.2f}ms  new={new_ms:9.2f}ms  {status}"
+        )
+        if status != "ok":
+            failed.append(key)
+    if compared == 0:
+        sys.exit("no comparable benchmark rows found -- wrong files?")
+    if failed:
+        sys.exit(f"{len(failed)}/{compared} rows regressed beyond {FACTOR}x")
+    print(f"all {compared} rows within {FACTOR}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -119,6 +119,35 @@ let test_torture =
     QCheck.(make Gen.(int_range 0 100_000))
     torture
 
+(* The two combination engines are interchangeable: for every strategy
+   preset, the streaming cost-ordered pipeline and the declaration-order
+   baseline return the same result set, and both match naive. *)
+let engines_agree_on seed =
+  let db = Workload.Random_query.tiny_db ((seed * 15485863) + 5) in
+  let q = Workload.Random_query.generate db (seed + 57) in
+  let expected = Naive_eval.run db q in
+  List.for_all
+    (fun (sname, strategy) ->
+      let ordered =
+        Phased_eval.run ~strategy ~join_order:Combination.Cost_ordered db q
+      in
+      let decl =
+        Phased_eval.run ~strategy ~join_order:Combination.Declaration db q
+      in
+      (Relation.equal_set expected ordered && Relation.equal_set expected decl)
+      ||
+      QCheck.Test.fail_reportf
+        "combination engines disagree under %s on seed %d:@.%a" sname seed
+        Calculus.pp_query q)
+    Strategy.all_presets
+
+let test_engines_agree =
+  QCheck.Test.make
+    ~name:"random queries: streaming and declaration engines = naive"
+    ~count:120
+    QCheck.(make Gen.(int_range 0 100_000))
+    engines_agree_on
+
 let suite =
   [
     ( "properties",
@@ -128,5 +157,6 @@ let suite =
         QCheck_alcotest.to_alcotest test_adaptation;
         QCheck_alcotest.to_alcotest test_empty_ranges;
         QCheck_alcotest.to_alcotest test_torture;
+        QCheck_alcotest.to_alcotest test_engines_agree;
       ] );
   ]
