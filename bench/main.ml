@@ -142,7 +142,7 @@ let bench_scale () =
         in
         if feasible then begin
           let report, ms =
-            time (fun () -> Phased_eval.run_report ~strategy:st db q)
+            time (fun () -> Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
           in
           record ~experiment:"B-SCALE" ~query:"running" ~strategy:sname
             ~scale:s ~wall_ms:ms ~scans:report.Phased_eval.scans
@@ -185,7 +185,7 @@ let bench_s1 () =
   List.iter
     (fun (qname, q) ->
       let counts strategy =
-        let _ = Phased_eval.run_report ~strategy db q in
+        let _ = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
         List.map
           (fun r -> (Relation.name r, Relation.scan_count r))
           (Database.relations db)
@@ -218,7 +218,7 @@ let bench_s2 () =
       let db = Workload.University.generate (uni_params s) in
       let q = Workload.Queries.running_query db in
       let pair_volume strategy =
-        let report = Phased_eval.run_report ~strategy db q in
+        let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
         sum_sizes_with_prefix "pair:" report.Phased_eval.intermediates
       in
       let unrestricted = pair_volume Strategy.s1 in
@@ -243,14 +243,14 @@ let bench_s3 () =
       in
       let db = Workload.University.generate params in
       let q = Workload.Queries.running_query db in
-      let report2 = Phased_eval.run_report ~strategy:Strategy.s12 db q in
+      let report2 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
       let ms2 =
-        time_median ~repeat:1 (fun () -> Phased_eval.run ~strategy:Strategy.s12 db q)
+        time_median ~repeat:1 (fun () -> Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q)
       in
-      let report3 = Phased_eval.run_report ~strategy:Strategy.s123 db q in
+      let report3 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
       let ms3 =
         time_median ~repeat:1 (fun () ->
-            Phased_eval.run ~strategy:Strategy.s123 db q)
+            Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q)
       in
       Fmt.pr "%-6.0f | %6d %6d | %12d %12d | %10.2f %10.2f@." (100.0 *. prob)
         (List.length report2.Phased_eval.plan.Plan.conjs)
@@ -270,17 +270,17 @@ let bench_s4 () =
     (fun s ->
       let db = Workload.University.generate (uni_params s) in
       let q = Workload.Queries.running_query db in
-      let r3 = Phased_eval.run_report ~strategy:Strategy.s123 db q in
+      let r3 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
       let ms3 =
         if s <= 4 then
           Fmt.str "%10.2f"
             (time_median ~repeat:1 (fun () ->
-                 Phased_eval.run ~strategy:Strategy.s123 db q))
+                 Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q))
         else Fmt.str "%10s" "-"
       in
-      let r4 = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+      let r4 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
       let ms4 =
-        time_median (fun () -> Phased_eval.run ~strategy:Strategy.s1234 db q)
+        time_median (fun () -> Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
       in
       Fmt.pr "%-6d | %8d %8d | %12d %12d | %s %10.2f@." s
         (List.length r3.Phased_eval.plan.Plan.prefix)
@@ -301,7 +301,7 @@ let bench_minmax () =
       let db = Workload.University.generate (uni_params s) in
       List.iter
         (fun (qname, q) ->
-          let report = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+          let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
           let stored =
             sum_sizes_with_prefix "vlist:" report.Phased_eval.intermediates
           in
@@ -311,7 +311,7 @@ let bench_minmax () =
           in
           let ms =
             time_median (fun () ->
-                Phased_eval.run ~strategy:Strategy.s1234 db q)
+                Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
           in
           Fmt.pr "%-14s | %10d | %12d %12d | %10.3f@." qname
             (Relation.cardinality papers)
@@ -331,7 +331,7 @@ let bench_eq_ne () =
   let db = Workload.University.generate (uni_params 4) in
   List.iter
     (fun (qname, q) ->
-      let report = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+      let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
       let stored =
         sum_sizes_with_prefix "vlist:" report.Phased_eval.intermediates
       in
@@ -358,7 +358,7 @@ let bench_empty () =
       let q = Workload.Queries.running_query db in
       let naive, naive_ms = time (fun () -> Naive_eval.run db q) in
       let result, ms =
-        time (fun () -> Phased_eval.run ~strategy:Strategy.s1234 db q)
+        time (fun () -> Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
       in
       Fmt.pr "%-10s | %10d %12b | %12.2f %12.2f@."
         (if empty then "empty" else "populated")
@@ -389,7 +389,7 @@ let bench_division () =
             ~probes:(Database.total_probes db) ~max_ntuple:0 ();
           let run sname st =
             let report, ms =
-              time (fun () -> Phased_eval.run_report ~strategy:st db q)
+              time (fun () -> Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
             in
             record ~experiment:"B-DIV" ~query:qname ~strategy:sname ~scale:s
               ~wall_ms:ms ~scans:report.Phased_eval.scans
@@ -433,7 +433,7 @@ let bench_order () =
         let in0 = Obs.Metrics.counter_value "combination.join_rows_in" in
         let out0 = Obs.Metrics.counter_value "combination.join_rows_out" in
         let report, ms =
-          time (fun () -> Phased_eval.run_report ~strategy ~join_order db q)
+          time (fun () -> Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ~join_order ()) db q)
         in
         let join_in =
           Obs.Metrics.counter_value "combination.join_rows_in" - in0
@@ -506,7 +506,7 @@ let bench_page_io () =
   row "naive" (fun db q -> ignore (Naive_eval.run db q));
   List.iter
     (fun (name, st) ->
-      row name (fun db q -> ignore (Phased_eval.run ~strategy:st db q)))
+      row name (fun db q -> ignore (Phased_eval.run ~opts:(Exec_opts.make ~strategy:st ()) db q)))
     strategies;
   (* The gap widens with scale: naive re-reads relations per enclosing
      binding. *)
@@ -522,7 +522,7 @@ let bench_page_io () =
     (run4 (fun db q -> ignore (Naive_eval.run db q)));
   Fmt.pr "%-12s | %8d page reads@." "s1+s2+s3+s4"
     (run4 (fun db q ->
-         ignore (Phased_eval.run ~strategy:Strategy.s1234 db q)))
+         ignore (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)))
 
 (* ------------------------------------------------------------------ *)
 (* B-IDX: permanent indexes (Section 3.2: "The first step can be
@@ -538,11 +538,11 @@ let bench_permanent_indexes () =
         (fun (sname, strategy) ->
           let db = Workload.University.generate (uni_params 4) in
           let q = make_q db in
-          let r0 = Phased_eval.run_report ~strategy db q in
+          let r0 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
           ignore (Database.register_index db "timetable" ~on:"tcnr");
           ignore (Database.register_index db "timetable" ~on:"tenr");
           ignore (Database.register_index db "papers" ~on:"penr");
-          let r1 = Phased_eval.run_report ~strategy db q in
+          let r1 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
           Fmt.pr "%-12s | %-8s | %8d %8d@." qname sname r0.Phased_eval.scans
             r1.Phased_eval.scans)
         [ ("palermo", Strategy.palermo); ("s1+2", Strategy.s12) ])
@@ -579,15 +579,15 @@ let bench_cnf () =
     (fun s ->
       let db = Workload.University.generate (uni_params s) in
       let q = cnf_query db in
-      let r3 = Phased_eval.run_report ~strategy:Strategy.s123 db q in
+      let r3 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
       let ms3 =
         time_median ~repeat:1 (fun () ->
-            Phased_eval.run ~strategy:Strategy.s123 db q)
+            Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q)
       in
-      let rc = Phased_eval.run_report ~strategy:Strategy.s123c db q in
+      let rc = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q in
       let msc =
         time_median ~repeat:1 (fun () ->
-            Phased_eval.run ~strategy:Strategy.s123c db q)
+            Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q)
       in
       Fmt.pr "%-6d | %6d %6d | %12d %12d | %10.2f %10.2f@." s
         (List.length r3.Phased_eval.plan.Plan.conjs)
@@ -642,6 +642,111 @@ let bench_joins () =
     [ 200; 800; 2000 ]
 
 (* ------------------------------------------------------------------ *)
+(* B-PREP: the Session plan cache — prepared re-execution vs cold
+   one-shot runs.  A cold run (Phased_eval.run, one throwaway session
+   per call) re-enters the whole planning pipeline every time: adapt,
+   standard form, range extension, quantifier pushing.  A prepared
+   query pays for planning once; each further execution costs one
+   cache probe plus the collection / combination / construction phases.
+   The parameterized row grounds a fresh $minqty binding per execution
+   — substitution into the one cached plan, no re-planning. *)
+
+let param_shipments_query =
+  let open Calculus in
+  {
+    free = [ ("s", base "suppliers") ];
+    select = [ ("s", "sname") ];
+    body =
+      f_some "h" (base "shipments")
+        (f_and
+           (eq (attr "h" "hsnr") (attr "s" "snr"))
+           (mk_atom (attr "h" "hqty") Value.Ge (param "minqty")));
+  }
+
+let bench_prepared () =
+  section "B-PREP" "prepared re-execution vs cold one-shot runs";
+  let repeats = 40 in
+  Fmt.pr
+    "(each cell: wall ms of %d executions, median of 5 passes; prepare@."
+    repeats;
+  Fmt.pr " is the one-off planning cost the prepared column no longer pays)@.";
+  Fmt.pr "%-22s %-6s | %10s %10s %9s | %10s | %5s %6s@." "query" "scale"
+    "cold" "prepared" "speedup" "prepare" "hits" "misses";
+  let case qname scale strategy db q bindings_of_i =
+    let opts = Exec_opts.make ~strategy () in
+    let ground i =
+      match bindings_of_i with
+      | None -> q
+      | Some f ->
+        let b =
+          List.fold_left
+            (fun m (k, v) -> Calculus.Var_map.add k v m)
+            Calculus.Var_map.empty (f i)
+        in
+        Calculus.subst_query b q
+    in
+    (* One untimed execution of each path first: module initialisation,
+       tracer setup and heap growth land on the warmup, not the race. *)
+    ignore (Phased_eval.run ~opts db (ground 0) : Relation.t);
+    let cold_ms =
+      time_median ~repeat:5 (fun () ->
+          for i = 1 to repeats do
+            ignore (Phased_eval.run ~opts db (ground i) : Relation.t)
+          done)
+    in
+    ignore
+      (Session.exec ~opts
+         ?params:(Option.map (fun f -> f 0) bindings_of_i)
+         (Session.create db) q
+        : Relation.t);
+    let session = Session.create db in
+    let prep, prepare_ms = time (fun () -> Session.prepare ~opts session q) in
+    let prep_ms =
+      time_median ~repeat:5 (fun () ->
+          for i = 1 to repeats do
+            let params = Option.map (fun f -> f i) bindings_of_i in
+            ignore (Prepared.exec ?params prep : Relation.t)
+          done)
+    in
+    let stats = Session.cache_stats session in
+    let extra =
+      [
+        ("repeats", Obs.Json.Int repeats);
+        ("prepare_ms", Obs.Json.Float prepare_ms);
+        ("cache_hits", Obs.Json.Int stats.Plan_cache.hits);
+        ("cache_misses", Obs.Json.Int stats.Plan_cache.misses);
+      ]
+    in
+    record ~experiment:"B-PREP" ~query:qname ~strategy:"cold" ~scale
+      ~wall_ms:cold_ms ~scans:0 ~probes:0 ~max_ntuple:0
+      ~extra:[ ("repeats", Obs.Json.Int repeats) ]
+      ();
+    record ~experiment:"B-PREP" ~query:qname ~strategy:"prepared" ~scale
+      ~wall_ms:prep_ms ~scans:0 ~probes:0 ~max_ntuple:0 ~extra ();
+    Fmt.pr "%-22s %-6d | %10.2f %10.2f %8.1fx | %10.2f | %5d %6d@." qname
+      scale cold_ms prep_ms
+      (cold_ms /. Float.max prep_ms 0.001)
+      prepare_ms stats.Plan_cache.hits stats.Plan_cache.misses
+  in
+  List.iter
+    (fun s ->
+      let db = Workload.University.generate (uni_params s) in
+      case "running" s Strategy.s1234 db (Workload.Queries.running_query db)
+        None)
+    (scales [ 1; 2 ]);
+  List.iter
+    (fun s ->
+      let db =
+        Workload.Suppliers.generate (Workload.Suppliers.scaled ~seed:(7 + s) s)
+      in
+      case "ships all parts" s Strategy.s1234 db
+        (Workload.Suppliers.ships_all_parts db)
+        None;
+      case "heavy shipments($q)" s Strategy.s1234 db param_shipments_query
+        (Some (fun i -> [ ("minqty", Value.int (100 + (i * 17 mod 800))) ])))
+    (scales [ 1 ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmark of the headline comparison at one scale. *)
 
 let bench_bechamel () =
@@ -656,7 +761,7 @@ let bench_bechamel () =
       :: List.map
            (fun (name, st) ->
              Test.make ~name
-               (Staged.stage (fun () -> Phased_eval.run ~strategy:st db q)))
+               (Staged.stage (fun () -> Phased_eval.run ~opts:(Exec_opts.make ~strategy:st ()) db q)))
            strategies)
   in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
@@ -693,6 +798,7 @@ let experiments =
     ("B-EMPTY", bench_empty);
     ("B-DIV", bench_division);
     ("B-ORDER", bench_order);
+    ("B-PREP", bench_prepared);
     ("B-PAGE", bench_page_io);
     ("B-IDX", bench_permanent_indexes);
     ("B-CNF", bench_cnf);

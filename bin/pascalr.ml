@@ -91,6 +91,43 @@ let strategy_of_string = function
   | "full-cnf" | "s1+s2+s3cnf+s4" -> Strategy.full_cnf
   | other -> failwith ("unknown strategy: " ^ other)
 
+let join_order_of_flag = function
+  | None -> Combination.Cost_ordered
+  | Some s -> (
+    match Exec_opts.join_order_of_string s with
+    | Some jo -> jo
+    | None -> failwith ("unknown join order: " ^ s))
+
+(* --param NAME=VAL: VAL is an integer, true/false, a unique enumeration
+   label of the database, or (otherwise) a string. *)
+let param_value db s =
+  match int_of_string_opt s with
+  | Some n -> Value.VInt n
+  | None -> (
+    match s with
+    | "true" -> Value.VBool true
+    | "false" -> Value.VBool false
+    | _ -> (
+      let hits =
+        List.filter
+          (fun info -> Array.exists (String.equal s) info.Value.labels)
+          (Database.enums db)
+      in
+      match hits with
+      | [ info ] -> Value.enum info s
+      | _ -> Value.VStr s))
+
+let parse_params db specs =
+  List.map
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None -> failwith ("--param expects NAME=VAL, got " ^ spec)
+      | Some i ->
+        ( String.sub spec 0 i,
+          param_value db (String.sub spec (i + 1) (String.length spec - i - 1))
+        ))
+    specs
+
 (* ----------------------------------------------------------------- *)
 (* Logs wiring.  The library's [pascalr.eval] source has debug-level
    messages for every pipeline transformation; without a reporter they
@@ -221,6 +258,23 @@ let strategy_arg =
           "Evaluation strategy: palermo, s1, s12, s123, s1234/full.  Default: \
            let the planner choose.")
 
+let join_order_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "join-order" ] ~docv:"ORDER"
+        ~doc:
+          "Combination-phase join order: $(b,ordered) (greedy cost order, \
+           default) or $(b,declaration) (the paper's literal baseline).")
+
+let param_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "param" ] ~docv:"NAME=VAL"
+        ~doc:
+          "Bind the query's \\$NAME placeholder (repeatable).  VAL is an \
+           integer, true/false, or an enumeration label.")
+
 (* ----------------------------------------------------------------- *)
 (* Subcommands *)
 
@@ -271,6 +325,12 @@ let with_setup kind scale seed schema loads query file example k =
   | Errors.Corruption msg ->
     Fmt.epr "pascalr: corruption detected: %s@." msg;
     1
+  | Prepared.Unbound_parameter p ->
+    Fmt.epr "pascalr: parameter $%s is not bound (use --param %s=VAL)@." p p;
+    1
+  | Prepared.Unknown_parameter p ->
+    Fmt.epr "pascalr: the query has no parameter $%s@." p;
+    1
 
 let pool_pages_arg =
   Arg.(
@@ -283,8 +343,8 @@ let pool_pages_arg =
            (and fault-injection sites at the storage layer).")
 
 let run_cmd =
-  let go kind scale seed schema loads query file example strategy verbose
-      trace pool_pages verbosity failpoints =
+  let go kind scale seed schema loads query file example strategy join_order
+      params verbose trace pool_pages verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
     with_setup kind scale seed schema loads query file example (fun db q ->
@@ -301,11 +361,17 @@ let run_cmd =
             let d = Planner.choose db q in
             (Some d, d.Planner.d_strategy)
         in
+        let opts =
+          Exec_opts.make ~strategy:st
+            ~join_order:(join_order_of_flag join_order) ()
+        in
+        let params = parse_params db params in
+        let session = Session.create db in
         let report, span =
           if trace then
-            let report, span = Phased_eval.run_traced ~strategy:st db q in
+            let report, span = Session.exec_traced ~opts ~params session q in
             (report, Some span)
-          else (Phased_eval.run_report ~strategy:st db q, None)
+          else (Session.exec_report ~opts ~params session q, None)
         in
         let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
         (match decision with
@@ -333,8 +399,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Evaluate a query")
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
-      $ query_arg $ file_arg $ example_arg $ strategy_arg $ verbose
-      $ trace_arg $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
+      $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
+      $ param_arg $ verbose $ trace_arg $ pool_pages_arg $ verbosity_arg
+      $ failpoint_arg)
 
 (* ----------------------------------------------------------------- *)
 (* analyze: EXPLAIN ANALYZE for the three-phase pipeline.  The report
@@ -343,8 +410,8 @@ let run_cmd =
    prints it. *)
 
 let analyze_cmd =
-  let go kind scale seed schema loads query file example strategy json
-      show_trace pool_pages verbosity failpoints =
+  let go kind scale seed schema loads query file example strategy join_order
+      params repeat json show_trace pool_pages verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
     with_setup kind scale seed schema loads query file example (fun db q ->
@@ -353,9 +420,15 @@ let analyze_cmd =
           | Some s -> strategy_of_string s
           | None -> (Planner.choose db q).Planner.d_strategy
         in
+        let opts =
+          Exec_opts.make ~strategy:st
+            ~join_order:(join_order_of_flag join_order) ()
+        in
+        let params = parse_params db params in
         let a =
-          try Analyze.run ?pool_pages ~strategy:st db q
-          with Invalid_argument _ -> failwith "--pool-pages must be positive"
+          try Analyze.run ?pool_pages ~repeat ~opts ~params db q
+          with Invalid_argument _ ->
+            failwith "--pool-pages and --repeat must be positive"
         in
         let rows = a.Analyze.a_rows in
         let total_ms = a.Analyze.a_root.Obs.Trace.sp_elapsed_ms in
@@ -398,6 +471,15 @@ let analyze_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the full report as machine-readable JSON.")
   in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Execute the query N times through one session; the report \
+             describes the last execution, so with N > 1 the trace shows \
+             the plan-cache hit (no planning spans).")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -405,8 +487,9 @@ let analyze_cmd =
           per-phase cost (EXPLAIN ANALYZE)")
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
-      $ query_arg $ file_arg $ example_arg $ strategy_arg $ json_arg
-      $ trace_arg $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
+      $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
+      $ param_arg $ repeat_arg $ json_arg $ trace_arg $ pool_pages_arg
+      $ verbosity_arg $ failpoint_arg)
 
 let explain_cmd =
   let go kind scale seed schema loads query file example strategy =

@@ -61,7 +61,7 @@ let () =
   (* The full pipeline performs the adaptation automatically. *)
   List.iter
     (fun (name, strategy) ->
-      let r = Phased_eval.run ~strategy db q in
+      let r = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
       Fmt.pr "pipeline %-12s: %d (agrees %b)@." name (Relation.cardinality r)
         (Relation.equal_set r correct))
     Strategy.all_presets;

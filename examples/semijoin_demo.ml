@@ -68,7 +68,7 @@ let () =
       body = f_all "p" (base "papers") (ne (attr "e" "enr") (attr "p" "penr"));
     }
   in
-  let report = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+  let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
   Fmt.pr
     "@.pipeline with S4: %d employees, %d scans (value-list evaluation)@."
     (Relation.cardinality report.Phased_eval.result)

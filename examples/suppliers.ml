@@ -16,7 +16,7 @@ let show db name q =
     (List.map (fun t -> Tuple.get t 0) (Relation.to_list reference));
   List.iter
     (fun (sname, strategy) ->
-      let report = Phased_eval.run_report ~strategy db q in
+      let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
       Fmt.pr "  %-12s scans %2d  max n-tuple %6d  agree %b@." sname
         report.Phased_eval.scans report.Phased_eval.max_ntuple
         (Relation.equal_set report.Phased_eval.result reference))

@@ -47,7 +47,7 @@ let () =
     (Relation.cardinality reference);
   List.iter
     (fun (name, strategy) ->
-      let report = Phased_eval.run_report ~strategy db q in
+      let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
       Fmt.pr
         "%-14s -> %d employees | scans %2d | probes %5d | max n-tuple %6d | agree %b@."
         name
@@ -65,7 +65,7 @@ let () =
   let reference = Naive_eval.run db q in
   List.iter
     (fun (name, strategy) ->
-      let r = Phased_eval.run ~strategy db q in
+      let r = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
       Fmt.pr "%-14s -> %d employees | agree %b@." name (Relation.cardinality r)
         (Relation.equal_set r reference))
     Strategy.all_presets

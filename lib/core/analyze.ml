@@ -84,15 +84,36 @@ type t = {
   a_root : Obs.Trace.span;
   a_rows : phase_row list;
   a_strategy : Strategy.t;
+  a_cache : Plan_cache.stats;
+  a_repeat : int;
 }
 
-let run ?pool_pages ~strategy db q =
+(* [repeat] executes the query [repeat] times through one session: the
+   first execution plans and fills the cache, later ones hit it.  The
+   report and trace describe the LAST execution — with [repeat > 1] the
+   trace carries no planning spans, and the plan_cache section shows
+   the hits — so `analyze --repeat` demonstrates prepared re-execution
+   end to end. *)
+let run ?pool_pages ?(repeat = 1) ?(opts = Exec_opts.default) ?params db q =
+  if repeat < 1 then invalid_arg "Analyze.run: repeat must be positive";
   (match pool_pages with
   | Some n when n <= 0 -> invalid_arg "Analyze.run: pool_pages must be positive"
   | Some n -> ignore (Database.attach_storage db ~pool_pages:n)
   | None -> ());
-  let report, root = Phased_eval.run_traced ~strategy db q in
-  { a_report = report; a_root = root; a_rows = phase_rows root; a_strategy = strategy }
+  let session = Session.create db in
+  let rec go i =
+    let outcome = Session.exec_traced ~opts ?params session q in
+    if i >= repeat then outcome else go (i + 1)
+  in
+  let report, root = go 1 in
+  {
+    a_report = report;
+    a_root = root;
+    a_rows = phase_rows root;
+    a_strategy = opts.Exec_opts.strategy;
+    a_cache = Session.cache_stats session;
+    a_repeat = repeat;
+  }
 
 let phase_row_json r =
   let open Obs.Json in
@@ -184,6 +205,23 @@ let combination_json () =
       ("materialized", tally "algebra.materialized." materialized_ops);
     ]
 
+(* Plan-cache activity of the session the analysis ran in. *)
+let plan_cache_json a =
+  let open Obs.Json in
+  let s = a.a_cache in
+  let lookups = s.Plan_cache.hits + s.Plan_cache.misses + s.Plan_cache.invalidations in
+  Obj
+    [
+      ("repeat", Int a.a_repeat);
+      ("hits", Int s.Plan_cache.hits);
+      ("misses", Int s.Plan_cache.misses);
+      ("evictions", Int s.Plan_cache.evictions);
+      ("invalidations", Int s.Plan_cache.invalidations);
+      ( "hit_rate",
+        if lookups = 0 then Null
+        else Float (float_of_int s.Plan_cache.hits /. float_of_int lookups) );
+    ]
+
 let to_json ~database ~scale db q a =
   let open Obs.Json in
   Obj
@@ -211,6 +249,7 @@ let to_json ~database ~scale db q a =
              a.a_report.Phased_eval.intermediates) );
       ("combination", combination_json ());
       ("faults", faults_json ());
+      ("plan_cache", plan_cache_json a);
       ("plan", Str (Explain.explain ~strategy:a.a_strategy db q));
       ("trace", Obs.Trace.to_json a.a_root);
     ]

@@ -26,16 +26,29 @@ type t = {
   a_root : Obs.Trace.span;
   a_rows : phase_row list;
   a_strategy : Strategy.t;
+  a_cache : Plan_cache.stats;  (** the session's plan-cache activity *)
+  a_repeat : int;
 }
 
-val run : ?pool_pages:int -> strategy:Strategy.t -> Database.t -> Calculus.query -> t
+val run :
+  ?pool_pages:int ->
+  ?repeat:int ->
+  ?opts:Exec_opts.t ->
+  ?params:(string * Value.t) list ->
+  Database.t ->
+  Calculus.query ->
+  t
 (** Evaluate under the tracer; [pool_pages] first attaches paged storage
-    with a shared buffer pool.  @raise Invalid_argument on non-positive
-    [pool_pages]. *)
+    with a shared buffer pool.  [repeat] (default 1) executes the query
+    that many times through one session — the report and trace describe
+    the last execution, so with [repeat > 1] the trace has no planning
+    spans and the plan-cache stats show the hits.
+    @raise Invalid_argument on non-positive [pool_pages] or [repeat]. *)
 
 val to_json : database:string -> scale:int -> Database.t -> Calculus.query -> t -> Obs.Json.t
 (** The full analyze document: query, strategy, totals, per-phase rows,
-    intermediates, fault/recovery counters, plan and span trace. *)
+    intermediates, fault/recovery counters, plan-cache activity, plan
+    and span trace. *)
 
 val faults_json : unit -> Obs.Json.t
 (** Fault-injection and recovery counters from the metrics registry,

@@ -27,6 +27,10 @@ type range = {
 and operand =
   | O_attr of var * string  (* v.component *)
   | O_const of Value.t
+  | O_param of string
+      (* $name placeholder, bound to a constant at execution time — the
+         paper's rel[keyval] selected-variable usage, where one embedded
+         selection expression serves a family of key values *)
 
 and atom = { lhs : operand; op : Value.comparison; rhs : operand }
 
@@ -60,14 +64,18 @@ let attr v a = O_attr (v, a)
 let const c = O_const c
 let cint n = O_const (Value.int n)
 let cstr s = O_const (Value.str s)
+let param name = O_param name
 
 let compare_atoms_operand a b =
   match a, b with
   | O_attr (v1, a1), O_attr (v2, a2) ->
     let c = String.compare v1 v2 in
     if c <> 0 then c else String.compare a1 a2
-  | O_attr _, O_const _ -> -1
-  | O_const _, O_attr _ -> 1
+  | O_attr _, (O_param _ | O_const _) -> -1
+  | O_param _, O_attr _ -> 1
+  | O_param p1, O_param p2 -> String.compare p1 p2
+  | O_param _, O_const _ -> -1
+  | O_const _, (O_attr _ | O_param _) -> 1
   | O_const c1, O_const c2 -> Value.compare c1 c2
 
 let mk_atom lhs op rhs = F_atom { lhs; op; rhs }
@@ -106,12 +114,14 @@ let disj = function [] -> F_false | f :: fs -> List.fold_left f_or f fs
 
 (* Analysis *)
 
-let operand_var = function O_attr (v, _) -> Some v | O_const _ -> None
+let operand_var = function
+  | O_attr (v, _) -> Some v
+  | O_const _ | O_param _ -> None
 
 let atom_vars a =
   let add acc = function
     | O_attr (v, _) -> Var_set.add v acc
-    | O_const _ -> acc
+    | O_const _ | O_param _ -> acc
   in
   add (add Var_set.empty a.lhs) a.rhs
 
@@ -203,6 +213,149 @@ let distinct_bound_vars reserved formula =
   in
   go formula
 
+(* Parameter placeholders *)
+
+let operand_params acc = function
+  | O_param p -> Var_set.add p acc
+  | O_attr _ | O_const _ -> acc
+
+let atom_params acc a = operand_params (operand_params acc a.lhs) a.rhs
+
+let rec formula_params acc = function
+  | F_true | F_false -> acc
+  | F_atom a -> atom_params acc a
+  | F_not f -> formula_params acc f
+  | F_and (a, b) | F_or (a, b) -> formula_params (formula_params acc a) b
+  | F_some (_, r, f) | F_all (_, r, f) ->
+    formula_params (range_params acc r) f
+
+and range_params acc r =
+  match r.restriction with
+  | None -> acc
+  | Some (_, f) -> formula_params acc f
+
+let query_params q =
+  let acc =
+    List.fold_left (fun acc (_, r) -> range_params acc r) Var_set.empty q.free
+  in
+  Var_set.elements (formula_params acc q.body)
+
+let subst_operand bindings = function
+  | O_param p as o -> (
+    match Var_map.find_opt p bindings with
+    | Some v -> O_const v
+    | None -> o)
+  | o -> o
+
+let subst_atom bindings a =
+  { a with lhs = subst_operand bindings a.lhs; rhs = subst_operand bindings a.rhs }
+
+let rec subst_formula bindings = function
+  | (F_true | F_false) as f -> f
+  | F_atom a -> F_atom (subst_atom bindings a)
+  | F_not f -> F_not (subst_formula bindings f)
+  | F_and (a, b) -> F_and (subst_formula bindings a, subst_formula bindings b)
+  | F_or (a, b) -> F_or (subst_formula bindings a, subst_formula bindings b)
+  | F_some (v, r, f) ->
+    F_some (v, subst_range bindings r, subst_formula bindings f)
+  | F_all (v, r, f) ->
+    F_all (v, subst_range bindings r, subst_formula bindings f)
+
+and subst_range bindings r =
+  match r.restriction with
+  | None -> r
+  | Some (v, f) -> { r with restriction = Some (v, subst_formula bindings f) }
+
+let subst_query bindings q =
+  {
+    free = List.map (fun (v, r) -> (v, subst_range bindings r)) q.free;
+    select = q.select;
+    body = subst_formula bindings q.body;
+  }
+
+(* Structural digest.
+
+   Serializes a query unambiguously (every string is length-prefixed, so
+   no concrete-syntax collision can alias two distinct queries) and
+   hashes with MD5.  The digest of the alpha-canonical form — see
+   {!Normalize.canonical_query} — is the plan cache's query key. *)
+
+let ser_string buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let ser_operand buf = function
+  | O_attr (v, a) ->
+    Buffer.add_char buf 'a';
+    ser_string buf v;
+    ser_string buf a
+  | O_const c ->
+    Buffer.add_char buf 'c';
+    ser_string buf (Value.to_string c)
+  | O_param p ->
+    Buffer.add_char buf 'p';
+    ser_string buf p
+
+let ser_atom buf a =
+  ser_operand buf a.lhs;
+  ser_string buf (Value.comparison_to_string a.op);
+  ser_operand buf a.rhs
+
+let rec ser_formula buf = function
+  | F_true -> Buffer.add_char buf 'T'
+  | F_false -> Buffer.add_char buf 'F'
+  | F_atom a ->
+    Buffer.add_char buf 'A';
+    ser_atom buf a
+  | F_not f ->
+    Buffer.add_char buf '!';
+    ser_formula buf f
+  | F_and (a, b) ->
+    Buffer.add_char buf '&';
+    ser_formula buf a;
+    ser_formula buf b
+  | F_or (a, b) ->
+    Buffer.add_char buf '|';
+    ser_formula buf a;
+    ser_formula buf b
+  | F_some (v, r, f) ->
+    Buffer.add_char buf 'S';
+    ser_string buf v;
+    ser_range buf r;
+    ser_formula buf f
+  | F_all (v, r, f) ->
+    Buffer.add_char buf 'L';
+    ser_string buf v;
+    ser_range buf r;
+    ser_formula buf f
+
+and ser_range buf r =
+  ser_string buf r.range_rel;
+  match r.restriction with
+  | None -> Buffer.add_char buf '_'
+  | Some (v, f) ->
+    Buffer.add_char buf 'R';
+    ser_string buf v;
+    ser_formula buf f
+
+let digest_query q =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (v, r) ->
+      Buffer.add_char buf 'E';
+      ser_string buf v;
+      ser_range buf r)
+    q.free;
+  List.iter
+    (fun (v, a) ->
+      Buffer.add_char buf '<';
+      ser_string buf v;
+      ser_string buf a)
+    q.select;
+  ser_formula buf q.body;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* Structural equality *)
 
 let equal_operand a b = compare_atoms_operand a b = 0
@@ -244,6 +397,7 @@ and equal_formula a b =
 let pp_operand ppf = function
   | O_attr (v, a) -> Fmt.pf ppf "%s.%s" v a
   | O_const c -> Value.pp ppf c
+  | O_param p -> Fmt.pf ppf "$%s" p
 
 let pp_atom ppf a =
   Fmt.pf ppf "(%a %s %a)" pp_operand a.lhs

@@ -16,7 +16,14 @@ type range = {
       (** [[EACH v IN rel: S(v)]]; free variables of [S] ⊆ [{v}] *)
 }
 
-and operand = O_attr of var * string | O_const of Value.t
+and operand =
+  | O_attr of var * string
+  | O_const of Value.t
+  | O_param of string
+      (** [$name] placeholder, bound to a constant at execution time
+          ({!subst_query}); one prepared plan serves a family of
+          constants — the paper's [rel[keyval]] selected-variable
+          usage. *)
 
 and atom = { lhs : operand; op : Value.comparison; rhs : operand }
 
@@ -47,6 +54,7 @@ val attr : var -> string -> operand
 val const : Value.t -> operand
 val cint : int -> operand
 val cstr : string -> operand
+val param : string -> operand
 
 val mk_atom : operand -> Value.comparison -> operand -> formula
 val eq : operand -> operand -> formula
@@ -84,6 +92,29 @@ val fresh_var : Var_set.t -> var -> var
 val distinct_bound_vars : Var_set.t -> formula -> formula
 (** Alpha-rename so every quantifier binds a distinct name, disjoint from
     [reserved] — the precondition of prenexing. *)
+
+(** {1 Parameter placeholders} *)
+
+val formula_params : Var_set.t -> formula -> Var_set.t
+(** Accumulate the [$name] placeholders of a formula (including range
+    restrictions). *)
+
+val query_params : query -> string list
+(** The placeholders of a query, sorted. *)
+
+val subst_operand : Value.t Var_map.t -> operand -> operand
+val subst_atom : Value.t Var_map.t -> atom -> atom
+val subst_formula : Value.t Var_map.t -> formula -> formula
+val subst_range : Value.t Var_map.t -> range -> range
+
+val subst_query : Value.t Var_map.t -> query -> query
+(** Replace every bound [$name] by its constant; placeholders without a
+    binding are left in place. *)
+
+val digest_query : query -> string
+(** Unambiguous structural MD5 of a query (every string length-prefixed).
+    Digest the alpha-canonical form ({!Normalize.canonical_query}) to key
+    a plan cache. *)
 
 (** {1 Equality} *)
 

@@ -100,6 +100,7 @@ let monadic_holds schema v tuple (a : atom) =
     | O_attr (v', at) ->
       if String.equal v' v then Tuple.get_by_name schema tuple at
       else invalid_arg "Collection.monadic_holds: foreign variable"
+    | O_param p -> invalid_arg ("Collection: unbound parameter $" ^ p)
   in
   Value.apply a.op (value a.lhs) (value a.rhs)
 

@@ -42,10 +42,13 @@ and atom_selectivity stats rel (a : atom) =
   match a.lhs, a.rhs with
   | O_attr (_, at), O_const c | O_const c, O_attr (_, at) ->
     Stats.monadic_selectivity stats rel at
-      (match a.lhs with O_const _ -> Value.flip_comparison a.op | O_attr _ -> a.op)
+      (match a.lhs with O_attr _ -> a.op | _ -> Value.flip_comparison a.op)
       c
   | O_attr _, O_attr _ -> 0.3 (* same-variable attribute comparison *)
   | O_const x, O_const y -> if Value.apply a.op x y then 1.0 else 0.0
+  (* A parameter is an unknown constant: use the operator's default. *)
+  | O_param _, _ | _, O_param _ -> (
+    match a.op with Value.Eq -> 0.1 | Value.Ne -> 0.9 | _ -> 0.4)
 
 (* Selectivity of a dyadic atom, given the ranges of its variables. *)
 let dyadic_selectivity stats ranges (a : atom) =
@@ -58,7 +61,7 @@ let dyadic_selectivity stats ranges (a : atom) =
     | Some _, Some _, Value.Ne -> 0.9
     | Some _, Some _, (Value.Lt | Value.Le | Value.Gt | Value.Ge) -> 0.4
     | (None, _, _ | _, None, _) -> 0.3)
-  | (O_attr _ | O_const _), _ -> 0.5
+  | (O_attr _ | O_const _ | O_param _), _ -> 0.5
 
 (* Estimated n-tuple cardinality of one conjunction over the full
    variable order (conjunction variables restricted by its monadic

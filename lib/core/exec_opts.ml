@@ -1,0 +1,31 @@
+(* The knobs of one query execution, gathered into a single record so
+   call sites name the fields they set and new knobs do not ripple
+   through every signature as extra optional labels. *)
+
+type t = {
+  strategy : Strategy.t;
+  join_order : Combination.join_order;
+}
+
+let default =
+  { strategy = Strategy.full; join_order = Combination.Cost_ordered }
+
+let make ?(strategy = Strategy.full)
+    ?(join_order = Combination.Cost_ordered) () =
+  { strategy; join_order }
+
+let join_order_to_string = function
+  | Combination.Cost_ordered -> "ordered"
+  | Combination.Declaration -> "declaration"
+
+let join_order_of_string = function
+  | "ordered" -> Some Combination.Cost_ordered
+  | "declaration" -> Some Combination.Declaration
+  | _ -> None
+
+(* Injective over the record: each strategy flag has its own token in
+   Strategy.to_string, and the join order follows after '/'. *)
+let fingerprint t =
+  Strategy.to_string t.strategy ^ "/" ^ join_order_to_string t.join_order
+
+let pp ppf t = Fmt.string ppf (fingerprint t)

@@ -1,0 +1,23 @@
+(** Execution options: every knob of one query execution in a single
+    record, so signatures stay stable as knobs are added. *)
+
+type t = {
+  strategy : Strategy.t;  (** which of the paper's strategies to enable *)
+  join_order : Combination.join_order;
+      (** combination-phase join ordering *)
+}
+
+val default : t
+(** {!Strategy.full} with {!Combination.Cost_ordered} joins. *)
+
+val make :
+  ?strategy:Strategy.t -> ?join_order:Combination.join_order -> unit -> t
+
+val join_order_to_string : Combination.join_order -> string
+val join_order_of_string : string -> Combination.join_order option
+
+val fingerprint : t -> string
+(** Injective textual form; part of the plan-cache key, because every
+    option can change the compiled plan. *)
+
+val pp : t Fmt.t

@@ -94,5 +94,5 @@ let explain_plan (plan : Plan.t) =
   Buffer.contents buf
 
 let explain ?(strategy = Strategy.full) db query =
-  let plan = Phased_eval.prepare db strategy query in
+  let plan = Session.plan_only ~opts:(Exec_opts.make ~strategy ()) db query in
   Fmt.str "strategy: %a\n%s" Strategy.pp strategy (explain_plan plan)

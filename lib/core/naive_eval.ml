@@ -25,6 +25,7 @@ let operand db (env : benv) = function
     match Var_map.find_opt v env with
     | None -> evalf "unbound variable %s" v
     | Some b -> Tuple.get_by_name b.schema b.tuple a)
+  | O_param p -> evalf "unbound parameter $%s" p
 
 let atom_holds db env a =
   Value.apply a.op (operand db env a.lhs) (operand db env a.rhs)

@@ -15,7 +15,7 @@ let fold_atom a =
   match a.lhs, a.rhs with
   | O_const x, O_const y ->
     if Value.apply a.op x y then F_true else F_false
-  | (O_attr _ | O_const _), _ -> F_atom a
+  | (O_attr _ | O_const _ | O_param _), _ -> F_atom a
 
 (* Negation normal form.  NOT is pushed to the atoms and absorbed into
    the comparison operator (NOT (x < y) = x >= y); NOT SOME becomes ALL
@@ -143,6 +143,71 @@ let formula_of_conj (conj : conjunction) =
   Calculus.conj (List.map (fun a -> F_atom a) conj)
 
 let formula_of_dnf (d : dnf) = disj (List.map formula_of_conj d)
+
+(* --- Alpha-canonical renaming --------------------------------------
+
+   Rename every variable to a reserved positional name ('%'-prefixed,
+   which the lexer cannot produce): free variables to %f0, %f1, ... in
+   declaration order, quantifier-bound variables to %b0, %b1, ... in
+   traversal order, range-restriction variables to %r0, %r1, ...
+   likewise.  Two queries differing only in variable spelling
+   canonicalize identically, so digesting the canonical form
+   ({!Calculus.digest_query}) keys a plan cache by query structure. *)
+
+let canonical_query (q : query) =
+  let bound = ref 0 and restr = ref 0 in
+  let rename_operand env = function
+    | O_attr (v, a) as o -> (
+      match Var_map.find_opt v env with
+      | Some v' -> O_attr (v', a)
+      | None -> o)
+    | (O_const _ | O_param _) as o -> o
+  in
+  let rename_atom env a =
+    { a with lhs = rename_operand env a.lhs; rhs = rename_operand env a.rhs }
+  in
+  let rec rename_range r =
+    match r.restriction with
+    | None -> r
+    | Some (rv, f) ->
+      (* Restriction formulas mention only their own variable
+         (wellformedness), so a fresh one-entry environment suffices. *)
+      let rv' = Printf.sprintf "%%r%d" !restr in
+      incr restr;
+      let env = Var_map.add rv rv' Var_map.empty in
+      { r with restriction = Some (rv', rename_formula env f) }
+  and rename_formula env = function
+    | F_true -> F_true
+    | F_false -> F_false
+    | F_atom a -> F_atom (rename_atom env a)
+    | F_not f -> F_not (rename_formula env f)
+    | F_and (a, b) -> F_and (rename_formula env a, rename_formula env b)
+    | F_or (a, b) -> F_or (rename_formula env a, rename_formula env b)
+    | F_some (v, r, f) ->
+      let r' = rename_range r in
+      let v' = Printf.sprintf "%%b%d" !bound in
+      incr bound;
+      F_some (v', r', rename_formula (Var_map.add v v' env) f)
+    | F_all (v, r, f) ->
+      let r' = rename_range r in
+      let v' = Printf.sprintf "%%b%d" !bound in
+      incr bound;
+      F_all (v', r', rename_formula (Var_map.add v v' env) f)
+  in
+  let env, free_rev =
+    List.fold_left
+      (fun (env, acc) (v, r) ->
+        let v' = Printf.sprintf "%%f%d" (Var_map.cardinal env) in
+        (Var_map.add v v' env, (v', rename_range r) :: acc))
+      (Var_map.empty, []) q.free
+  in
+  let select =
+    List.map
+      (fun (v, a) ->
+        match Var_map.find_opt v env with Some v' -> (v', a) | None -> (v, a))
+      q.select
+  in
+  { free = List.rev free_rev; select; body = rename_formula env q.body }
 
 let pp_conjunction ppf conj =
   match conj with

@@ -40,5 +40,13 @@ val dnf_vars : dnf -> Var_set.t
 val formula_of_conj : conjunction -> formula
 val formula_of_dnf : dnf -> formula
 
+val canonical_query : query -> query
+(** Alpha-canonical form: every variable renamed to a reserved
+    positional name ([%f0]/[%b0]/[%r0]-style, unlexable) — free
+    variables in declaration order, bound variables in traversal order.
+    Queries differing only in variable spelling canonicalize
+    identically; digest the result ({!Calculus.digest_query}) to key a
+    plan cache. *)
+
 val pp_conjunction : conjunction Fmt.t
 val pp_dnf : dnf Fmt.t

@@ -57,6 +57,7 @@ let operand_value env = function
     match Var_map.find_opt v env with
     | None -> invalid_arg ("Onesort: unbound variable " ^ v)
     | Some el -> Tuple.get_by_name el.el_schema el.el_tuple a)
+  | O_param p -> invalid_arg ("Onesort: unbound parameter $" ^ p)
 
 (* Truth under an environment and an explicit universe.  Connectives
    short-circuit left to right, which is what makes the guarded

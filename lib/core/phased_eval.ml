@@ -1,126 +1,24 @@
-(* The full PASCAL/R query evaluation pipeline (paper Sections 2-4):
+(* One-shot evaluation: thin wrappers over the Session path.
 
-   1. runtime adaptation of empty ranges (Section 2);
-   2. compilation to standard form — prenex + DNF (Section 2);
-   3. strategy 3: extended range expressions (Section 4.3);
-   4. strategy 4: quantifier evaluation in the collection phase (4.4);
-   5. collection phase — single lists, indexes, indirect joins, value
-      lists (Section 3.3; strategies 1 and 2 of Sections 4.1/4.2);
-   6. combination phase — n-tuple reference relations, union,
-      right-to-left quantifier elimination (Section 3.3);
-   7. construction phase — dereference and component selection. *)
+   The pipeline itself lives in Session.plan_only; execution in
+   Prepared.  Each call here creates a throwaway session, so behaviour
+   matches the historical API exactly — no plan survives the call.
+   Callers that repeat queries should hold a Session instead. *)
 
-open Relalg
+let run ?name ?opts db query =
+  Session.exec ?opts ?name (Session.create db) query
 
-let src = Logs.Src.create "pascalr.eval" ~doc:"PASCAL/R evaluation pipeline"
-
-module Log = (val Logs.src_log src : Logs.LOG)
-
-type report = {
-  result : Relation.t;
+type report = Prepared.report = {
+  result : Relalg.Relation.t;
   plan : Plan.t;
-  scans : int;  (* counted full relation scans of the database *)
-  probes : int;  (* key lookups against database relations *)
-  max_ntuple : int;  (* largest combined n-tuple relation *)
+  scans : int;
+  probes : int;
+  max_ntuple : int;
   intermediates : (string * int) list;
-      (* sizes of all collection-phase structures *)
 }
 
-let prepare db strategy query =
-  let adapted =
-    Obs.Trace.with_span "adapt" (fun () -> Standard_form.adapt_query db query)
-  in
-  if not (Calculus.equal_formula adapted.Calculus.body query.Calculus.body)
-  then
-    Log.debug (fun m ->
-        m "empty-range adaptation rewrote the query to %a" Calculus.pp_query
-          adapted);
-  let sf =
-    Obs.Trace.with_span "standard_form" (fun () ->
-        let sf = Standard_form.of_query adapted in
-        Obs.Trace.add_attr "conjunctions"
-          (Obs.Json.Int (List.length sf.Standard_form.matrix));
-        Obs.Trace.add_attr "prefix"
-          (Obs.Json.Int (List.length sf.Standard_form.prefix));
-        sf)
-  in
-  Log.debug (fun m ->
-      m "standard form: %d conjunctions, prefix %d"
-        (List.length sf.Standard_form.matrix)
-        (List.length sf.Standard_form.prefix));
-  let sf =
-    if strategy.Strategy.range_extension || strategy.Strategy.cnf_extension
-    then begin
-      let sf' =
-        Obs.Trace.with_span "range_extension" (fun () ->
-            Range_ext.apply ~cnf:strategy.Strategy.cnf_extension db sf)
-      in
-      Log.debug (fun m ->
-          m "range extension: %d -> %d conjunctions"
-            (List.length sf.Standard_form.matrix)
-            (List.length sf'.Standard_form.matrix));
-      sf'
-    end
-    else sf
-  in
-  let plan = Obs.Trace.with_span "plan" (fun () -> Plan.of_standard_form sf) in
-  if strategy.Strategy.quantifier_push then begin
-    let plan' =
-      Obs.Trace.with_span "quant_push" (fun () -> Quant_push.apply db plan)
-    in
-    Log.debug (fun m ->
-        m "quantifier pushing: prefix %d -> %d"
-          (List.length plan.Plan.prefix)
-          (List.length plan'.Plan.prefix));
-    plan'
-  end
-  else plan
+let run_report ?name ?opts db query =
+  Session.exec_report ?opts ?name (Session.create db) query
 
-let run ?name ?(strategy = Strategy.full) ?join_order db query =
-  let plan = prepare db strategy query in
-  let coll = Collection.create db strategy plan in
-  Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
-  let refs =
-    Obs.Trace.with_span "combination" (fun () ->
-        Combination.evaluate ?join_order coll plan)
-  in
-  Obs.Trace.with_span "construction" (fun () ->
-      Construction.run ?name db plan refs)
-
-(* Run with instrumentation.  Scan/probe counters of the database
-   relations are reset first, so the report reflects this query alone. *)
-let run_report ?name ?(strategy = Strategy.full) ?join_order db query =
-  Database.reset_counters db;
-  let plan = prepare db strategy query in
-  let coll = Collection.create db strategy plan in
-  Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
-  let refs, max_ntuple =
-    Obs.Trace.with_span "combination" (fun () ->
-        Combination.evaluate_with_stats ?join_order coll plan)
-  in
-  let result =
-    Obs.Trace.with_span "construction" (fun () ->
-        Construction.run ?name db plan refs)
-  in
-  {
-    result;
-    plan;
-    scans = Database.total_scans db;
-    probes = Database.total_probes db;
-    max_ntuple;
-    intermediates = Collection.intermediate_sizes coll;
-  }
-
-(* Run under the span tracer: the whole pipeline executes below a root
-   span, so each phase (and each conjunction, quantifier elimination and
-   collection-phase scan below it) carries its own wall time and metric
-   deltas.  [Database.reset_counters] runs inside {!run_report}; the
-   per-span metric attribution is diff-based and unaffected. *)
-let run_traced ?name ?(strategy = Strategy.full) ?join_order db query =
-  (* The high-water gauge is cumulative across queries in one process;
-     zero it so this trace's combination span reports this query's
-     maximum, not a larger one left over from an earlier run. *)
-  Obs.Metrics.set_gauge "combination.max_ntuple" 0.0;
-  Obs.Trace.collect "query"
-    ~attrs:[ ("strategy", Obs.Json.Str (Strategy.to_string strategy)) ]
-    (fun () -> run_report ?name ~strategy ?join_order db query)
+let run_traced ?name ?opts db query =
+  Session.exec_traced ?opts ?name (Session.create db) query

@@ -1,11 +1,12 @@
-(** The full PASCAL/R evaluation pipeline: adaptation, standard form,
-    strategies 3 and 4, then the collection / combination / construction
-    phases (paper Sections 2-4). *)
+(** One-shot evaluation of a selection expression — a thin convenience
+    over {!Session}: each call creates a throwaway session, runs the
+    full pipeline and returns the result.  Hold a {!Session.t} (and
+    {!Session.prepare}) to reuse plans across executions. *)
 
 open Relalg
 open Calculus
 
-type report = {
+type report = Prepared.report = {
   result : Relation.t;
   plan : Plan.t;  (** the plan after all enabled transformations *)
   scans : int;  (** counted full scans of database relations *)
@@ -15,34 +16,18 @@ type report = {
       (** sizes of all collection-phase structures, by memo key *)
 }
 
-val prepare : Database.t -> Strategy.t -> query -> Plan.t
-(** Adaptation + standard form + enabled transformations, without
-    evaluating. *)
-
-val run :
-  ?name:string ->
-  ?strategy:Strategy.t ->
-  ?join_order:Combination.join_order ->
-  Database.t ->
-  query ->
-  Relation.t
-(** Evaluate; [strategy] defaults to {!Strategy.full}, [join_order] to
-    {!Combination.Cost_ordered}. *)
+val run : ?name:string -> ?opts:Exec_opts.t -> Database.t -> query -> Relation.t
+(** Evaluate under [opts] (default {!Exec_opts.default}: all four
+    strategies, cost-ordered joins). *)
 
 val run_report :
-  ?name:string ->
-  ?strategy:Strategy.t ->
-  ?join_order:Combination.join_order ->
-  Database.t ->
-  query ->
-  report
+  ?name:string -> ?opts:Exec_opts.t -> Database.t -> query -> report
 (** Evaluate with instrumentation; resets the database scan/probe
     counters first. *)
 
 val run_traced :
   ?name:string ->
-  ?strategy:Strategy.t ->
-  ?join_order:Combination.join_order ->
+  ?opts:Exec_opts.t ->
   Database.t ->
   query ->
   report * Obs.Trace.span

@@ -1,0 +1,34 @@
+(** A bounded LRU cache of compiled plans, epoch-checked.
+
+    Entries remember the {!Relalg.Database.stats_epoch} they were
+    compiled under; a lookup under a different epoch invalidates the
+    entry (the cached cost ordering and empty-range adaptation may no
+    longer hold).  Every hit/miss/eviction/invalidation bumps both the
+    per-cache {!stats} and the global [plan_cache.*] counters in
+    {!Obs.Metrics}. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 64 plans; at least 1. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val find : t -> epoch:int -> string -> Plan.t option
+(** [None] on absence (miss) or epoch mismatch (invalidation — the
+    entry is dropped); the caller re-plans and {!add}s. *)
+
+val add : t -> epoch:int -> string -> Plan.t -> unit
+(** Insert (or refresh) a plan, evicting the least recently used entry
+    when the cache is full. *)
+
+val clear : t -> unit
+val stats : t -> stats

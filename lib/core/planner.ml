@@ -149,7 +149,7 @@ let choose db query =
       quantifier_push;
     }
   in
-  let final_plan = Phased_eval.prepare db strategy query in
+  let final_plan = Session.plan_only ~opts:(Exec_opts.make ~strategy ()) db query in
   Obs.Trace.add_attr "strategy" (Obs.Json.Str (Strategy.to_string strategy));
   {
     d_strategy = strategy;
@@ -161,7 +161,10 @@ let choose db query =
 (* Plan and evaluate with the chosen strategy. *)
 let run ?name db query =
   let decision = choose db query in
-  (decision, Phased_eval.run ?name ~strategy:decision.d_strategy db query)
+  ( decision,
+    Phased_eval.run ?name
+      ~opts:(Exec_opts.make ~strategy:decision.d_strategy ())
+      db query )
 
 let pp_decision ppf d =
   Fmt.pf ppf "@[<v>strategy: %a@ before: %a@ after:  %a@ %a@]" Strategy.pp

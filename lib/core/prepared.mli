@@ -1,0 +1,67 @@
+(** Prepared queries: compile once via {!Session.prepare}, execute many
+    times.  Execution re-validates the plan against the database stats
+    epoch through the session's plan cache, grounds any [$name]
+    placeholders, then runs only the collection / combination /
+    construction phases. *)
+
+open Relalg
+
+exception Unbound_parameter of string
+(** A placeholder the query requires was not bound at execution. *)
+
+exception Unknown_parameter of string
+(** A binding names a placeholder the query does not contain. *)
+
+type report = {
+  result : Relation.t;
+  plan : Plan.t;  (** the plan after all enabled transformations *)
+  scans : int;  (** counted full scans of database relations *)
+  probes : int;  (** key lookups against database relations *)
+  max_ntuple : int;  (** largest combined n-tuple relation *)
+  intermediates : (string * int) list;
+      (** sizes of all collection-phase structures, by memo key *)
+}
+
+type t
+
+val make :
+  db:Database.t ->
+  opts:Exec_opts.t ->
+  query:Calculus.query ->
+  replan:(unit -> Plan.t) ->
+  reground:(Relalg.Value.t Calculus.Var_map.t -> Plan.t) ->
+  t
+(** Used by {!Session.prepare}; [replan] must consult the session's
+    plan cache under the current stats epoch.  [reground] must plan the
+    fully substituted query from scratch — the fallback taken when a
+    [$param]-dependent quantifier range turns out empty under the
+    actual bindings, so the empty-range adaptation assumed at plan time
+    no longer holds (counted as [plan_cache.regrounds]). *)
+
+val params : t -> string list
+(** The [$name] placeholders an execution must bind, sorted. *)
+
+val opts : t -> Exec_opts.t
+
+val plan : t -> Plan.t
+(** The current (possibly re-validated) plan, placeholders intact. *)
+
+val exec :
+  ?name:string -> ?params:(string * Relalg.Value.t) list -> t -> Relation.t
+(** @raise Unbound_parameter if a required placeholder is missing.
+    @raise Unknown_parameter on a binding the query does not use. *)
+
+val exec_report :
+  ?name:string -> ?params:(string * Relalg.Value.t) list -> t -> report
+(** {!exec} with instrumentation; resets the database scan/probe
+    counters first. *)
+
+val exec_traced :
+  ?name:string ->
+  ?params:(string * Relalg.Value.t) list ->
+  t ->
+  report * Obs.Trace.span
+(** {!exec_report} under the span tracer.  On a plan-cache hit the root
+    span has only collection / combination / construction children; the
+    planning spans reappear exactly when the stats epoch forces a
+    re-plan. *)

@@ -51,7 +51,7 @@ let orient_dyadic vn (a : atom) =
     if String.equal v2 vn then Some (v1, a1, a.op, a2)
     else if String.equal v1 vn then Some (v2, a2, Value.flip_comparison a.op, a1)
     else None
-  | (O_attr _ | O_const _), _ -> None
+  | (O_attr _ | O_const _ | O_param _), _ -> None
 
 type push_piece = {
   pc_conj : Plan.conj;  (* the conjunction being rewritten *)

@@ -44,6 +44,20 @@ let extend_range (range : range) v f =
 
 let conj_mentions v conj = Var_set.mem v (Normalize.conj_vars conj)
 
+(* Does a range's restriction mention a $param?  Extraction for a
+   QUANTIFIED variable hinges on knowing whether the extended range is
+   empty (Lemma 1: elimination of the quantifier assumes non-empty),
+   which is undecidable before the parameters are bound — so such
+   extensions are skipped and the monadic terms stay in the matrix,
+   where the combination phase evaluates them after grounding.  Free
+   variables are extended regardless: their identity
+   [<...> OF EACH v IN rel : S AND W] = [<...> OF EACH v IN [rel: S] : W]
+   holds for empty ranges too. *)
+let range_has_params (range : range) =
+  match range.restriction with
+  | None -> false
+  | Some (_, f) -> not (Var_set.is_empty (formula_params Var_set.empty f))
+
 (* Remove atoms (mirrored-equal) from a conjunction. *)
 let remove_atoms atoms conj =
   List.filter (fun a -> not (List.exists (equal_atom_mirrored a) atoms)) conj
@@ -80,25 +94,31 @@ let extract_existential db st v range ~is_free ~set_range ~drop_var =
     | atoms ->
       let s_formula = conj (List.map (fun a -> F_atom a) atoms) in
       let new_range = extend_range range v s_formula in
-      if (not is_free) && Standard_form.range_is_empty db new_range then begin
-        (* SOME v over an empty extended range: the variable's
-           conjunctions are unsatisfiable; the rest of the matrix
-           survives (Lemma 1, rule 2 applied in reverse). *)
-        st.matrix <- List.filter (fun c -> not (conj_mentions v c)) st.matrix;
-        drop_var ();
-        prune_vacuous st
-      end
+      if (not is_free) && range_has_params new_range then false
       else begin
-        st.matrix <-
-          List.map
-            (fun conj ->
-              if conj_mentions v conj || is_free then remove_atoms atoms conj
-              else conj)
-            st.matrix;
-        set_range new_range;
-        prune_vacuous st
-      end;
-      true
+        (if (not is_free) && Standard_form.range_is_empty db new_range
+         then begin
+           (* SOME v over an empty extended range: the variable's
+              conjunctions are unsatisfiable; the rest of the matrix
+              survives (Lemma 1, rule 2 applied in reverse). *)
+           st.matrix <-
+             List.filter (fun c -> not (conj_mentions v c)) st.matrix;
+           drop_var ();
+           prune_vacuous st
+         end
+         else begin
+           st.matrix <-
+             List.map
+               (fun conj ->
+                 if conj_mentions v conj || is_free then
+                   remove_atoms atoms conj
+                 else conj)
+               st.matrix;
+           set_range new_range;
+           prune_vacuous st
+         end);
+        true
+      end
   end
 
 (* One extraction attempt for a universally quantified variable.  With
@@ -137,28 +157,31 @@ let extract_universal ~cnf db st (entry : Normalize.prefix_entry) =
     in
     let s_formula = conj negated in
     let new_range = extend_range entry.Normalize.range v s_formula in
-    st.matrix <-
-      List.filter
-        (fun c -> not (List.exists (Normalize.conj_equal c) singleton_conjs))
-        st.matrix;
-    if Standard_form.range_is_empty db new_range then begin
-      (* ALL v over an empty extended range: the quantified part is
-         identically true; only the free ranges still select. *)
-      st.matrix <- [ [] ];
-      st.prefix <- [];
-      st.finished <- true
-    end
+    if range_has_params new_range then false
     else begin
-      st.prefix <-
-        List.map
-          (fun (e : Normalize.prefix_entry) ->
-            if String.equal e.Normalize.v v then
-              { e with Normalize.range = new_range }
-            else e)
-          st.prefix;
-      prune_vacuous st
-    end;
-    true
+      st.matrix <-
+        List.filter
+          (fun c -> not (List.exists (Normalize.conj_equal c) singleton_conjs))
+          st.matrix;
+      (if Standard_form.range_is_empty db new_range then begin
+         (* ALL v over an empty extended range: the quantified part is
+            identically true; only the free ranges still select. *)
+         st.matrix <- [ [] ];
+         st.prefix <- [];
+         st.finished <- true
+       end
+       else begin
+         st.prefix <-
+           List.map
+             (fun (e : Normalize.prefix_entry) ->
+               if String.equal e.Normalize.v v then
+                 { e with Normalize.range = new_range }
+               else e)
+             st.prefix;
+         prune_vacuous st
+       end);
+      true
+    end
   end
 
 (* CNF clause extension for a free/SOME variable (applied once, after
@@ -185,13 +208,17 @@ let extend_clause_existential db st v range ~is_free ~set_range ~drop_var =
            relevant_conjs)
     in
     let new_range = extend_range range v clause in
-    if (not is_free) && Standard_form.range_is_empty db new_range then begin
-      st.matrix <- List.filter (fun c -> not (conj_mentions v c)) st.matrix;
-      drop_var ();
-      prune_vacuous st
+    if (not is_free) && range_has_params new_range then false
+    else begin
+      (if (not is_free) && Standard_form.range_is_empty db new_range
+       then begin
+         st.matrix <- List.filter (fun c -> not (conj_mentions v c)) st.matrix;
+         drop_var ();
+         prune_vacuous st
+       end
+       else set_range new_range);
+      true
     end
-    else set_range new_range;
-    true
   end
 
 let apply ?(cnf = false) db (sf : Standard_form.t) : Standard_form.t =

@@ -171,6 +171,7 @@ let initial_relation db (range : range) monadic v =
            let value = function
              | O_const c -> c
              | O_attr (_, at) -> Tuple.get_by_name schema tuple at
+             | O_param p -> invalid_arg ("Semijoin: unbound parameter $" ^ p)
            in
            Value.apply a.op (value a.lhs) (value a.rhs))
          monadic

@@ -1,0 +1,137 @@
+(* The front door of the query engine: a database plus a plan cache.
+
+   Planning a PASCAL/R selection is the expensive prefix of every
+   evaluation — empty-range adaptation, standard form (prenex + DNF),
+   strategy 3's range extension and strategy 4's quantifier pushing.
+   A session runs that pipeline once per (query structure, options,
+   stats epoch) and caches the resulting plan:
+
+   - the query structure is keyed by the MD5 digest of its
+     alpha-canonical form, so spelling of variables does not matter;
+   - the options fingerprint keys strategies and join order, which
+     change the compiled plan;
+   - the stats epoch (Database.stats_epoch) guards validity: inserts,
+     deletions and snapshot loads move it, invalidating plans whose
+     cost ordering or empty-range adaptation assumed the old contents.
+
+   The pipeline itself (formerly Phased_eval.prepare) lives here;
+   Phased_eval's run family survives as thin one-shot wrappers. *)
+
+open Relalg
+
+let src = Logs.Src.create "pascalr.eval" ~doc:"PASCAL/R evaluation pipeline"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* The full planning pipeline (paper Sections 2-4), uncached:
+   adaptation, standard form, then the enabled transformations.  Each
+   step runs under its own trace span. *)
+let plan_only ?(opts = Exec_opts.default) db query =
+  let strategy = opts.Exec_opts.strategy in
+  let adapted =
+    Obs.Trace.with_span "adapt" (fun () -> Standard_form.adapt_query db query)
+  in
+  if not (Calculus.equal_formula adapted.Calculus.body query.Calculus.body)
+  then
+    Log.debug (fun m ->
+        m "empty-range adaptation rewrote the query to %a" Calculus.pp_query
+          adapted);
+  let sf =
+    Obs.Trace.with_span "standard_form" (fun () ->
+        let sf = Standard_form.of_query adapted in
+        Obs.Trace.add_attr "conjunctions"
+          (Obs.Json.Int (List.length sf.Standard_form.matrix));
+        Obs.Trace.add_attr "prefix"
+          (Obs.Json.Int (List.length sf.Standard_form.prefix));
+        sf)
+  in
+  Log.debug (fun m ->
+      m "standard form: %d conjunctions, prefix %d"
+        (List.length sf.Standard_form.matrix)
+        (List.length sf.Standard_form.prefix));
+  let sf =
+    if strategy.Strategy.range_extension || strategy.Strategy.cnf_extension
+    then begin
+      let sf' =
+        Obs.Trace.with_span "range_extension" (fun () ->
+            Range_ext.apply ~cnf:strategy.Strategy.cnf_extension db sf)
+      in
+      Log.debug (fun m ->
+          m "range extension: %d -> %d conjunctions"
+            (List.length sf.Standard_form.matrix)
+            (List.length sf'.Standard_form.matrix));
+      sf'
+    end
+    else sf
+  in
+  let plan = Obs.Trace.with_span "plan" (fun () -> Plan.of_standard_form sf) in
+  if strategy.Strategy.quantifier_push then begin
+    let plan' =
+      Obs.Trace.with_span "quant_push" (fun () -> Quant_push.apply db plan)
+    in
+    Log.debug (fun m ->
+        m "quantifier pushing: prefix %d -> %d"
+          (List.length plan.Plan.prefix)
+          (List.length plan'.Plan.prefix));
+    plan'
+  end
+  else plan
+
+type t = {
+  s_db : Database.t;
+  s_cache : Plan_cache.t;
+}
+
+let create ?cache_capacity db =
+  { s_db = db; s_cache = Plan_cache.create ?capacity:cache_capacity () }
+
+let db t = t.s_db
+let cache_stats t = Plan_cache.stats t.s_cache
+let cache_length t = Plan_cache.length t.s_cache
+let clear_cache t = Plan_cache.clear t.s_cache
+
+(* The structural digest ignores variable spelling; the options
+   fingerprint separates plans the knobs would compile differently. *)
+let cache_key opts query =
+  Calculus.digest_query (Normalize.canonical_query query)
+  ^ "#"
+  ^ Exec_opts.fingerprint opts
+
+let prepare ?(opts = Exec_opts.default) t query =
+  let key = cache_key opts query in
+  let replan () =
+    let epoch = Database.stats_epoch t.s_db in
+    match Plan_cache.find t.s_cache ~epoch key with
+    | Some plan -> plan
+    | None ->
+      let plan = plan_only ~opts t.s_db query in
+      Plan_cache.add t.s_cache ~epoch key plan;
+      plan
+  in
+  (* Plan eagerly: prepare pays for planning, executions need not. *)
+  ignore (replan () : Plan.t);
+  Prepared.make ~db:t.s_db ~opts ~query ~replan
+    ~reground:(fun b -> plan_only ~opts t.s_db (Calculus.subst_query b query))
+
+(* One-shot conveniences: prepare + single execution, through the
+   session cache (so a repeated one-shot query still hits). *)
+
+let exec ?opts ?name ?params t query =
+  Prepared.exec ?name ?params (prepare ?opts t query)
+
+let exec_report ?opts ?name ?params t query =
+  Prepared.exec_report ?name ?params (prepare ?opts t query)
+
+let exec_traced ?(opts = Exec_opts.default) ?name ?params t query =
+  Obs.Metrics.set_gauge "combination.max_ntuple" 0.0;
+  Obs.Trace.collect "query"
+    ~attrs:
+      [
+        ( "strategy",
+          Obs.Json.Str (Strategy.to_string opts.Exec_opts.strategy) );
+      ]
+    (fun () ->
+      (* Prepare inside the root span so planning spans (on a cache
+         miss) are attributed to this query's trace. *)
+      let p = prepare ~opts t query in
+      Prepared.exec_report ?name ?params p)

@@ -1,0 +1,63 @@
+(** The engine's front door: a database plus an LRU plan cache.
+
+    {!prepare} runs the planning pipeline — empty-range adaptation,
+    standard form, strategies 3 and 4 — at most once per (query
+    structure, {!Exec_opts}, stats epoch); {!Prepared.exec} then runs
+    only the collection / combination / construction phases.  Cache
+    keys digest the alpha-canonical query, so variable spelling does
+    not matter; entries are invalidated when
+    {!Relalg.Database.stats_epoch} moves. *)
+
+open Relalg
+open Calculus
+
+type t
+
+val create : ?cache_capacity:int -> Database.t -> t
+(** [cache_capacity] bounds the plan cache (default 64 plans). *)
+
+val db : t -> Database.t
+val cache_stats : t -> Plan_cache.stats
+val cache_length : t -> int
+val clear_cache : t -> unit
+
+val prepare : ?opts:Exec_opts.t -> t -> query -> Prepared.t
+(** Plan now (through the cache), execute later — possibly many times,
+    with different [$name] parameter bindings. *)
+
+val plan_only : ?opts:Exec_opts.t -> Database.t -> query -> Plan.t
+(** The uncached planning pipeline: adaptation + standard form +
+    enabled transformations, without evaluating.  EXPLAIN and the
+    cost-based planner use this directly. *)
+
+(** {2 One-shot execution}
+
+    Prepare + a single execution, still through the session cache — a
+    repeated one-shot query hits the cache and skips planning. *)
+
+val exec :
+  ?opts:Exec_opts.t ->
+  ?name:string ->
+  ?params:(string * Value.t) list ->
+  t ->
+  query ->
+  Relation.t
+
+val exec_report :
+  ?opts:Exec_opts.t ->
+  ?name:string ->
+  ?params:(string * Value.t) list ->
+  t ->
+  query ->
+  Prepared.report
+
+val exec_traced :
+  ?opts:Exec_opts.t ->
+  ?name:string ->
+  ?params:(string * Value.t) list ->
+  t ->
+  query ->
+  Prepared.report * Obs.Trace.span
+(** Like {!exec_report} under the span tracer: the root span ("query")
+    carries the planning spans only when the cache misses, then
+    collection, combination and construction. *)

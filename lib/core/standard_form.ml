@@ -24,6 +24,12 @@ let range_is_empty db (range : range) =
   let rel = Database.find_relation db range.range_rel in
   match range.restriction with
   | None -> Relation.is_empty rel
+  | Some (_, f)
+    when not (Var_set.is_empty (Calculus.formula_params Var_set.empty f)) ->
+    (* The restriction mentions $params, so its emptiness is unknowable
+       until execution grounds them; keeping the quantifier is always
+       correct, adaptation being only a simplification. *)
+    false
   | Some (v, f) ->
     let schema = Relation.schema rel in
     not

@@ -38,15 +38,26 @@ let operand_type db (env : env) = function
     | Some schema ->
       if Schema.mem schema a then Ok (Schema.type_of schema a)
       else errf "variable %s has no component %s" v a)
+  | O_param p -> errf "parameter $%s outside a comparison" p
 
 let check_atom db env atom =
-  let* lt = operand_type db env atom.lhs in
-  let* rt = operand_type db env atom.rhs in
-  if Vtype.comparable lt rt then Ok ()
-  else
-    errf "join term %s compares %s with %s"
-      (Fmt.str "%a" pp_atom atom)
-      (Vtype.to_string lt) (Vtype.to_string rt)
+  match atom.lhs, atom.rhs with
+  (* A placeholder's type is known only once bound; its comparability is
+     checked at execution time, when substitution grounds the atom. *)
+  | O_param _, _ | _, O_param _ ->
+    let check_side o =
+      match o with O_param _ -> Ok () | _ -> Result.map ignore (operand_type db env o)
+    in
+    let* () = check_side atom.lhs in
+    check_side atom.rhs
+  | _ ->
+    let* lt = operand_type db env atom.lhs in
+    let* rt = operand_type db env atom.rhs in
+    if Vtype.comparable lt rt then Ok ()
+    else
+      errf "join term %s compares %s with %s"
+        (Fmt.str "%a" pp_atom atom)
+        (Vtype.to_string lt) (Vtype.to_string rt)
 
 let rec check_range db _env v range =
   match Database.find_relation_opt db range.range_rel with

@@ -80,6 +80,7 @@ let operand_domain env = function
   | Surface.S_int _ -> Some Vtype.int_full
   | Surface.S_str _ -> Some Vtype.string_any
   | Surface.S_ident _ -> None
+  | Surface.S_param _ -> None
 
 (* Resolve an unqualified identifier given (maybe) the opposite
    operand's domain. *)
@@ -114,6 +115,7 @@ let elaborate_operand db context = function
   | Surface.S_str s -> Pascalr.Calculus.cstr s
   | Surface.S_ident name ->
     Pascalr.Calculus.const (resolve_ident db context name)
+  | Surface.S_param name -> Pascalr.Calculus.param name
 
 let rec elaborate_formula db env (f : Surface.formula) :
     Pascalr.Calculus.formula =

@@ -17,7 +17,21 @@ let errf fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
    element. *)
 type binding = { b_rel : Relation.t; b_tuple : Tuple.t }
 
-type env = { db : Database.t; scope : (string * binding) list }
+type env = {
+  db : Database.t;
+  scope : (string * binding) list;
+  session : Pascalr.Session.t;
+      (* the plan-cache-backed front door used by PREPARE/EXECUTE *)
+  prepared : (string, Pascalr.Prepared.t) Hashtbl.t;
+}
+
+let make_env db =
+  {
+    db;
+    scope = [];
+    session = Pascalr.Session.create db;
+    prepared = Hashtbl.create 8;
+  }
 
 let schema_env env =
   List.map (fun (v, b) -> (v, Relation.schema b.b_rel)) env.scope
@@ -205,17 +219,61 @@ let rec exec env (stmt : Surface.stmt) =
     let target = find_or_create env name None in
     let tuple = eval_literal env target exprs in
     Relation.delete_key target (Tuple.key_of (Relation.schema target) tuple)
+  | Surface.S_prepare (name, sel) ->
+    (* PREPARE plans through the session's cache.  The phased pipeline
+       works on component selections over the selection's own range
+       variables, so @v items are out (use a plain assignment for
+       those), and outer loop variables fail elaboration as unbound. *)
+    let select =
+      List.map
+        (function
+          | Surface.Sel_attr (v, a) -> (v, a)
+          | Surface.Sel_ref v ->
+            errf "PREPARE %s: @%s reference items are not preparable" name v)
+        sel.Surface.s_items
+    in
+    let q =
+      Elaborate.elaborate_query env.db
+        {
+          Surface.q_select = select;
+          q_free = sel.Surface.s_free;
+          q_body = sel.Surface.s_body;
+        }
+    in
+    Hashtbl.replace env.prepared name (Pascalr.Session.prepare env.session q)
+  | Surface.S_execute (target, pname, bindings) ->
+    let prep =
+      match Hashtbl.find_opt env.prepared pname with
+      | Some p -> p
+      | None -> errf "EXECUTE %s: no such prepared query" pname
+    in
+    let params = List.map (fun (p, e) -> (p, eval_expr env None e)) bindings in
+    let result =
+      try Pascalr.Prepared.exec ~params prep with
+      | Pascalr.Prepared.Unbound_parameter p ->
+        errf "EXECUTE %s: parameter $%s is not bound" pname p
+      | Pascalr.Prepared.Unknown_parameter p ->
+        errf "EXECUTE %s: no parameter $%s in the prepared query" pname p
+    in
+    (match target with
+    | Some name ->
+      let tgt = find_or_create env name (Some (Relation.schema result)) in
+      Relation.clear tgt;
+      Relation.iter (Relation.insert tgt) result
+    | None -> Fmt.pr "%a@." Relation.pp result)
 
 (* Run a whole compilation unit: declarations, then the main block. *)
 let run_unit ?(db = Database.create ()) (u : Surface.unit_) =
   let db = Elaborate.elaborate_program ~db u.Surface.u_decls in
-  let env = { db; scope = [] } in
+  let env = make_env db in
   List.iter (exec env) u.Surface.u_main;
   db
 
 let run_string ?db src = run_unit ?db (Parser.unit_of_string src)
 
-(* Execute statements against an existing database (no declarations). *)
+(* Execute statements against an existing database (no declarations).
+   Each call gets a fresh environment, so prepared queries do not
+   survive across calls — keep an env (make_env) to do that. *)
 let exec_string db src =
   let stmt = Parser.stmt_of_string src in
-  exec { db; scope = [] } stmt
+  exec (make_env db) stmt

@@ -8,7 +8,18 @@ open Relalg
 exception Runtime_error of string
 
 type binding = { b_rel : Relation.t; b_tuple : Tuple.t }
-type env = { db : Database.t; scope : (string * binding) list }
+
+type env = {
+  db : Database.t;
+  scope : (string * binding) list;
+  session : Pascalr.Session.t;
+  prepared : (string, Pascalr.Prepared.t) Hashtbl.t;
+}
+
+val make_env : Database.t -> env
+(** A fresh top-level environment: empty scope, a new plan-cache-backed
+    session, and an empty prepared-query table.  Keep the env across
+    [exec] calls so PREPARE/EXECUTE statements can see each other. *)
 
 val eval_selection : env -> Surface.selection -> Relation.t
 (** Evaluate a selection (items may be [v.component] or [@v]) under the

@@ -142,6 +142,12 @@ let next_token st : Token.spanned =
     | Some '@' ->
       advance st;
       Token.AT
+    | Some '$' -> (
+      advance st;
+      match peek st with
+      | Some c when is_ident_start c ->
+        Token.PARAM (String.lowercase_ascii (lex_ident st))
+      | Some _ | None -> errf st "expected a parameter name after $")
     | Some ';' ->
       advance st;
       Token.SEMI

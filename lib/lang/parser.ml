@@ -68,6 +68,9 @@ let parse_operand st =
   | Token.STRING s ->
     advance st;
     Surface.S_str s
+  | Token.PARAM p ->
+    advance st;
+    Surface.S_param p
   | Token.IDENT name -> (
     advance st;
     match peek st with
@@ -119,7 +122,7 @@ and parse_primary st =
        formula as operand, so ')' must follow. *)
     expect st Token.RPAREN;
     inner
-  | Token.INT _ | Token.STRING _ | Token.IDENT _ -> (
+  | Token.INT _ | Token.STRING _ | Token.IDENT _ | Token.PARAM _ -> (
     let lhs = parse_operand st in
     match comparison_of_token (peek st) with
     | Some op ->
@@ -299,6 +302,32 @@ let parse_selection_only st =
   | `Sel s -> s
   | `Lit _ -> errf st "expected a selection, found a tuple literal"
 
+(* Optional EXECUTE binding list: ($x = expr, $y = expr, ...) *)
+let parse_exec_bindings st =
+  match peek st with
+  | Token.LPAREN ->
+    advance st;
+    let rec go acc =
+      let p =
+        match peek st with
+        | Token.PARAM p ->
+          advance st;
+          p
+        | _ -> errf st "expected a $parameter name"
+      in
+      expect st Token.EQ;
+      let e = parse_expr st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go ((p, e) :: acc)
+      end
+      else List.rev ((p, e) :: acc)
+    in
+    let bs = go [] in
+    expect st Token.RPAREN;
+    bs
+  | _ -> []
+
 let rec parse_stmt st =
   match peek st with
   | Token.BEGIN ->
@@ -330,12 +359,26 @@ let rec parse_stmt st =
   | Token.PRINT ->
     advance st;
     Surface.S_print (ident st)
+  | Token.PREPARE ->
+    advance st;
+    let name = ident st in
+    expect st Token.FOR;
+    Surface.S_prepare (name, parse_selection_only st)
+  | Token.EXECUTE ->
+    advance st;
+    let name = ident st in
+    Surface.S_execute (None, name, parse_exec_bindings st)
   | Token.IDENT _ -> (
     let name = ident st in
     match peek st with
-    | Token.ASSIGN ->
+    | Token.ASSIGN -> (
       advance st;
-      Surface.S_assign (name, parse_selection_only st)
+      match peek st with
+      | Token.EXECUTE ->
+        advance st;
+        let pname = ident st in
+        Surface.S_execute (Some name, pname, parse_exec_bindings st)
+      | _ -> Surface.S_assign (name, parse_selection_only st))
     | Token.INSERT -> (
       advance st;
       match parse_bracketed st with
@@ -353,7 +396,8 @@ let rec parse_stmt st =
    trailing). *)
 and parse_stmt_list st =
   match peek st with
-  | Token.BEGIN | Token.FOR | Token.IF | Token.PRINT | Token.IDENT _ ->
+  | Token.BEGIN | Token.FOR | Token.IF | Token.PRINT | Token.PREPARE
+  | Token.EXECUTE | Token.IDENT _ ->
     let s = parse_stmt st in
     if peek st = Token.SEMI then begin
       advance st;

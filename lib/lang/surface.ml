@@ -8,6 +8,7 @@ type operand =
   | S_int of int
   | S_str of string
   | S_ident of string  (* enum label / boolean constant *)
+  | S_param of string  (* $name: placeholder bound at EXECUTE time *)
 
 type comparison = Relalg.Value.comparison
 
@@ -85,6 +86,10 @@ type stmt =
   | S_if of formula * stmt * stmt option
   | S_block of stmt list
   | S_print of string
+  | S_prepare of string * selection
+      (* PREPARE p FOR [...]: plan once, keep under name p *)
+  | S_execute of string option * string * (string * expr) list
+      (* [rel :=] EXECUTE p ($x = e, ...); without a target, print *)
 
 (* A compilation unit: declarations plus an optional main block. *)
 type unit_ = { u_decls : program; u_main : stmt list }

@@ -5,6 +5,7 @@ type t =
   | IDENT of string
   | INT of int
   | STRING of string
+  | PARAM of string  (* $name query parameter *)
   (* declaration keywords *)
   | TYPE
   | VAR
@@ -23,6 +24,8 @@ type t =
   | ELSE
   | FOR
   | PRINT
+  | PREPARE
+  | EXECUTE
   (* selection keywords *)
   | EACH
   | IN
@@ -78,6 +81,8 @@ let keyword_of_string s =
   | "else" -> Some ELSE
   | "for" -> Some FOR
   | "print" -> Some PRINT
+  | "prepare" -> Some PREPARE
+  | "execute" -> Some EXECUTE
   | "each" -> Some EACH
   | "in" -> Some IN
   | "some" -> Some SOME
@@ -93,6 +98,7 @@ let to_string = function
   | IDENT s -> Printf.sprintf "identifier %s" s
   | INT n -> Printf.sprintf "integer %d" n
   | STRING s -> Printf.sprintf "string '%s'" s
+  | PARAM p -> Printf.sprintf "parameter $%s" p
   | TYPE -> "TYPE"
   | VAR -> "VAR"
   | RELATION -> "RELATION"
@@ -109,6 +115,8 @@ let to_string = function
   | ELSE -> "ELSE"
   | FOR -> "FOR"
   | PRINT -> "PRINT"
+  | PREPARE -> "PREPARE"
+  | EXECUTE -> "EXECUTE"
   | EACH -> "EACH"
   | IN -> "IN"
   | SOME -> "SOME"

@@ -8,6 +8,9 @@ type t = {
       (* permanent indexes, keyed by (relation, component) — paper
          Section 3.2: "The first step can be omitted, if permanent
          indexes exist", maintained as in Example 3.1 *)
+  mutable catalog_version : int;
+      (* bumped when the set of catalogued relations changes, so the
+         stats epoch moves even before the new relation is populated *)
 }
 
 let create () =
@@ -15,6 +18,7 @@ let create () =
     rels = Hashtbl.create 16;
     enums = Hashtbl.create 16;
     perm_indexes = Hashtbl.create 8;
+    catalog_version = 0;
   }
 
 let add_relation db r =
@@ -23,7 +27,22 @@ let add_relation db r =
     Errors.schema_error "cannot catalog an anonymous relation"
   else if Hashtbl.mem db.rels n then
     Errors.schema_error "relation %s already declared" n
-  else Hashtbl.replace db.rels n r
+  else begin
+    Hashtbl.replace db.rels n r;
+    db.catalog_version <- db.catalog_version + 1
+  end
+
+(* The stats epoch: a number that changes whenever the catalogued data
+   does.  Cached plans embed the epoch they were planned under; a bump
+   (insertion, deletion, clear, snapshot load — loads insert tuple by
+   tuple) invalidates them, so cardinality-sensitive choices (cost-
+   ordered joins, empty-range adaptation) are recomputed against the
+   shifted data.  Summing per-relation versions keeps the epoch honest
+   even for mutations performed directly on a {!Relation.t} handle. *)
+let stats_epoch db =
+  Hashtbl.fold
+    (fun _ r acc -> acc + Relation.version r)
+    db.rels db.catalog_version
 
 let declare_relation db ~name schema =
   let r = Relation.create ~name schema in

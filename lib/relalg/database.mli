@@ -42,6 +42,14 @@ val attach_storage : t -> pool_pages:int -> Buffer_pool.t
 (** Attach paged storage to every relation, sharing one buffer pool of
     the given capacity (in pages); returns the pool for statistics. *)
 
+val stats_epoch : t -> int
+(** A number that changes whenever the catalogued data does: the sum of
+    every relation's content {!Relation.version} plus a catalog version
+    bumped on relation declaration.  Plan caches key on it — inserts,
+    deletes, clears and snapshot loads all move the epoch, invalidating
+    plans whose cost ordering or empty-range adaptation assumed the old
+    cardinalities.  Monotone for any fixed database. *)
+
 val reset_counters : t -> unit
 (** Reset {e all} measurement state in one call: every relation's
     scan/probe counters, every permanent index's probe counter, and the

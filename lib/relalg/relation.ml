@@ -27,6 +27,9 @@ type t = {
   tbl : Tuple.t Key_table.t;
   mutable scans : int;   (* completed full scans *)
   mutable probes : int;  (* key lookups *)
+  mutable version : int;
+      (* bumped on every content change (insert/delete/clear); feeds the
+         database stats epoch that invalidates cached plans *)
   mutable backing : backing option;
 }
 
@@ -37,8 +40,11 @@ let create ?(name = "") schema =
     tbl = Key_table.create 64;
     scans = 0;
     probes = 0;
+    version = 0;
     backing = None;
   }
+
+let version r = r.version
 
 let name r = r.name
 let schema r = r.schema
@@ -62,6 +68,7 @@ let insert r t =
   match Key_table.find_opt r.tbl key with
   | None ->
     Key_table.replace r.tbl key t;
+    r.version <- r.version + 1;
     Obs.Metrics.incr "relation.inserts";
     (match r.backing with
     | Some b -> (
@@ -93,6 +100,7 @@ let insert_unchecked r t =
   let key = Tuple.key_of r.schema t in
   if not (Key_table.mem r.tbl key) then begin
     Key_table.replace r.tbl key t;
+    r.version <- r.version + 1;
     Obs.Metrics.incr "relation.inserts";
     match r.backing with
     | Some b -> (
@@ -106,10 +114,14 @@ let insert_unchecked r t =
 let delete_key r key =
   r.probes <- r.probes + 1;
   Obs.Metrics.incr "relation.probes";
-  Key_table.remove r.tbl key;
+  if Key_table.mem r.tbl key then begin
+    Key_table.remove r.tbl key;
+    r.version <- r.version + 1
+  end;
   match r.backing with Some b -> b.dirty <- true | None -> ()
 
 let clear r =
+  if Key_table.length r.tbl > 0 then r.version <- r.version + 1;
   Key_table.reset r.tbl;
   match r.backing with Some b -> b.dirty <- true | None -> ()
 

@@ -67,6 +67,11 @@ val scan_count : t -> int
 val probe_count : t -> int
 val reset_counters : t -> unit
 
+val version : t -> int
+(** Content version: bumped on every effective insertion, deletion and
+    clear.  Feeds {!Database.stats_epoch}, which invalidates cached
+    plans whose cardinality assumptions the change may break. *)
+
 val to_list : t -> Tuple.t list
 (** Sorted, for deterministic output. *)
 

@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
 """Guard against combination-engine performance regressions.
 
-Compares a freshly measured benchmark run against the committed
-BENCH_results.json and fails if any fully-optimised (s1+s2+s3+s4) row
-of the B-SCALE or B-DIV experiments at scale <= 2 got more than 3x
-slower.  The generous factor absorbs CI machine noise; the point is to
-catch the combination phase falling back to quadratic padding, which
-shows up as a 100x+ cliff, not a 2x wobble.
+Two checks:
+
+1. Compares a freshly measured benchmark run against the committed
+   BENCH_results.json and fails if any fully-optimised (s1+s2+s3+s4)
+   row of the B-SCALE or B-DIV experiments at scale <= 2 got more than
+   3x slower.  The generous factor absorbs CI machine noise; the point
+   is to catch the combination phase falling back to quadratic padding,
+   which shows up as a 100x+ cliff, not a 2x wobble.
+
+2. The B-PREP experiment of the NEW run alone: for every (query, scale)
+   pair, the prepared row (one Session.prepare, N plan-cache-hit
+   executions) must be strictly cheaper than the cold row (N one-shot
+   runs, each re-entering the full planning pipeline).  Both sides are
+   medians of several passes measured back to back in one process, so
+   machine speed cancels out of the comparison.
 
 Usage: check_bench_regression.py BASELINE.json NEW.json
 """
@@ -32,6 +41,43 @@ def key_rows(path):
         ):
             rows[(r["experiment"], r.get("query", ""), r["scale"])] = r["wall_ms"]
     return rows
+
+
+def prep_rows(path):
+    """B-PREP rows of one run: {(query, scale): {strategy: wall_ms}}."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for r in doc.get("results", doc if isinstance(doc, list) else []):
+        if r.get("experiment") == "B-PREP":
+            rows.setdefault((r.get("query", ""), r.get("scale", 0)), {})[
+                r.get("strategy")
+            ] = r["wall_ms"]
+    return rows
+
+
+def check_prepared(path):
+    """Prepared executions must beat cold runs, within the new run."""
+    rows = prep_rows(path)
+    if not rows:
+        print("B-PREP: no rows in the new run, skipping the prepared check")
+        return []
+    failed = []
+    for (query, scale), cells in sorted(rows.items()):
+        if "cold" not in cells or "prepared" not in cells:
+            failed.append((query, scale))
+            print(f"B-PREP   {query:22s} scale={scale}  missing cold/prepared row")
+            continue
+        cold, prepared = cells["cold"], cells["prepared"]
+        ok = prepared < cold
+        print(
+            f"B-PREP   {query:22s} scale={scale}  "
+            f"cold={cold:9.2f}ms  prepared={prepared:9.2f}ms  "
+            f"{'ok' if ok else 'NOT CHEAPER'}"
+        )
+        if not ok:
+            failed.append((query, scale))
+    return failed
 
 
 def main():
@@ -63,8 +109,14 @@ def main():
             failed.append(key)
     if compared == 0:
         sys.exit("no comparable benchmark rows found -- wrong files?")
+    prep_failed = check_prepared(sys.argv[2])
     if failed:
         sys.exit(f"{len(failed)}/{compared} rows regressed beyond {FACTOR}x")
+    if prep_failed:
+        sys.exit(
+            f"{len(prep_failed)} B-PREP rows where prepared execution "
+            "was not cheaper than cold runs"
+        )
     print(f"all {compared} rows within {FACTOR}x of baseline")
 
 

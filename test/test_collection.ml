@@ -8,7 +8,7 @@ open Relalg
 let setup strategy =
   let db = Fixtures.make () in
   let q = Workload.Queries.running_query db in
-  let plan = Phased_eval.prepare db strategy q in
+  let plan = Session.plan_only ~opts:(Exec_opts.make ~strategy:strategy ()) db q in
   let coll = Collection.create db strategy plan in
   Collection.run coll;
   (db, plan, coll)
@@ -109,7 +109,7 @@ let test_memoization () =
 let test_base_list_restriction () =
   let db = Fixtures.make () in
   let q = Workload.Queries.example_4_5 db in
-  let plan = Phased_eval.prepare db Strategy.palermo q in
+  let plan = Session.plan_only ~opts:(Exec_opts.make ~strategy:Strategy.palermo ()) db q in
   let coll = Collection.create db Strategy.palermo plan in
   let bl = Collection.base_list coll "p" in
   (* [papers: pyear = 1977] has two elements in the fixture. *)
@@ -168,7 +168,7 @@ let test_mutual_restriction () =
         else acc)
       0 employees
   in
-  let report = Phased_eval.run_report ~strategy:Strategy.s12 db q in
+  let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
   let ij_e_p =
     List.fold_left
       (fun acc (key, size) ->

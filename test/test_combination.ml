@@ -33,11 +33,11 @@ let check_engines_agree ~pin db q strategies =
   List.iter
     (fun (sname, strategy) ->
       let ordered =
-        Phased_eval.run_report ~strategy ~join_order:Combination.Cost_ordered
+        Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Cost_ordered ())
           db q
       in
       let decl =
-        Phased_eval.run_report ~strategy ~join_order:Combination.Declaration
+        Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Declaration ())
           db q
       in
       Alcotest.(check bool)
@@ -97,7 +97,7 @@ let test_s1_scans_engine_independent () =
   let db = uni_db () in
   let q = Workload.Queries.running_query db in
   let counts join_order =
-    let _ = Phased_eval.run_report ~strategy:Strategy.s1 ~join_order db q in
+    let _ = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1 ~join_order ()) db q in
     List.map
       (fun r -> (Relation.name r, Relation.scan_count r))
       (Database.relations db)

@@ -28,11 +28,11 @@ let test_permanent_index_saves_scans () =
   let db = Workload.University.generate Workload.University.small_params in
   let q = Workload.Queries.existential_query db in
   (* Without permanent indexes. *)
-  let before = (Phased_eval.run_report ~strategy:Strategy.s12 db q).Phased_eval.scans in
+  let before = (Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q).Phased_eval.scans in
   (* Example 4.3's indexes, registered permanently. *)
   ignore (Database.register_index db "timetable" ~on:"tcnr");
   ignore (Database.register_index db "timetable" ~on:"tenr");
-  let report = Phased_eval.run_report ~strategy:Strategy.s12 db q in
+  let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
   Alcotest.(check bool)
     (Printf.sprintf "scans drop (%d -> %d)" before report.Phased_eval.scans)
     true
@@ -59,7 +59,7 @@ let test_permanent_index_all_strategies_agree () =
           Alcotest.(check bool)
             (Printf.sprintf "%s / %s" qname sname)
             true
-            (Relation.equal_set expected (Phased_eval.run ~strategy db q)))
+            (Relation.equal_set expected (Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q)))
         Strategy.all_presets)
     [
       ("running", Workload.Queries.running_query db);
@@ -76,7 +76,7 @@ let test_permanent_index_not_used_for_restricted_range () =
   let q = Workload.Queries.example_4_5 db in
   let expected = Naive_eval.run db q in
   Alcotest.(check bool) "restricted ranges still correct" true
-    (Relation.equal_set expected (Phased_eval.run ~strategy:Strategy.s123 db q))
+    (Relation.equal_set expected (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q))
 
 let test_refresh_indexes () =
   let db = Fixtures.make () in
@@ -138,7 +138,7 @@ let test_cnf_absorbs_multi_atom_conjunction () =
   let expected = Naive_eval.run db q in
   Alcotest.(check bool) "answers agree" true
     (Relation.equal_set expected
-       (Phased_eval.run ~strategy:Strategy.full_cnf db q))
+       (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q))
 
 (* SOME c with different monadic terms in different conjunctions: the
    CNF clause (freshman OR senior) shrinks the range. *)
@@ -175,7 +175,7 @@ let test_cnf_clause_extension () =
   let expected = Naive_eval.run db q in
   Alcotest.(check bool) "answers agree" true
     (Relation.equal_set expected
-       (Phased_eval.run ~strategy:Strategy.full_cnf db q))
+       (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q))
 
 (* CNF on random queries: full_cnf must agree with naive everywhere. *)
 let test_cnf_random =
@@ -187,9 +187,9 @@ let test_cnf_random =
       let q = Workload.Random_query.generate db (seed + 5) in
       let expected = Naive_eval.run db q in
       Relation.equal_set expected
-        (Phased_eval.run ~strategy:Strategy.full_cnf db q)
+        (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q)
       && Relation.equal_set expected
-           (Phased_eval.run ~strategy:Strategy.s123c db q))
+           (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q))
 
 let suite =
   [

@@ -357,7 +357,7 @@ let fault_differential seed0 =
         Workload.Prng.pick rng Pascalr.Strategy.all_presets
       in
       (* Fault-free reference answer, and the committed snapshot. *)
-      let expected = Pascalr.Phased_eval.run ~strategy db q in
+      let expected = Pascalr.Phased_eval.run ~opts:(Pascalr.Exec_opts.make ~strategy ()) db q in
       let naive = Pascalr.Naive_eval.run db q in
       if not (Relation.equal_set expected naive) then
         QCheck.Test.fail_reportf "strategy %s wrong without faults, seed %d"
@@ -379,7 +379,7 @@ let fault_differential seed0 =
           (* Run the workload under faults: the query, then a save
              attempt.  Every outcome must be fault-free-equal or a
              typed error. *)
-          (match Pascalr.Phased_eval.run ~strategy db q with
+          (match Pascalr.Phased_eval.run ~opts:(Pascalr.Exec_opts.make ~strategy ()) db q with
           | actual ->
             if not (Relation.equal_set expected actual) then
               QCheck.Test.fail_reportf

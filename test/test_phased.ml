@@ -32,7 +32,7 @@ let test_all_strategies_agree () =
       let expected = Naive_eval.run db q in
       List.iter
         (fun (sname, strategy) ->
-          let actual = Phased_eval.run ~strategy db q in
+          let actual = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
           Alcotest.(check bool)
             (Printf.sprintf "%s / %s" qname sname)
             true
@@ -47,7 +47,7 @@ let test_all_strategies_agree_suppliers () =
       let expected = Naive_eval.run db q in
       List.iter
         (fun (sname, strategy) ->
-          let actual = Phased_eval.run ~strategy db q in
+          let actual = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
           Alcotest.(check bool)
             (Printf.sprintf "%s / %s" qname sname)
             true
@@ -59,7 +59,7 @@ let test_exact_answer_fixture () =
   let db = Fixtures.make () in
   List.iter
     (fun (sname, strategy) ->
-      let r = Phased_eval.run ~strategy db (Workload.Queries.running_query db) in
+      let r = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db (Workload.Queries.running_query db) in
       Alcotest.(check (list string))
         ("fixture answer / " ^ sname)
         Fixtures.running_query_answer (Helpers.strings r))
@@ -71,7 +71,7 @@ let test_empty_papers_all_strategies () =
   Relation.clear (Database.find_relation db "papers");
   List.iter
     (fun (sname, strategy) ->
-      let r = Phased_eval.run ~strategy db (Workload.Queries.running_query db) in
+      let r = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db (Workload.Queries.running_query db) in
       Alcotest.(check (list string))
         ("empty papers / " ^ sname)
         Fixtures.running_query_answer_empty_papers (Helpers.strings r))
@@ -92,7 +92,7 @@ let test_each_relation_empty () =
           let expected = Naive_eval.run db q in
           List.iter
             (fun (sname, strategy) ->
-              let actual = Phased_eval.run ~strategy db q in
+              let actual = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
               Alcotest.(check bool)
                 (Printf.sprintf "%s empty / %s / %s" victim qname sname)
                 true
@@ -107,7 +107,7 @@ let test_each_relation_empty () =
 let test_s1_scan_counts () =
   let db = Workload.University.generate Workload.University.small_params in
   let q = Workload.Queries.existential_query db in
-  let report = Phased_eval.run_report ~strategy:Strategy.s12 db q in
+  let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
   List.iter
     (fun rel_name ->
       let rel = Database.find_relation db rel_name in
@@ -122,8 +122,8 @@ let test_s1_scan_counts () =
 let test_s1_reduces_scans () =
   let db = Workload.University.generate Workload.University.small_params in
   let q = Workload.Queries.running_query db in
-  let r_palermo = Phased_eval.run_report ~strategy:Strategy.palermo db q in
-  let r_s1 = Phased_eval.run_report ~strategy:Strategy.s1 db q in
+  let r_palermo = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.palermo ()) db q in
+  let r_s1 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1 ()) db q in
   Alcotest.(check bool)
     (Printf.sprintf "S1 scans (%d) < palermo scans (%d)" r_s1.Phased_eval.scans
        r_palermo.Phased_eval.scans)
@@ -135,7 +135,7 @@ let test_s1_reduces_scans () =
 let test_s4_empties_prefix () =
   let db = Fixtures.make () in
   let q = Workload.Queries.example_4_7 db in
-  let plan = Phased_eval.prepare db Strategy.s1234 q in
+  let plan = Session.plan_only ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
   Alcotest.(check int)
     "prefix emptied by pushing" 0
     (List.length plan.Plan.prefix)
@@ -170,7 +170,7 @@ let test_s3_conjunction_count () =
 let test_intermediate_shrinkage () =
   let db = Workload.University.generate Workload.University.small_params in
   let q = Workload.Queries.running_query db in
-  let m strategy = (Phased_eval.run_report ~strategy db q).Phased_eval.max_ntuple in
+  let m strategy = (Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q).Phased_eval.max_ntuple in
   let palermo = m Strategy.palermo in
   let s123 = m Strategy.s123 in
   Alcotest.(check bool)

@@ -17,7 +17,7 @@ let strategies_agree_on seed =
     let expected = Naive_eval.run db q in
     List.for_all
       (fun (sname, strategy) ->
-        let actual = Phased_eval.run ~strategy db q in
+        let actual = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
         Relation.equal_set expected actual
         ||
         QCheck.Test.fail_reportf
@@ -72,7 +72,7 @@ let empty_range_agree_on seed =
   let expected = Naive_eval.run db q in
   List.for_all
     (fun (sname, strategy) ->
-      Relation.equal_set expected (Phased_eval.run ~strategy db q)
+      Relation.equal_set expected (Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q)
       ||
       QCheck.Test.fail_reportf
         "empty range over %s: %s differs on seed %d:@.%a" victim sname seed
@@ -106,7 +106,7 @@ let torture seed =
   let expected = Naive_eval.run db q in
   List.for_all
     (fun (sname, strategy) ->
-      Relation.equal_set expected (Phased_eval.run ~strategy db q)
+      Relation.equal_set expected (Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q)
       ||
       QCheck.Test.fail_reportf "torture: %s differs on seed %d:@.%a" sname seed
         Calculus.pp_query q)
@@ -129,10 +129,10 @@ let engines_agree_on seed =
   List.for_all
     (fun (sname, strategy) ->
       let ordered =
-        Phased_eval.run ~strategy ~join_order:Combination.Cost_ordered db q
+        Phased_eval.run ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Cost_ordered ()) db q
       in
       let decl =
-        Phased_eval.run ~strategy ~join_order:Combination.Declaration db q
+        Phased_eval.run ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Declaration ()) db q
       in
       (Relation.equal_set expected ordered && Relation.equal_set expected decl)
       ||

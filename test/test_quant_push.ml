@@ -6,7 +6,7 @@ open Pascalr
 open Pascalr.Calculus
 open Relalg
 
-let prepare_plan db q strategy = Phased_eval.prepare db strategy q
+let prepare_plan db q strategy = Session.plan_only ~opts:(Exec_opts.make ~strategy:strategy ()) db q
 
 (* SOME with one dyadic term: pushed. *)
 let test_some_single_dyadic_pushed () =
@@ -39,7 +39,7 @@ let test_orientation_flips () =
   (* And the answer matches the naive evaluator. *)
   Alcotest.(check bool) "correct" true
     (Relation.equal_set (Naive_eval.run db q)
-       (Phased_eval.run ~strategy:Strategy.s1234 db q))
+       (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q))
 
 (* Two dyadic terms over the same quantified variable: not pushable. *)
 let test_two_dyadics_not_pushed () =
@@ -98,7 +98,7 @@ let test_all_in_two_conjunctions_not_pushed () =
     (fun query ->
       Alcotest.(check bool) "correct" true
         (Relation.equal_set (Naive_eval.run db query)
-           (Phased_eval.run ~strategy:Strategy.s1234 db query)))
+           (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db query)))
     [ q; q_some ]
 
 (* Swapping: SOME/ALL that share a conjunction must not swap; the
@@ -133,7 +133,7 @@ let test_dependent_quantifiers_not_swapped () =
   | _ -> Alcotest.fail "expected two prefix entries");
   Alcotest.(check bool) "correct" true
     (Relation.equal_set (Naive_eval.run db q)
-       (Phased_eval.run ~strategy:Strategy.s1234 db q))
+       (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q))
 
 (* Example 4.7's nesting: pushing c, then t, then p produces a derived
    predicate on t that nests c's. *)
@@ -160,7 +160,7 @@ let test_nested_pushes_example_4_7 () =
 let test_storage_policies_via_pipeline () =
   let db = Workload.University.generate Workload.University.small_params in
   let check q expect_max =
-    let report = Phased_eval.run_report ~strategy:Strategy.s1234 db q in
+    let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
     let vlist_total =
       List.fold_left
         (fun acc (key, size) ->

@@ -1,0 +1,342 @@
+(* The Session front door: plan-cache behaviour (repeat hits, stats-
+   epoch invalidation, LRU eviction, per-option and alpha-renaming
+   keys), prepared-query parameter grounding, and the PREPARE/EXECUTE
+   statement surface of the language. *)
+
+open Pascalr
+open Relalg
+
+let mk_db () = Workload.Suppliers.generate Workload.Suppliers.default_params
+
+let cache_stats =
+  let pp ppf (s : Plan_cache.stats) =
+    Fmt.pf ppf "{hits=%d; misses=%d; evictions=%d; invalidations=%d}"
+      s.Plan_cache.hits s.Plan_cache.misses s.Plan_cache.evictions
+      s.Plan_cache.invalidations
+  in
+  Alcotest.testable pp ( = )
+
+(* ---------------------------------------------------------------- *)
+(* Repeated execution hits the cache and skips the planning phases. *)
+
+let test_repeat_hits () =
+  let db = mk_db () in
+  let q = Workload.Suppliers.ships_all_parts db in
+  let s = Session.create db in
+  let r1, root1 = Session.exec_traced s q in
+  let r2, root2 = Session.exec_traced s q in
+  Alcotest.(check bool)
+    "same answer on re-execution" true
+    (Relation.equal_set r1.Prepared.result r2.Prepared.result);
+  let stats = Session.cache_stats s in
+  Alcotest.(check int) "exactly one miss" 1 stats.Plan_cache.misses;
+  Alcotest.(check bool) "subsequent lookups hit" true (stats.Plan_cache.hits >= 2);
+  Alcotest.(check int) "one cached plan" 1 (Session.cache_length s);
+  (* Cold trace plans; warm trace goes straight to evaluation. *)
+  Alcotest.(check bool) "cold run plans" true (Obs.Trace.find root1 "plan" <> None);
+  Alcotest.(check bool) "warm run skips plan" true (Obs.Trace.find root2 "plan" = None);
+  Alcotest.(check bool)
+    "warm run skips standard form" true
+    (Obs.Trace.find root2 "standard_form" = None);
+  Alcotest.(check bool)
+    "warm run still evaluates" true
+    (Obs.Trace.find root2 "collection" <> None)
+
+(* ---------------------------------------------------------------- *)
+(* A stats-epoch bump (here: an insertion) invalidates the cached plan
+   and forces a re-plan on the next execution. *)
+
+let test_epoch_invalidation () =
+  let db = mk_db () in
+  let q = Workload.Suppliers.ships_all_parts db in
+  let s = Session.create db in
+  let _ = Session.exec_traced s q in
+  let epoch_before = Database.stats_epoch db in
+  let suppliers = Database.find_relation db "suppliers" in
+  let free_snr = 998 in
+  Relation.insert suppliers
+    (Tuple.of_list
+       [
+         Value.int free_snr;
+         Value.str "latecomer";
+         Workload.Suppliers.london db;
+       ]);
+  Alcotest.(check bool)
+    "insertion moves the stats epoch" true
+    (Database.stats_epoch db > epoch_before);
+  let _, root = Session.exec_traced s q in
+  let stats = Session.cache_stats s in
+  Alcotest.(check int) "one invalidation" 1 stats.Plan_cache.invalidations;
+  Alcotest.(check bool)
+    "stale entry forces a re-plan" true
+    (Obs.Trace.find root "plan" <> None)
+
+(* ---------------------------------------------------------------- *)
+(* LRU eviction: with capacity 2, the least recently used entry is the
+   one displaced. *)
+
+let test_lru_eviction () =
+  let db = mk_db () in
+  let qa = Workload.Suppliers.ships_all_parts db in
+  let qb = Workload.Suppliers.ships_all_red_parts db in
+  let qc = Workload.Suppliers.london_ships_some_red db in
+  let s = Session.create ~cache_capacity:2 db in
+  let prep q = ignore (Session.prepare s q) in
+  prep qa;
+  (* cache: A *)
+  prep qb;
+  (* cache: A B *)
+  prep qa;
+  (* hit; A now more recent than B *)
+  prep qc;
+  (* full: evicts B, the LRU entry      *)
+  Alcotest.(check int) "capacity respected" 2 (Session.cache_length s);
+  prep qa;
+  (* still cached: hit                  *)
+  prep qb;
+  (* was evicted: misses again          *)
+  Alcotest.check cache_stats "LRU accounting"
+    { Plan_cache.hits = 2; misses = 4; evictions = 2; invalidations = 0 }
+    (Session.cache_stats s)
+
+(* ---------------------------------------------------------------- *)
+(* Cache keys: distinct per strategy and join order, but insensitive
+   to the spelling of range variables (alpha-canonical digests). *)
+
+let test_keys_per_options () =
+  let db = mk_db () in
+  let q = Workload.Suppliers.ships_all_parts db in
+  let s = Session.create db in
+  ignore (Session.prepare s q);
+  ignore
+    (Session.prepare ~opts:(Exec_opts.make ~strategy:Strategy.palermo ()) s q);
+  ignore
+    (Session.prepare
+       ~opts:(Exec_opts.make ~join_order:Combination.Declaration ())
+       s q);
+  Alcotest.(check int) "three distinct keys" 3 (Session.cache_length s);
+  Alcotest.(check int) "no spurious hits" 3
+    (Session.cache_stats s).Plan_cache.misses
+
+let test_alpha_renaming_shares_key () =
+  let open Calculus in
+  let db = mk_db () in
+  let spelled free_v all_v some_v =
+    {
+      free = [ (free_v, base "suppliers") ];
+      select = [ (free_v, "sname") ];
+      body =
+        f_all all_v (base "parts")
+          (f_some some_v (base "shipments")
+             (f_and
+                (eq (attr some_v "hsnr") (attr free_v "snr"))
+                (eq (attr some_v "hpnr") (attr all_v "pnr"))));
+    }
+  in
+  let s = Session.create db in
+  ignore (Session.prepare s (spelled "s" "p" "h"));
+  ignore (Session.prepare s (spelled "zebra" "quux" "w"));
+  let stats = Session.cache_stats s in
+  Alcotest.(check int) "one plan serves both spellings" 1
+    (Session.cache_length s);
+  Alcotest.(check int) "renamed query hits" 1 stats.Plan_cache.hits;
+  Alcotest.(check int) "only the first misses" 1 stats.Plan_cache.misses
+
+(* ---------------------------------------------------------------- *)
+(* Parameters: a prepared query grounded with bindings answers exactly
+   like the substituted query run from scratch; bad bindings raise. *)
+
+let param_query =
+  let open Calculus in
+  {
+    free = [ ("s", base "suppliers") ];
+    select = [ ("s", "sname") ];
+    body = mk_atom (attr "s" "snr") Value.Ge (param "lo");
+  }
+
+let test_params_ground () =
+  let db = mk_db () in
+  let s = Session.create db in
+  let prep = Session.prepare s param_query in
+  Alcotest.(check (list string)) "declared params" [ "lo" ] (Prepared.params prep);
+  List.iter
+    (fun lo ->
+      let got = Prepared.exec ~params:[ ("lo", Value.int lo) ] prep in
+      let ground =
+        Calculus.subst_query
+          (Calculus.Var_map.singleton "lo" (Value.int lo))
+          param_query
+      in
+      let expected = Phased_eval.run db ground in
+      Alcotest.(check bool)
+        (Printf.sprintf "same answer as fresh run at lo=%d" lo)
+        true
+        (Relation.equal_set expected got))
+    [ 1; 3; 999 ];
+  (* One plan served every binding. *)
+  Alcotest.(check int) "one cached plan for all bindings" 1
+    (Session.cache_length s)
+
+let test_params_errors () =
+  let db = mk_db () in
+  let s = Session.create db in
+  let prep = Session.prepare s param_query in
+  Alcotest.check_raises "missing binding" (Prepared.Unbound_parameter "lo")
+    (fun () -> ignore (Prepared.exec prep));
+  Alcotest.check_raises "extra binding" (Prepared.Unknown_parameter "hi")
+    (fun () ->
+      ignore
+        (Prepared.exec
+           ~params:[ ("lo", Value.int 1); ("hi", Value.int 2) ]
+           prep))
+
+(* ---------------------------------------------------------------- *)
+(* Property: lifting every constant of a random query into a $param
+   and executing the prepared form with the original constants as
+   bindings gives exactly the fresh phased answer, for every strategy
+   preset. *)
+
+let lift_params (q : Calculus.query) =
+  let open Calculus in
+  let n = ref 0 in
+  let binds = ref [] in
+  let lift_operand = function
+    | O_const v ->
+      incr n;
+      let name = Printf.sprintf "p%d" !n in
+      binds := (name, v) :: !binds;
+      O_param name
+    | o -> o
+  in
+  let lift_atom a = { a with lhs = lift_operand a.lhs; rhs = lift_operand a.rhs } in
+  let rec lift_formula = function
+    | F_true -> F_true
+    | F_false -> F_false
+    | F_atom a -> F_atom (lift_atom a)
+    | F_not f -> F_not (lift_formula f)
+    | F_and (a, b) -> F_and (lift_formula a, lift_formula b)
+    | F_or (a, b) -> F_or (lift_formula a, lift_formula b)
+    | F_some (v, r, f) -> F_some (v, lift_range r, lift_formula f)
+    | F_all (v, r, f) -> F_all (v, lift_range r, lift_formula f)
+  and lift_range r =
+    match r.restriction with
+    | None -> r
+    | Some (v, f) -> { r with restriction = Some (v, lift_formula f) }
+  in
+  let free = List.map (fun (v, r) -> (v, lift_range r)) q.free in
+  let body = lift_formula q.body in
+  ({ q with free; body }, List.rev !binds)
+
+let prepared_equals_fresh_on seed =
+  let db = Workload.Random_query.tiny_db (seed * 12721) in
+  let q = Workload.Random_query.generate db seed in
+  match Wellformed.check_query db q with
+  | Error e ->
+    QCheck.Test.fail_reportf "generator produced ill-formed query: %s"
+      e.Wellformed.message
+  | Ok () ->
+    let pq, binds = lift_params q in
+    let session = Session.create db in
+    List.for_all
+      (fun (sname, strategy) ->
+        let opts = Exec_opts.make ~strategy () in
+        let prep = Session.prepare ~opts session pq in
+        let got = Prepared.exec ~params:binds prep in
+        let expected = Phased_eval.run ~opts db q in
+        Relation.equal_set expected got
+        ||
+        QCheck.Test.fail_reportf
+          "prepared(%s) differs on seed %d (%d params):@.%a" sname seed
+          (List.length binds) Calculus.pp_query q)
+      Strategy.all_presets
+
+let test_prepared_equals_fresh =
+  QCheck.Test.make ~name:"prepared exec = fresh phased run" ~count:75
+    QCheck.(make Gen.(int_range 0 100_000))
+    prepared_equals_fresh_on
+
+(* ---------------------------------------------------------------- *)
+(* The statement surface: PREPARE ... FOR, EXECUTE with bindings into
+   a target relation, and the error paths. *)
+
+let prepare_program =
+  {|
+TYPE colortype = (red, green, blue);
+
+VAR parts : RELATION <pnr> OF
+      RECORD
+        pnr : 1..999;
+        pname : PACKED ARRAY [1..10] OF char;
+        pcolor : colortype
+      END;
+
+BEGIN
+  parts :+ [<1, 'cam', red>];
+  parts :+ [<2, 'bolt', green>];
+  parts :+ [<3, 'cog', red>];
+  PREPARE bycolor FOR [<p.pnr, p.pname> OF EACH p IN parts : p.pcolor = $c];
+  reds := EXECUTE bycolor ($c = red);
+  greens := EXECUTE bycolor ($c = green)
+END.
+|}
+
+let test_lang_prepare_execute () =
+  let db = Pascalr_lang.Interp.run_string prepare_program in
+  let reds = Database.find_relation db "reds" in
+  let greens = Database.find_relation db "greens" in
+  Alcotest.(check int) "two red parts" 2 (Relation.cardinality reds);
+  Alcotest.(check int) "one green part" 1 (Relation.cardinality greens)
+
+let unbound_program =
+  {|
+TYPE colortype = (red, green, blue);
+
+VAR parts : RELATION <pnr> OF
+      RECORD
+        pnr : 1..999;
+        pcolor : colortype
+      END;
+
+BEGIN
+  parts :+ [<1, red>];
+  PREPARE bycolor FOR [<p.pnr> OF EACH p IN parts : p.pcolor = $c];
+  EXECUTE bycolor
+END.
+|}
+
+let test_lang_unbound_param () =
+  Alcotest.check_raises "unbound parameter surfaces as a runtime error"
+    (Pascalr_lang.Interp.Runtime_error
+       "EXECUTE bycolor: parameter $c is not bound") (fun () ->
+      ignore (Pascalr_lang.Interp.run_string unbound_program))
+
+let test_lang_unknown_prepared () =
+  Alcotest.check_raises "executing an unprepared name fails"
+    (Pascalr_lang.Interp.Runtime_error "EXECUTE nope: no such prepared query")
+    (fun () -> Pascalr_lang.Interp.exec_string (Database.create ()) "EXECUTE nope")
+
+let suite =
+  [
+    ( "session",
+      [
+        Alcotest.test_case "repeat execution hits the plan cache" `Quick
+          test_repeat_hits;
+        Alcotest.test_case "stats-epoch bump invalidates and re-plans" `Quick
+          test_epoch_invalidation;
+        Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction;
+        Alcotest.test_case "distinct keys per strategy and join order" `Quick
+          test_keys_per_options;
+        Alcotest.test_case "alpha-renamed query shares the cached plan" `Quick
+          test_alpha_renaming_shares_key;
+        Alcotest.test_case "parameter grounding matches fresh runs" `Quick
+          test_params_ground;
+        Alcotest.test_case "parameter binding errors" `Quick test_params_errors;
+        QCheck_alcotest.to_alcotest test_prepared_equals_fresh;
+        Alcotest.test_case "PREPARE/EXECUTE statements" `Quick
+          test_lang_prepare_execute;
+        Alcotest.test_case "EXECUTE without a required binding" `Quick
+          test_lang_unbound_param;
+        Alcotest.test_case "EXECUTE of an unknown prepared name" `Quick
+          test_lang_unknown_prepared;
+      ] );
+  ]
