@@ -267,6 +267,16 @@ let join_order_arg =
           "Combination-phase join order: $(b,ordered) (greedy cost order, \
            default) or $(b,declaration) (the paper's literal baseline).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains executing the query, caller included.  $(b,1) forces \
+           the serial engine; the default comes from PASCALR_JOBS or the \
+           core count.")
+
 let param_arg =
   Arg.(
     value & opt_all string []
@@ -344,7 +354,7 @@ let pool_pages_arg =
 
 let run_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      params verbose trace pool_pages verbosity failpoints =
+      jobs params verbose trace pool_pages verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
     with_setup kind scale seed schema loads query file example (fun db q ->
@@ -363,7 +373,7 @@ let run_cmd =
         in
         let opts =
           Exec_opts.make ~strategy:st
-            ~join_order:(join_order_of_flag join_order) ()
+            ~join_order:(join_order_of_flag join_order) ?jobs ()
         in
         let params = parse_params db params in
         let session = Session.create db in
@@ -400,8 +410,8 @@ let run_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
-      $ param_arg $ verbose $ trace_arg $ pool_pages_arg $ verbosity_arg
-      $ failpoint_arg)
+      $ jobs_arg $ param_arg $ verbose $ trace_arg $ pool_pages_arg
+      $ verbosity_arg $ failpoint_arg)
 
 (* ----------------------------------------------------------------- *)
 (* analyze: EXPLAIN ANALYZE for the three-phase pipeline.  The report
@@ -411,7 +421,7 @@ let run_cmd =
 
 let analyze_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      params repeat json show_trace pool_pages verbosity failpoints =
+      jobs params repeat json show_trace pool_pages verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
     with_setup kind scale seed schema loads query file example (fun db q ->
@@ -422,7 +432,7 @@ let analyze_cmd =
         in
         let opts =
           Exec_opts.make ~strategy:st
-            ~join_order:(join_order_of_flag join_order) ()
+            ~join_order:(join_order_of_flag join_order) ?jobs ()
         in
         let params = parse_params db params in
         let a =
@@ -488,8 +498,8 @@ let analyze_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
-      $ param_arg $ repeat_arg $ json_arg $ trace_arg $ pool_pages_arg
-      $ verbosity_arg $ failpoint_arg)
+      $ jobs_arg $ param_arg $ repeat_arg $ json_arg $ trace_arg
+      $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
 
 let explain_cmd =
   let go kind scale seed schema loads query file example strategy =

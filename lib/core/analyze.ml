@@ -84,6 +84,7 @@ type t = {
   a_root : Obs.Trace.span;
   a_rows : phase_row list;
   a_strategy : Strategy.t;
+  a_opts : Exec_opts.t;
   a_cache : Plan_cache.stats;
   a_repeat : int;
 }
@@ -111,6 +112,7 @@ let run ?pool_pages ?(repeat = 1) ?(opts = Exec_opts.default) ?params db q =
     a_root = root;
     a_rows = phase_rows root;
     a_strategy = opts.Exec_opts.strategy;
+    a_opts = opts;
     a_cache = Session.cache_stats session;
     a_repeat = repeat;
   }
@@ -205,6 +207,39 @@ let combination_json () =
       ("materialized", tally "algebra.materialized." materialized_ops);
     ]
 
+(* Multicore activity: the parallelism budget the analysis ran under and
+   what the domain pool actually did with it.  Operator calls that ran
+   partitioned tally under both algebra.par.* and algebra.materialized.*,
+   so the serial count per operator is (materialized - par); under
+   jobs = 1 every par counter is 0 and "serial" equals the materialized
+   tally. *)
+let par_ops = [ "select"; "project"; "join"; "join_build"; "product"; "stream" ]
+
+let parallel_json a =
+  let open Obs.Json in
+  let c = Obs.Metrics.counter_value in
+  let seq_of op =
+    match op with
+    | "join_build" -> 0 (* build side of a par join; no serial analogue *)
+    | _ -> max 0 (c ("algebra.materialized." ^ op) - c ("algebra.par." ^ op))
+  in
+  Obj
+    [
+      ("jobs", Int a.a_opts.Exec_opts.jobs);
+      ("par_threshold", Int a.a_opts.Exec_opts.par_threshold);
+      ("tasks", Int (c "parallel.tasks"));
+      ("chunks", Int (c "parallel.chunks"));
+      ("collection_builds", Int (c "parallel.collection_builds"));
+      ( "operators",
+        Obj
+          [
+            ( "par",
+              Obj (List.map (fun op -> (op, Int (c ("algebra.par." ^ op)))) par_ops)
+            );
+            ("seq", Obj (List.map (fun op -> (op, Int (seq_of op))) par_ops));
+          ] );
+    ]
+
 (* Plan-cache activity of the session the analysis ran in. *)
 let plan_cache_json a =
   let open Obs.Json in
@@ -248,6 +283,7 @@ let to_json ~database ~scale db q a =
              (fun (k, n) -> (k, Int n))
              a.a_report.Phased_eval.intermediates) );
       ("combination", combination_json ());
+      ("parallel", parallel_json a);
       ("faults", faults_json ());
       ("plan_cache", plan_cache_json a);
       ("plan", Str (Explain.explain ~strategy:a.a_strategy db q));

@@ -26,6 +26,7 @@ type t = {
   a_root : Obs.Trace.span;
   a_rows : phase_row list;
   a_strategy : Strategy.t;
+  a_opts : Exec_opts.t;  (** the options the analysis ran under *)
   a_cache : Plan_cache.stats;  (** the session's plan-cache activity *)
   a_repeat : int;
 }
@@ -47,8 +48,9 @@ val run :
 
 val to_json : database:string -> scale:int -> Database.t -> Calculus.query -> t -> Obs.Json.t
 (** The full analyze document: query, strategy, totals, per-phase rows,
-    intermediates, fault/recovery counters, plan-cache activity, plan
-    and span trace. *)
+    intermediates, parallel-execution activity (jobs, tasks, chunks,
+    par vs seq operator tallies), fault/recovery counters, plan-cache
+    activity, plan and span trace. *)
 
 val faults_json : unit -> Obs.Json.t
 (** Fault-injection and recovery counters from the metrics registry,

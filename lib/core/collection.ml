@@ -41,6 +41,10 @@ type t = {
   schemas : Schema.t Var_map.t;
   cache : (string, entry) Hashtbl.t;
   mutable perm_installed : bool;
+  par : Domain_pool.par option;
+      (* parallelism budget from Exec_opts; None = the untouched serial
+         engine.  Carried here so the combination phase (which receives
+         the collection) inherits the same budget. *)
 }
 
 type component =
@@ -60,7 +64,7 @@ let var_schemas db (plan : Plan.t) =
     (fun acc e -> bind acc (e.Normalize.v, e.Normalize.range))
     acc plan.Plan.prefix
 
-let create db strategy plan =
+let create ?par db strategy plan =
   {
     db;
     strategy;
@@ -68,7 +72,10 @@ let create db strategy plan =
     schemas = var_schemas db plan;
     cache = Hashtbl.create 64;
     perm_installed = false;
+    par;
   }
+
+let par t = t.par
 
 let var_schema t v = Var_map.find v t.schemas
 
@@ -143,8 +150,29 @@ type spec = {
   sp_key : string;
   sp_rel : string;  (* relation scanned to build this structure *)
   sp_deps : string list;
+  sp_safe : bool;  (* per-tuple action may run on a pool worker *)
   sp_start : t -> (Tuple.t -> unit) * (unit -> entry);
 }
+
+(* A structure build may run on a pool worker iff its per-tuple action
+   touches no shared mutable state beyond the atomic index-probe
+   counters: it inserts into structures private to the spec, reads
+   already-built (and from then on read-only) indexes and value lists,
+   and the only formula it evaluates is its range restriction.  That
+   last one is the discriminator: a quantifier-free restriction is a
+   pure predicate over the scanned tuple, but a quantified one makes
+   [Naive_eval.holds] scan other relations — shared, counter-bumping,
+   not thread-safe — so those specs stay on the caller. *)
+let rec quantifier_free = function
+  | F_true | F_false | F_atom _ -> true
+  | F_not f -> quantifier_free f
+  | F_and (a, b) | F_or (a, b) -> quantifier_free a && quantifier_free b
+  | F_some _ | F_all _ -> false
+
+let range_safe (range : range) =
+  match range.restriction with
+  | None -> true
+  | Some (_, f) -> quantifier_free f
 
 (* Storage policy of a value list, from the paper's Section 4.4 special
    cases. *)
@@ -212,6 +240,7 @@ let rec vlist_specs t (p : Plan.pushed) : spec list =
         sp_key = key;
         sp_rel = range.range_rel;
         sp_deps = List.map (fun n -> vlist_key n) p.Plan.p_nested;
+        sp_safe = range_safe range;
         sp_start = start;
       };
     ]
@@ -232,7 +261,13 @@ let base_spec t v : spec =
     in
     (per_tuple, fun () -> E_rel out)
   in
-  { sp_key = base_key v; sp_rel = range.range_rel; sp_deps = []; sp_start = start }
+  {
+    sp_key = base_key v;
+    sp_rel = range.range_rel;
+    sp_deps = [];
+    sp_safe = range_safe range;
+    sp_start = start;
+  }
 
 (* Filtered single list: references of v's range elements satisfying a
    set of monadic atoms and derived predicates. *)
@@ -274,6 +309,7 @@ let single_spec t v atoms (derived : (var * Plan.pushed) list) : spec list =
         sp_key = key;
         sp_rel = range.range_rel;
         sp_deps = List.map (fun (_, p) -> vlist_key p) derived;
+        sp_safe = range_safe range;
         sp_start = start;
       };
     ]
@@ -341,6 +377,7 @@ let index_spec t v attr atoms derived : spec list =
         sp_key = key;
         sp_rel = range.range_rel;
         sp_deps = List.map (fun (_, p) -> vlist_key p) derived;
+        sp_safe = range_safe range;
         sp_start = start;
       };
     ]
@@ -488,6 +525,7 @@ let pair_spec t shape ~probe_atoms ~probe_derived ~index_atoms ~index_derived
         sp_deps =
           (idx_key :: List.map (fun (_, k, _) -> k) mutual_with_keys)
           @ List.map (fun (_, p) -> vlist_key p) probe_derived;
+        sp_safe = range_safe range;
         sp_start = start;
       };
     ]
@@ -711,10 +749,34 @@ let execute_grouped t specs =
       ("scan " ^ best_rel)
       (fun () ->
         let started = List.map (fun sp -> (sp, sp.sp_start t)) best in
-        Relation.scan
-          (fun tuple ->
-            List.iter (fun (_, (per_tuple, _)) -> per_tuple tuple) started)
-          rel;
+        let safe, unsafe = List.partition (fun (sp, _) -> sp.sp_safe) started in
+        (match Domain_pool.active t.par (Relation.cardinality rel) with
+        | Some p when List.length safe > 1 ->
+          (* Parallel round.  Snapshot the relation once — the same
+             counted scan the serial round performs — then fan the
+             worker-safe structure builds over the pool, each building
+             its private structure from the immutable snapshot.  Specs
+             whose restriction would scan other relations run on the
+             caller instead.  Round scheduling, and the sequential
+             cache installation below, are identical to the serial
+             path, which keeps strategy 1's scan accounting exact. *)
+          let tuples = Relation.to_array rel in
+          let safe_arr = Array.of_list safe in
+          Obs.Metrics.incr ~by:(Array.length safe_arr)
+            "parallel.collection_builds";
+          Domain_pool.run_tasks ~jobs:p.Domain_pool.jobs
+            (Array.length safe_arr)
+            (fun i ->
+              let _, (per_tuple, _) = safe_arr.(i) in
+              Array.iter per_tuple tuples);
+          List.iter
+            (fun (_, (per_tuple, _)) -> Array.iter per_tuple tuples)
+            unsafe
+        | Some _ | None ->
+          Relation.scan
+            (fun tuple ->
+              List.iter (fun (_, (per_tuple, _)) -> per_tuple tuple) started)
+            rel);
         List.iter
           (fun (sp, (_, finish)) ->
             Hashtbl.replace t.cache sp.sp_key (finish ()))

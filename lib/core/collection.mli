@@ -20,11 +20,28 @@ type component =
   | C_pair of var * var * Relation.t
       (** indirect join: reference relation [<@v1, @v2>] *)
 
-val create : Database.t -> Strategy.t -> Plan.t -> t
+val create :
+  ?par:Domain_pool.par -> Database.t -> Strategy.t -> Plan.t -> t
+(** [?par] is the parallelism budget from [Exec_opts.par]: omitted (or
+    [jobs = 1] upstream) keeps every phase on the untouched serial
+    path. *)
+
+val par : t -> Domain_pool.par option
+(** The budget given to {!create} — the combination phase inherits it
+    from the collection it evaluates over. *)
 
 val run : t -> unit
 (** With strategy 1, build every structure of the plan up front in
-    grouped scans; otherwise a no-op (structures build lazily). *)
+    grouped scans; otherwise a no-op (structures build lazily).
+
+    Under a [par] budget with [jobs > 1], a grouped round over a
+    relation at least [par.threshold] rows large snapshots the relation
+    once ({!Relation.to_array} — still the round's single counted scan)
+    and fans the independent structure builds across the domain pool;
+    results install into the cache sequentially, in the same order as
+    the serial round.  Builds whose range restriction contains a
+    quantifier (and would therefore scan other relations) always run on
+    the caller. *)
 
 val base_list : t -> var -> Relation.t
 (** The variable's (restricted) range expression as a single list —

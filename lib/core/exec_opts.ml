@@ -5,14 +5,39 @@
 type t = {
   strategy : Strategy.t;
   join_order : Combination.join_order;
+  jobs : int;
+  par_threshold : int;
 }
 
+let default_par_threshold = 4096
+
+(* Default worker count: the PASCALR_JOBS environment variable (how the
+   CI matrix pins both the serial and the 4-domain suite) if set to a
+   positive integer, otherwise what the hardware offers. *)
+let default_jobs =
+  match Sys.getenv_opt "PASCALR_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> max 1 (Domain.recommended_domain_count ()))
+  | None -> max 1 (Domain.recommended_domain_count ())
+
 let default =
-  { strategy = Strategy.full; join_order = Combination.Cost_ordered }
+  {
+    strategy = Strategy.full;
+    join_order = Combination.Cost_ordered;
+    jobs = default_jobs;
+    par_threshold = default_par_threshold;
+  }
 
 let make ?(strategy = Strategy.full)
-    ?(join_order = Combination.Cost_ordered) () =
-  { strategy; join_order }
+    ?(join_order = Combination.Cost_ordered) ?(jobs = default_jobs)
+    ?(par_threshold = default_par_threshold) () =
+  { strategy; join_order; jobs = max 1 jobs; par_threshold = max 0 par_threshold }
+
+let par t =
+  if t.jobs <= 1 then None
+  else Some { Relalg.Domain_pool.jobs = t.jobs; threshold = t.par_threshold }
 
 let join_order_to_string = function
   | Combination.Cost_ordered -> "ordered"
@@ -24,8 +49,14 @@ let join_order_of_string = function
   | _ -> None
 
 (* Injective over the record: each strategy flag has its own token in
-   Strategy.to_string, and the join order follows after '/'. *)
+   Strategy.to_string, the join order follows after '/', then the
+   parallelism knobs.  jobs and par_threshold are part of the
+   fingerprint — and hence of every plan-cache key — so plans prepared
+   under different parallelism settings never collide in the cache. *)
 let fingerprint t =
-  Strategy.to_string t.strategy ^ "/" ^ join_order_to_string t.join_order
+  Fmt.str "%s/%s/j%d/t%d"
+    (Strategy.to_string t.strategy)
+    (join_order_to_string t.join_order)
+    t.jobs t.par_threshold
 
 let pp ppf t = Fmt.string ppf (fingerprint t)

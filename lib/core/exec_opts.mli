@@ -5,19 +5,44 @@ type t = {
   strategy : Strategy.t;  (** which of the paper's strategies to enable *)
   join_order : Combination.join_order;
       (** combination-phase join ordering *)
+  jobs : int;
+      (** domains executing one query, caller included; [1] = the
+          byte-identical serial engine, no pool, no snapshots *)
+  par_threshold : int;
+      (** input cardinality below which partitioned operators stay
+          serial — chunking tiny inputs costs more than it saves *)
 }
 
 val default : t
-(** {!Strategy.full} with {!Combination.Cost_ordered} joins. *)
+(** {!Strategy.full} with {!Combination.Cost_ordered} joins; [jobs]
+    from the [PASCALR_JOBS] environment variable if set to a positive
+    integer, else [Domain.recommended_domain_count ()]; [par_threshold]
+    4096. *)
+
+val default_jobs : int
+(** The resolved [jobs] default described under {!default}. *)
 
 val make :
-  ?strategy:Strategy.t -> ?join_order:Combination.join_order -> unit -> t
+  ?strategy:Strategy.t ->
+  ?join_order:Combination.join_order ->
+  ?jobs:int ->
+  ?par_threshold:int ->
+  unit ->
+  t
+(** [jobs] is clamped to at least 1, [par_threshold] to at least 0. *)
+
+val par : t -> Relalg.Domain_pool.par option
+(** The parallelism budget the engine threads to {!Relalg.Algebra} and
+    the collection phase — [None] when [jobs = 1], which is what makes
+    the serial path bypass the pool entirely. *)
 
 val join_order_to_string : Combination.join_order -> string
 val join_order_of_string : string -> Combination.join_order option
 
 val fingerprint : t -> string
 (** Injective textual form; part of the plan-cache key, because every
-    option can change the compiled plan. *)
+    option can change the compiled plan — and [jobs]/[par_threshold]
+    must keep plans cached under different parallelism settings from
+    colliding. *)
 
 val pp : t Fmt.t

@@ -144,7 +144,11 @@ let ground t provided =
 
 let exec ?name ?(params = []) t =
   let plan = ground t params in
-  let coll = Collection.create t.p_db t.p_opts.Exec_opts.strategy plan in
+  let coll =
+    Collection.create
+      ?par:(Exec_opts.par t.p_opts)
+      t.p_db t.p_opts.Exec_opts.strategy plan
+  in
   Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
   let refs =
     Obs.Trace.with_span "combination" (fun () ->
@@ -160,7 +164,11 @@ let exec ?name ?(params = []) t =
 let exec_report ?name ?(params = []) t =
   Database.reset_counters t.p_db;
   let plan = ground t params in
-  let coll = Collection.create t.p_db t.p_opts.Exec_opts.strategy plan in
+  let coll =
+    Collection.create
+      ?par:(Exec_opts.par t.p_opts)
+      t.p_db t.p_opts.Exec_opts.strategy plan
+  in
   Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
   let refs, max_ntuple =
     Obs.Trace.with_span "combination" (fun () ->

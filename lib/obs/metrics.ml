@@ -15,9 +15,19 @@ type instrument =
 
 type snapshot = (string * datum) list
 
-let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+(* One registry per domain.  The engine proper runs on the main domain
+   (whose registry this module behaves exactly as the old global one);
+   Domain_pool workers get a private registry each, so instrumentation
+   sites deep in the stack stay lock-free.  Worker activity reaches the
+   main registry as a {!snapshot} delta {!merge}d at the pool's join
+   point. *)
+let registry_key : (string, instrument) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get registry_key
 
 let incr ?(by = 1) name =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (I_counter c) -> c.c <- c.c + by
   | Some (I_gauge _ | I_histogram _) ->
@@ -25,6 +35,7 @@ let incr ?(by = 1) name =
   | None -> Hashtbl.replace registry name (I_counter { c = by })
 
 let set_gauge name v =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (I_gauge g) -> g.g <- v
   | Some (I_counter _ | I_histogram _) ->
@@ -32,6 +43,7 @@ let set_gauge name v =
   | None -> Hashtbl.replace registry name (I_gauge { g = v })
 
 let gauge_max name v =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (I_gauge g) -> if v > g.g then g.g <- v
   | Some (I_counter _ | I_histogram _) ->
@@ -39,6 +51,7 @@ let gauge_max name v =
   | None -> Hashtbl.replace registry name (I_gauge { g = v })
 
 let observe name v =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some (I_histogram h) ->
     h.count <- h.count + 1;
@@ -52,7 +65,7 @@ let observe name v =
       (I_histogram { count = 1; sum = v; min = v; max = v })
 
 let counter_value name =
-  match Hashtbl.find_opt registry name with
+  match Hashtbl.find_opt (registry ()) name with
   | Some (I_counter c) -> c.c
   | Some (I_gauge _ | I_histogram _) | None -> 0
 
@@ -63,7 +76,7 @@ let freeze = function
     Histogram { count = h.count; sum = h.sum; min = h.min; max = h.max }
 
 let snapshot () =
-  Hashtbl.fold (fun name i acc -> (name, freeze i) :: acc) registry []
+  Hashtbl.fold (fun name i acc -> (name, freeze i) :: acc) (registry ()) []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Activity in the window between two snapshots.  Counters and histogram
@@ -94,6 +107,28 @@ let diff ~before ~after =
       | Histogram h, _ -> if h.count = 0 then None else Some (name, Histogram h))
     after
 
+(* Fold a delta (typically a worker-domain {!diff}) into this domain's
+   registry.  Every combination rule is commutative and associative —
+   counters add, gauges keep the high-water mark, histograms pool their
+   summaries — so the merge order of a batch of worker deltas cannot be
+   observed, which is what keeps parallel runs' totals deterministic. *)
+let merge (delta : snapshot) =
+  let registry = registry () in
+  List.iter
+    (fun (name, d) ->
+      match d, Hashtbl.find_opt registry name with
+      | Counter by, _ -> incr ~by name
+      | Gauge v, _ -> gauge_max name v
+      | Histogram h, Some (I_histogram cur) ->
+        cur.count <- cur.count + h.count;
+        cur.sum <- cur.sum +. h.sum;
+        if h.min < cur.min then cur.min <- h.min;
+        if h.max > cur.max then cur.max <- h.max
+      | Histogram h, _ ->
+        Hashtbl.replace registry name
+          (I_histogram { count = h.count; sum = h.sum; min = h.min; max = h.max }))
+    delta
+
 let find snap name = List.assoc_opt name snap
 
 let get_counter snap name =
@@ -120,7 +155,7 @@ let datum_to_json = function
 
 let to_json snap = Json.Obj (List.map (fun (n, d) -> (n, datum_to_json d)) snap)
 
-let reset () = Hashtbl.reset registry
+let reset () = Hashtbl.reset (registry ())
 
 let pp_datum ppf = function
   | Counter c -> Fmt.int ppf c

@@ -14,13 +14,39 @@ let fresh_name base = base
    the operators it avoided materializing under [algebra.fused.*]. *)
 let tally op = Obs.Metrics.incr ("algebra.materialized." ^ op)
 
-let select ?(name = fresh_name "select") pred rel =
+(* Partitioned operators report under [algebra.par.*]; an operator call
+   that stayed serial (no [par], [jobs=1], or input under the
+   threshold) only shows in the [algebra.materialized.*] tally, so
+   par/seq counts are recoverable as (par) vs (materialized - par). *)
+let tally_par op = Obs.Metrics.incr ("algebra.par." ^ op)
+
+(* The partitioned-evaluation skeleton shared by the classic operators:
+   snapshot the input once (a counted scan, the same read the serial
+   operator performs), let each worker compute a private result list
+   for one contiguous chunk, then replay the per-chunk results on the
+   caller in chunk order.  The caller-side replay reproduces the serial
+   operator's exact insertion sequence, so the output relation — its
+   contents, its iteration order, and any key-violation error — is
+   identical for every [jobs] value. *)
+let par_chunks p rel per_tuple =
+  let src = Relation.to_array rel in
+  Domain_pool.parallel_chunks ~jobs:p.Domain_pool.jobs src (fun _ chunk ->
+      let buf = ref [] in
+      Array.iter (fun t -> per_tuple (fun x -> buf := x :: !buf) t) chunk;
+      List.rev !buf)
+
+let select ?par ?(name = fresh_name "select") pred rel =
   tally "select";
   let out = Relation.create ~name (Relation.schema rel) in
-  Relation.scan (fun t -> if pred t then Relation.insert out t) rel;
+  (match Domain_pool.active par (Relation.cardinality rel) with
+  | Some p ->
+    tally_par "select";
+    par_chunks p rel (fun emit t -> if pred t then emit t)
+    |> List.iter (List.iter (Relation.insert out))
+  | None -> Relation.scan (fun t -> if pred t then Relation.insert out t) rel);
   out
 
-let project ?(name = fresh_name "project") rel names =
+let project ?par ?(name = fresh_name "project") rel names =
   tally "project";
   let schema = Relation.schema rel in
   let out_schema = Schema.project schema names in
@@ -28,7 +54,13 @@ let project ?(name = fresh_name "project") rel names =
     Array.of_list (List.map (Schema.index_of schema) names)
   in
   let out = Relation.create ~name out_schema in
-  Relation.scan (fun t -> Relation.insert out (Tuple.project positions t)) rel;
+  (match Domain_pool.active par (Relation.cardinality rel) with
+  | Some p ->
+    tally_par "project";
+    par_chunks p rel (fun emit t -> emit (Tuple.project positions t))
+    |> List.iter (List.iter (Relation.insert out))
+  | None ->
+    Relation.scan (fun t -> Relation.insert out (Tuple.project positions t)) rel);
   out
 
 let rename ?(name = fresh_name "rename") rel mapping =
@@ -36,17 +68,24 @@ let rename ?(name = fresh_name "rename") rel mapping =
   Relation.iter (Relation.insert out) rel;
   out
 
-let product ?(name = fresh_name "product") a b =
+let product ?par ?(name = fresh_name "product") a b =
   tally "product";
   let out_schema = Schema.concat (Relation.schema a) (Relation.schema b) in
   let out = Relation.create ~name out_schema in
   (* Materialize the inner side once; scanning it per outer element would
      distort the scan counters the experiments report. *)
   let inner = Relation.scan_fold (fun acc t -> t :: acc) [] b in
-  Relation.scan
-    (fun ta ->
-      List.iter (fun tb -> Relation.insert out (Tuple.concat ta tb)) inner)
-    a;
+  (match Domain_pool.active par (Relation.cardinality a) with
+  | Some p ->
+    tally_par "product";
+    par_chunks p a (fun emit ta ->
+        List.iter (fun tb -> emit (Tuple.concat ta tb)) inner)
+    |> List.iter (List.iter (Relation.insert out))
+  | None ->
+    Relation.scan
+      (fun ta ->
+        List.iter (fun tb -> Relation.insert out (Tuple.concat ta tb)) inner)
+      a);
   out
 
 (* θ-join: product restricted by an arbitrary predicate over the paired
@@ -153,11 +192,11 @@ let nested_loop_join ?(name = fresh_name "nl_join") ~on a b =
 
 (* Natural join: equi-join on the shared attribute names, with the
    duplicated columns of the right side projected away. *)
-let natural_join ?(name = fresh_name "natural_join") a b =
+let natural_join ?par ?(name = fresh_name "natural_join") a b =
   let sa = Relation.schema a and sb = Relation.schema b in
   let shared = List.filter (fun n -> Schema.mem sa n) (Schema.names sb) in
   match shared with
-  | [] -> product ~name a b
+  | [] -> product ?par ~name a b
   | _ ->
     tally "join";
     let pa = positions_of sa shared and pb = positions_of sb shared in
@@ -172,18 +211,43 @@ let natural_join ?(name = fresh_name "natural_join") a b =
     in
     let out = Relation.create ~name out_schema in
     let table = Value_key.acreate (max 16 (Relation.cardinality b)) in
-    Relation.scan (fun tb -> Value_key.add_multi_a table (join_key pb tb) tb) b;
-    Relation.scan
-      (fun ta ->
-        List.iter
-          (fun tb ->
-            let combined =
-              if keep_b = [] then ta
-              else Tuple.concat_project ta keep_positions tb
-            in
-            Relation.insert out combined)
-          (Value_key.find_multi_a table (join_key pa ta)))
-      a;
+    (* Build side: workers compute the join keys for their chunk; the
+       caller replays the (key, tuple) pairs in chunk order, giving
+       every hash bucket the same contents in the same order as the
+       serial single-scan build. *)
+    (match Domain_pool.active par (Relation.cardinality b) with
+    | Some p ->
+      tally_par "join_build";
+      par_chunks p b (fun emit tb -> emit (join_key pb tb, tb))
+      |> List.iter
+           (List.iter (fun (key, tb) -> Value_key.add_multi_a table key tb))
+    | None ->
+      Relation.scan (fun tb -> Value_key.add_multi_a table (join_key pb tb) tb) b);
+    (* Probe side: the table is read-only from here on, so workers probe
+       it concurrently and buffer their chunk's output tuples. *)
+    (match Domain_pool.active par (Relation.cardinality a) with
+    | Some p ->
+      tally_par "join";
+      par_chunks p a (fun emit ta ->
+          List.iter
+            (fun tb ->
+              emit
+                (if keep_b = [] then ta
+                 else Tuple.concat_project ta keep_positions tb))
+            (Value_key.find_multi_a table (join_key pa ta)))
+      |> List.iter (List.iter (Relation.insert out))
+    | None ->
+      Relation.scan
+        (fun ta ->
+          List.iter
+            (fun tb ->
+              let combined =
+                if keep_b = [] then ta
+                else Tuple.concat_project ta keep_positions tb
+              in
+              Relation.insert out combined)
+            (Value_key.find_multi_a table (join_key pa ta)))
+        a);
     out
 
 let require_same_shape op a b =
@@ -310,13 +374,66 @@ let divide ?(name = fresh_name "divide") ~on r s =
    Joins hash the materialized build side once (lazily, inside the
    single [emit] run) and probe it with the streamed tuples. *)
 module Stream = struct
-  type t = { schema : Schema.t; emit : (Tuple.t -> unit) -> unit }
+  (* Alongside the serial [emit], a stream carries an optional
+     *partitionable* description of itself: the source relation it
+     pulls from, a caller-side [pc_prime] that performs the shared
+     one-time work (forcing join build tables, bumping the per-run
+     fused tallies and build-side row counters), and [pc_stage], which
+     manufactures a fresh per-worker instance of the whole consumer
+     chain.  {!materialize} uses it to run the chain over per-domain
+     chunks of the source: each instance is private to its chunk, the
+     shared tables it reads were forced before the fork, and the
+     chunk results concatenate in order — reproducing the serial
+     emission sequence exactly.  Combinators that cannot be expressed
+     this way (opaque sources) drop the description and the chain
+     falls back to the serial [emit]. *)
+  type stage = {
+    feed : (Tuple.t -> unit) -> Tuple.t -> unit;
+    flush : unit -> unit;
+        (* report this instance's row counters to (this domain's)
+           metrics registry — called once, after its chunk is fed *)
+  }
+
+  type par_chain = {
+    pc_src : Relation.t;
+    pc_prime : unit -> unit;
+    pc_stage : unit -> stage;
+  }
+
+  type t = {
+    schema : Schema.t;
+    emit : (Tuple.t -> unit) -> unit;
+    par : par_chain option;
+  }
 
   let schema s = s.schema
   let fused op = Obs.Metrics.incr ("algebra.fused." ^ op)
 
   let of_relation rel =
-    { schema = Relation.schema rel; emit = (fun k -> Relation.iter k rel) }
+    {
+      schema = Relation.schema rel;
+      emit = (fun k -> Relation.iter k rel);
+      par =
+        Some
+          {
+            pc_src = rel;
+            pc_prime = (fun () -> ());
+            pc_stage = (fun () -> { feed = (fun k -> k); flush = (fun () -> ()) });
+          };
+    }
+
+  let extend_par pc ~prime ~stage =
+    {
+      pc_src = pc.pc_src;
+      pc_prime =
+        (fun () ->
+          pc.pc_prime ();
+          prime ());
+      pc_stage =
+        (fun () ->
+          let up = pc.pc_stage () in
+          stage up);
+    }
 
   let select pred s =
     {
@@ -325,6 +442,16 @@ module Stream = struct
         (fun k ->
           fused "select";
           s.emit (fun t -> if pred t then k t));
+      par =
+        Option.map
+          (extend_par
+             ~prime:(fun () -> fused "select")
+             ~stage:(fun up ->
+               {
+                 feed = (fun k -> up.feed (fun t -> if pred t then k t));
+                 flush = up.flush;
+               }))
+          s.par;
     }
 
   let project s names =
@@ -335,11 +462,30 @@ module Stream = struct
         (fun k ->
           fused "project";
           s.emit (fun t -> k (Tuple.project positions t)));
+      par =
+        Option.map
+          (extend_par
+             ~prime:(fun () -> fused "project")
+             ~stage:(fun up ->
+               {
+                 feed = (fun k -> up.feed (fun t -> k (Tuple.project positions t)));
+                 flush = up.flush;
+               }))
+          s.par;
     }
 
   (* Streaming duplicate elimination: a projection can multiply the rows
      every downstream operator touches, so collapse duplicates as they
-     pass rather than waiting for the materialization's key table. *)
+     pass rather than waiting for the materialization's key table.
+
+     In a partitioned run the [seen] table cannot be shared, so each
+     chunk instance deduplicates locally; duplicates whose occurrences
+     straddle chunks survive to the downstream operators and are folded
+     by the materialization's whole-tuple key table.  The output
+     relation is identical (first occurrences arrive in the same order)
+     — only the join row *counters* downstream of a dedup can read
+     higher than the serial run's, by the number of straddling
+     duplicates.  DESIGN.md documents the caveat. *)
   let dedup s =
     {
       s with
@@ -352,10 +498,30 @@ module Stream = struct
                 Value_key.Atable.replace seen t ();
                 k t
               end));
+      par =
+        Option.map
+          (extend_par
+             ~prime:(fun () -> fused "dedup")
+             ~stage:(fun up ->
+               let seen = Value_key.acreate 64 in
+               {
+                 feed =
+                   (fun k ->
+                     up.feed (fun t ->
+                         if not (Value_key.Atable.mem seen t) then begin
+                           Value_key.Atable.replace seen t ();
+                           k t
+                         end));
+                 flush = up.flush;
+               }))
+          s.par;
     }
 
   let product s rel =
     let out_schema = Schema.concat s.schema (Relation.schema rel) in
+    (* Shared by the chunk instances; forced by [pc_prime] before the
+       fork, read-only afterwards. *)
+    let inner_shared = lazy (Relation.fold (fun acc t -> t :: acc) [] rel) in
     {
       schema = out_schema;
       emit =
@@ -372,6 +538,37 @@ module Stream = struct
                 inner);
           Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
           Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+      par =
+        Option.map
+          (extend_par
+             ~prime:(fun () ->
+               fused "product";
+               ignore (Lazy.force inner_shared : Tuple.t list);
+               (* the serial counter starts from the inner cardinality;
+                  instances then count only their own probe rows *)
+               Obs.Metrics.incr
+                 ~by:(Relation.cardinality rel)
+                 "combination.join_rows_in")
+             ~stage:(fun up ->
+               let inner = Lazy.force inner_shared in
+               let n_in = ref 0 and n_out = ref 0 in
+               {
+                 feed =
+                   (fun k ->
+                     up.feed (fun ta ->
+                         incr n_in;
+                         List.iter
+                           (fun tb ->
+                             incr n_out;
+                             k (Tuple.concat ta tb))
+                           inner));
+                 flush =
+                   (fun () ->
+                     up.flush ();
+                     Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
+                     Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+               }))
+          s.par;
     }
 
   (* Natural hash join with the stream as probe side and a materialized
@@ -400,6 +597,16 @@ module Stream = struct
              rel;
            tbl)
       in
+      let probe tbl ta per_match =
+        match Value_key.Atable.find_opt tbl (join_key pa ta) with
+        | None -> ()
+        | Some tbs ->
+          if keep_b = [] then per_match ta
+          else
+            List.iter
+              (fun tb -> per_match (Tuple.concat_project ta keep_positions tb))
+              tbs
+      in
       {
         schema = out_schema;
         emit =
@@ -409,33 +616,84 @@ module Stream = struct
             let n_in = ref (Relation.cardinality rel) and n_out = ref 0 in
             s.emit (fun ta ->
                 incr n_in;
-                match Value_key.Atable.find_opt tbl (join_key pa ta) with
-                | None -> ()
-                | Some tbs ->
-                  if keep_b = [] then begin
+                probe tbl ta (fun t ->
                     incr n_out;
-                    k ta
-                  end
-                  else
-                    List.iter
-                      (fun tb ->
-                        incr n_out;
-                        k (Tuple.concat_project ta keep_positions tb))
-                      tbs);
+                    k t));
             Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
             Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+        par =
+          Option.map
+            (extend_par
+               ~prime:(fun () ->
+                 fused "join";
+                 ignore (Lazy.force table : Tuple.t list Value_key.atable);
+                 Obs.Metrics.incr
+                   ~by:(Relation.cardinality rel)
+                   "combination.join_rows_in")
+               ~stage:(fun up ->
+                 let tbl = Lazy.force table in
+                 let n_in = ref 0 and n_out = ref 0 in
+                 {
+                   feed =
+                     (fun k ->
+                       up.feed (fun ta ->
+                           incr n_in;
+                           probe tbl ta (fun t ->
+                               incr n_out;
+                               k t)));
+                   flush =
+                     (fun () ->
+                       up.flush ();
+                       Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
+                       Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+                 }))
+            s.par;
       }
 
   (* The chain's one output relation.  The schema is re-keyed on the
      whole tuple (set semantics, like every intermediate reference
      relation), and the insertions skip the per-value domain check:
      every emitted tuple is a projection/concatenation of tuples from
-     already-checked relations. *)
-  let materialize ?name s =
-    Obs.Metrics.incr "algebra.materialized.stream";
-    let out = Relation.create ?name (Schema.make (Schema.attrs s.schema) ~key:[]) in
-    s.emit (Relation.insert_unchecked out);
-    out
+     already-checked relations.
+
+     With [?par] active and a partitionable chain whose source clears
+     the threshold, the chain runs once per chunk of the source on the
+     pool: shared state is primed before the fork, each chunk instance
+     buffers its emissions privately, and the buffers are replayed here
+     in chunk order — the same insertion sequence as the serial emit,
+     for every [jobs]. *)
+  let materialize ?par ?name s =
+    let serial () =
+      Obs.Metrics.incr "algebra.materialized.stream";
+      let out =
+        Relation.create ?name (Schema.make (Schema.attrs s.schema) ~key:[])
+      in
+      s.emit (Relation.insert_unchecked out);
+      out
+    in
+    match s.par with
+    | None -> serial ()
+    | Some pc -> (
+      match Domain_pool.active par (Relation.cardinality pc.pc_src) with
+      | None -> serial ()
+      | Some p ->
+        Obs.Metrics.incr "algebra.materialized.stream";
+        tally_par "stream";
+        pc.pc_prime ();
+        let src = Relation.to_array_uncounted pc.pc_src in
+        let out =
+          Relation.create ?name (Schema.make (Schema.attrs s.schema) ~key:[])
+        in
+        Domain_pool.parallel_chunks ~jobs:p.Domain_pool.jobs src
+          (fun _ chunk ->
+            let inst = pc.pc_stage () in
+            let buf = ref [] in
+            let consume = inst.feed (fun t -> buf := t :: !buf) in
+            Array.iter consume chunk;
+            inst.flush ();
+            List.rev !buf)
+        |> List.iter (List.iter (Relation.insert_unchecked out));
+        out)
 end
 
 let cardinality = Relation.cardinality

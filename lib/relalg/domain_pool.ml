@@ -1,0 +1,162 @@
+(* Lazily-spawned, process-lifetime pool of worker domains.  See the
+   .mli for the caller contract (snapshots in, private results out,
+   metrics deltas merged at the join, lowest-index exception wins). *)
+
+type par = { jobs : int; threshold : int }
+
+let active par n =
+  match par with
+  | Some p when p.jobs > 1 && n >= p.threshold -> Some p
+  | Some _ | None -> None
+
+(* ---- the pool ------------------------------------------------------ *)
+
+let lock = Mutex.create ()
+let work_available = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let workers = ref 0
+let spawned_total = ref 0
+
+let spawned_domains () =
+  Mutex.lock lock;
+  let n = !spawned_total in
+  Mutex.unlock lock;
+  n
+
+(* Set on worker domains: a task that itself reaches a parallel entry
+   point must run it inline — the pool has no spare capacity to offer
+   and waiting on it from inside a worker could deadlock. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock lock;
+    while Queue.is_empty queue do
+      Condition.wait work_available lock
+    done;
+    let job = Queue.pop queue in
+    Mutex.unlock lock;
+    (* Jobs are wrapped by [run_tasks] and never raise; the catch-all
+       only shields the pool from a bug in the wrapper itself. *)
+    (try job () with _ -> ());
+    loop ()
+  in
+  loop ()
+
+(* Grow the pool to [n] workers.  Workers are never torn down: they
+   park on [work_available] between queries, and idle blocked domains
+   do not delay process exit. *)
+let ensure_workers n =
+  Mutex.lock lock;
+  while !workers < n do
+    incr workers;
+    incr spawned_total;
+    ignore (Domain.spawn worker_loop : unit Domain.t)
+  done;
+  Mutex.unlock lock
+
+let submit job =
+  Mutex.lock lock;
+  Queue.push job queue;
+  Condition.signal work_available;
+  Mutex.unlock lock
+
+(* ---- fork/join over indexed tasks ---------------------------------- *)
+
+let run_serial n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let run_tasks ~jobs n f =
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then run_serial n f
+  else begin
+    let helpers = min (jobs - 1) (n - 1) in
+    ensure_workers helpers;
+    Obs.Metrics.incr ~by:n "parallel.tasks";
+    (* Dynamic distribution: every participant (caller included) pulls
+       the next task index until none remain.  Which domain runs which
+       task varies; nothing downstream can tell, because results land
+       in per-task slots and are combined in index order. *)
+    let next = Atomic.make 0 in
+    let failures :
+        (exn * Printexc.raw_backtrace) option array =
+      Array.make n None
+    in
+    let deltas : Obs.Metrics.snapshot array = Array.make n [] in
+    let join_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let busy_helpers = ref helpers in
+    let drain_as_worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* Bracket the task with registry snapshots: everything it
+             incremented in this worker's private registry travels back
+             to the caller as deltas.(i). *)
+          let before = Obs.Metrics.snapshot () in
+          (try f i
+           with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+          deltas.(i) <- Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ());
+          go ()
+        end
+      in
+      go ();
+      Mutex.lock join_lock;
+      decr busy_helpers;
+      if !busy_helpers = 0 then Condition.signal all_done;
+      Mutex.unlock join_lock
+    in
+    for _ = 1 to helpers do
+      submit drain_as_worker
+    done;
+    (* The caller drains too — its increments already target the main
+       registry, so no delta bracketing. *)
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (try f i
+         with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        go ()
+      end
+    in
+    go ();
+    Mutex.lock join_lock;
+    while !busy_helpers > 0 do
+      Condition.wait all_done join_lock
+    done;
+    Mutex.unlock join_lock;
+    Array.iter (fun d -> if d <> [] then Obs.Metrics.merge d) deltas;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures
+  end
+
+let parallel_map ~jobs f arr =
+  let n = Array.length arr in
+  if jobs <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let out = Array.make n None in
+    run_tasks ~jobs n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let chunk ~pieces arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let k = max 1 (min pieces n) in
+    Array.init k (fun i ->
+        let lo = i * n / k and hi = (i + 1) * n / k in
+        Array.sub arr lo (hi - lo))
+  end
+
+let parallel_chunks ~jobs arr f =
+  let cs = chunk ~pieces:jobs arr in
+  if Array.length cs > 1 then
+    Obs.Metrics.incr ~by:(Array.length cs) "parallel.chunks";
+  Array.to_list
+    (parallel_map ~jobs (fun (i, c) -> f i c) (Array.mapi (fun i c -> (i, c)) cs))

@@ -13,17 +13,21 @@ type t = {
   positions : int array;
   tbl : Value.reference list Value_key.table;
   mutable entry_count : int;
-  mutable probes : int;  (* lookups and comparison walks against this index *)
+  probes : int Atomic.t;
+      (* lookups and comparison walks against this index.  Atomic, not
+         plain mutable: a built index is probed read-only by concurrent
+         Domain_pool workers during parallel collection, and this
+         counter is the one piece of state those probes write. *)
 }
 
 let source t = t.source
 let on t = t.on
 let entry_count t = t.entry_count
-let probe_count t = t.probes
-let reset_counters t = t.probes <- 0
+let probe_count t = Atomic.get t.probes
+let reset_counters t = Atomic.set t.probes 0
 
 let count_probe t =
-  t.probes <- t.probes + 1;
+  Atomic.incr t.probes;
   Obs.Metrics.incr "index.probes"
 
 let create rel ~on =
@@ -37,7 +41,7 @@ let create rel ~on =
     positions;
     tbl = Value_key.create 64;
     entry_count = 0;
-    probes = 0;
+    probes = Atomic.make 0;
   }
 
 let add t rel tuple =

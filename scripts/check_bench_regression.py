@@ -17,6 +17,13 @@ Two checks:
    medians of several passes measured back to back in one process, so
    machine speed cancels out of the comparison.
 
+3. The B-PAR experiment of the NEW run alone: for every (query, scale)
+   pair, no jobs>1 row may be more than 1.2x slower than the jobs=1
+   row.  Parallel execution is allowed to not help (CI runners may
+   expose a single core, where chunking is pure overhead), but it must
+   never be catastrophically slower than the serial engine it wraps.
+   Rows whose serial median is under 5 ms are skipped as timer noise.
+
 Usage: check_bench_regression.py BASELINE.json NEW.json
 """
 
@@ -80,6 +87,56 @@ def check_prepared(path):
     return failed
 
 
+PAR_FACTOR = 1.2
+PAR_NOISE_FLOOR_MS = 5.0
+
+
+def par_rows(path):
+    """B-PAR rows of one run: {(query, scale): {jobs: wall_ms}}."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for r in doc.get("results", doc if isinstance(doc, list) else []):
+        if r.get("experiment") == "B-PAR":
+            rows.setdefault((r.get("query", ""), r.get("scale", 0)), {})[
+                r.get("jobs", 1)
+            ] = r["wall_ms"]
+    return rows
+
+
+def check_parallel(path):
+    """jobs>1 must stay within PAR_FACTOR of jobs=1, within the new run."""
+    rows = par_rows(path)
+    if not rows:
+        print("B-PAR: no rows in the new run, skipping the parallel check")
+        return []
+    failed = []
+    for (query, scale), cells in sorted(rows.items()):
+        if 1 not in cells:
+            failed.append((query, scale))
+            print(f"B-PAR    {query:22s} scale={scale}  missing jobs=1 row")
+            continue
+        serial = cells[1]
+        if serial < PAR_NOISE_FLOOR_MS:
+            print(
+                f"B-PAR    {query:22s} scale={scale}  "
+                f"serial={serial:9.2f}ms  below noise floor, skipped"
+            )
+            continue
+        for jobs, ms in sorted(cells.items()):
+            if jobs == 1:
+                continue
+            ok = ms <= PAR_FACTOR * serial
+            print(
+                f"B-PAR    {query:22s} scale={scale}  jobs={jobs}  "
+                f"serial={serial:9.2f}ms  parallel={ms:9.2f}ms  "
+                f"{'ok' if ok else 'TOO SLOW'}"
+            )
+            if not ok:
+                failed.append((query, scale, jobs))
+    return failed
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__.strip())
@@ -107,9 +164,14 @@ def main():
         )
         if status != "ok":
             failed.append(key)
-    if compared == 0:
+    if compared == 0 and new:
         sys.exit("no comparable benchmark rows found -- wrong files?")
+    if compared == 0:
+        # A run restricted to the within-run experiments (e.g. --only
+        # B-PAR) carries no baseline-comparable rows; that is fine.
+        print("B-SCALE/B-DIV: no rows in the new run, skipping the baseline comparison")
     prep_failed = check_prepared(sys.argv[2])
+    par_failed = check_parallel(sys.argv[2])
     if failed:
         sys.exit(f"{len(failed)}/{compared} rows regressed beyond {FACTOR}x")
     if prep_failed:
@@ -117,7 +179,13 @@ def main():
             f"{len(prep_failed)} B-PREP rows where prepared execution "
             "was not cheaper than cold runs"
         )
-    print(f"all {compared} rows within {FACTOR}x of baseline")
+    if par_failed:
+        sys.exit(
+            f"{len(par_failed)} B-PAR rows where jobs>1 was more than "
+            f"{PAR_FACTOR}x slower than the serial engine"
+        )
+    if compared:
+        print(f"all {compared} rows within {FACTOR}x of baseline")
 
 
 if __name__ == "__main__":

@@ -346,7 +346,16 @@ let sites_and_triggers rng =
   in
   (site, trigger) :: extra
 
-let fault_differential seed0 =
+(* [jobs = 4] runs the same property through the domain pool (with
+   par_threshold 0 so even the tiny databases partition): a fault that
+   fires while a worker holds a task must still surface at the join as
+   the typed error the serial engine reports — never as a Domain
+   teardown crash — and never as a silently different answer. *)
+let fault_differential ?(jobs = 1) seed0 =
+  let opts_of strategy =
+    if jobs <= 1 then Pascalr.Exec_opts.make ~strategy ()
+    else Pascalr.Exec_opts.make ~strategy ~jobs ~par_threshold:0 ()
+  in
   let seed = seed0 + (seed_offset * 1_000_003) in
   with_failpoints (fun () ->
       let rng = Workload.Prng.create (seed * 131) in
@@ -357,7 +366,7 @@ let fault_differential seed0 =
         Workload.Prng.pick rng Pascalr.Strategy.all_presets
       in
       (* Fault-free reference answer, and the committed snapshot. *)
-      let expected = Pascalr.Phased_eval.run ~opts:(Pascalr.Exec_opts.make ~strategy ()) db q in
+      let expected = Pascalr.Phased_eval.run ~opts:(opts_of strategy) db q in
       let naive = Pascalr.Naive_eval.run db q in
       if not (Relation.equal_set expected naive) then
         QCheck.Test.fail_reportf "strategy %s wrong without faults, seed %d"
@@ -379,7 +388,7 @@ let fault_differential seed0 =
           (* Run the workload under faults: the query, then a save
              attempt.  Every outcome must be fault-free-equal or a
              typed error. *)
-          (match Pascalr.Phased_eval.run ~opts:(Pascalr.Exec_opts.make ~strategy ()) db q with
+          (match Pascalr.Phased_eval.run ~opts:(opts_of strategy) db q with
           | actual ->
             if not (Relation.equal_set expected actual) then
               QCheck.Test.fail_reportf
@@ -427,7 +436,16 @@ let test_fault_differential =
        or typed + committed-intact"
     ~count:220
     QCheck.(make Gen.(int_range 0 1_000_000))
-    fault_differential
+    (fault_differential ?jobs:None)
+
+let test_fault_differential_parallel =
+  QCheck.Test.make
+    ~name:
+      "differential under jobs=4: faults stay typed at the pool join, \
+       committed snapshot intact"
+    ~count:60
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fault_differential ~jobs:4)
 
 let suite =
   [
@@ -458,5 +476,6 @@ let suite =
         Alcotest.test_case "load rejects damaged snapshots" `Quick
           test_load_rejects_damage;
         QCheck_alcotest.to_alcotest test_fault_differential;
+        QCheck_alcotest.to_alcotest test_fault_differential_parallel;
       ] );
   ]
