@@ -40,6 +40,27 @@ let time_median ?(repeat = 3) f =
   | [] -> 0.0
   | ts -> List.nth ts (List.length ts / 2)
 
+(* Repeat [f], feeding each pass's wall time into a bucketed histogram.
+   Returns [f]'s first result, the exact median (kept as the wall_ms
+   figure so every existing comparison — including the regression
+   guard's prepared-vs-cold check — stays on the same estimator), and
+   the histogram's (p50, p95, p99). *)
+let time_percentiles ?(repeat = 3) f =
+  let h = Obs.Histogram.create () in
+  let r0, ms0 = time f in
+  let times = ms0 :: List.init (repeat - 1) (fun _ -> snd (time f)) in
+  List.iter (Obs.Histogram.observe h) times;
+  let median =
+    match List.sort compare times with
+    | [] -> 0.0
+    | ts -> List.nth ts (List.length ts / 2)
+  in
+  ( r0,
+    median,
+    ( Obs.Histogram.quantile h 0.5,
+      Obs.Histogram.quantile h 0.95,
+      Obs.Histogram.quantile h 0.99 ) )
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results.  Selected experiments record one row per
    measured cell; everything accumulated here is written to
@@ -49,7 +70,7 @@ let time_median ?(repeat = 3) f =
 let results : Obs.Json.t list ref = ref []
 
 let record ~experiment ~query ~strategy ~scale ~wall_ms ~scans ~probes
-    ~max_ntuple ?pool_hit_rate ?(extra = []) () =
+    ~max_ntuple ?pool_hit_rate ?percentiles ?(extra = []) () =
   let open Obs.Json in
   results :=
     Obj
@@ -65,6 +86,14 @@ let record ~experiment ~query ~strategy ~scale ~wall_ms ~scans ~probes
          ( "pool_hit_rate",
            match pool_hit_rate with Some r -> Float r | None -> Null );
        ]
+      @ (match percentiles with
+        | None -> []
+        | Some (p50, p95, p99) ->
+          [
+            ("wall_ms_p50", Float p50);
+            ("wall_ms_p95", Float p95);
+            ("wall_ms_p99", Float p99);
+          ])
       @ extra)
     :: !results
 
@@ -141,13 +170,14 @@ let bench_scale () =
           || st.Strategy.quantifier_push
         in
         if feasible then begin
-          let report, ms =
-            time (fun () -> Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
+          let report, ms, percentiles =
+            time_percentiles (fun () ->
+                Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
           in
           record ~experiment:"B-SCALE" ~query:"running" ~strategy:sname
             ~scale:s ~wall_ms:ms ~scans:report.Phased_eval.scans
             ~probes:report.Phased_eval.probes
-            ~max_ntuple:report.Phased_eval.max_ntuple ();
+            ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles ();
           Some (ms, report.Phased_eval.scans)
         end
         else None
@@ -388,13 +418,14 @@ let bench_division () =
             ~wall_ms:naive_ms ~scans:(Database.total_scans db)
             ~probes:(Database.total_probes db) ~max_ntuple:0 ();
           let run sname st =
-            let report, ms =
-              time (fun () -> Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
+            let report, ms, percentiles =
+              time_percentiles (fun () ->
+                  Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
             in
             record ~experiment:"B-DIV" ~query:qname ~strategy:sname ~scale:s
               ~wall_ms:ms ~scans:report.Phased_eval.scans
               ~probes:report.Phased_eval.probes
-              ~max_ntuple:report.Phased_eval.max_ntuple ();
+              ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles ();
             ms
           in
           let palermo =
@@ -430,21 +461,30 @@ let bench_order () =
   let case qname scale strategy db q =
     List.iter
       (fun (ename, join_order) ->
+        let repeat = 3 in
         let in0 = Obs.Metrics.counter_value "combination.join_rows_in" in
         let out0 = Obs.Metrics.counter_value "combination.join_rows_out" in
-        let report, ms =
-          time (fun () -> Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ~join_order ()) db q)
+        let report, ms, percentiles =
+          time_percentiles ~repeat (fun () ->
+              Phased_eval.run_report
+                ~opts:(Exec_opts.make ~strategy ~join_order ())
+                db q)
         in
+        (* The deterministic evaluation repeats identically, so the
+           per-execution join traffic is the delta over all passes
+           divided by the pass count. *)
         let join_in =
-          Obs.Metrics.counter_value "combination.join_rows_in" - in0
+          (Obs.Metrics.counter_value "combination.join_rows_in" - in0)
+          / repeat
         in
         let join_out =
-          Obs.Metrics.counter_value "combination.join_rows_out" - out0
+          (Obs.Metrics.counter_value "combination.join_rows_out" - out0)
+          / repeat
         in
         record ~experiment:"B-ORDER" ~query:qname ~strategy:ename ~scale
           ~wall_ms:ms ~scans:report.Phased_eval.scans
           ~probes:report.Phased_eval.probes
-          ~max_ntuple:report.Phased_eval.max_ntuple
+          ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles
           ~extra:
             [
               ("join_rows_in", Obs.Json.Int join_in);
@@ -671,8 +711,8 @@ let bench_parallel () =
            across queries in a real process) and touch the caches. *)
         let report = Phased_eval.run_report ~opts db q in
         let t0 = Obs.Metrics.counter_value "parallel.tasks" in
-        let ms =
-          time_median ~repeat:5 (fun () ->
+        let (), ms, percentiles =
+          time_percentiles ~repeat:5 (fun () ->
               ignore (Phased_eval.run ~opts db q : Relation.t))
         in
         let tasks =
@@ -682,7 +722,7 @@ let bench_parallel () =
         record ~experiment:"B-PAR" ~query:qname
           ~strategy:(Fmt.str "jobs=%d" jobs) ~scale ~wall_ms:ms
           ~scans:report.Phased_eval.scans ~probes:report.Phased_eval.probes
-          ~max_ntuple:report.Phased_eval.max_ntuple
+          ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles
           ~extra:
             [
               ("jobs", Obs.Json.Int jobs);
@@ -754,8 +794,8 @@ let bench_prepared () =
     (* One untimed execution of each path first: module initialisation,
        tracer setup and heap growth land on the warmup, not the race. *)
     ignore (Phased_eval.run ~opts db (ground 0) : Relation.t);
-    let cold_ms =
-      time_median ~repeat:5 (fun () ->
+    let (), cold_ms, cold_percentiles =
+      time_percentiles ~repeat:5 (fun () ->
           for i = 1 to repeats do
             ignore (Phased_eval.run ~opts db (ground i) : Relation.t)
           done)
@@ -767,8 +807,8 @@ let bench_prepared () =
         : Relation.t);
     let session = Session.create db in
     let prep, prepare_ms = time (fun () -> Session.prepare ~opts session q) in
-    let prep_ms =
-      time_median ~repeat:5 (fun () ->
+    let (), prep_ms, prep_percentiles =
+      time_percentiles ~repeat:5 (fun () ->
           for i = 1 to repeats do
             let params = Option.map (fun f -> f i) bindings_of_i in
             ignore (Prepared.exec ?params prep : Relation.t)
@@ -785,10 +825,12 @@ let bench_prepared () =
     in
     record ~experiment:"B-PREP" ~query:qname ~strategy:"cold" ~scale
       ~wall_ms:cold_ms ~scans:0 ~probes:0 ~max_ntuple:0
+      ~percentiles:cold_percentiles
       ~extra:[ ("repeats", Obs.Json.Int repeats) ]
       ();
     record ~experiment:"B-PREP" ~query:qname ~strategy:"prepared" ~scale
-      ~wall_ms:prep_ms ~scans:0 ~probes:0 ~max_ntuple:0 ~extra ();
+      ~wall_ms:prep_ms ~scans:0 ~probes:0 ~max_ntuple:0
+      ~percentiles:prep_percentiles ~extra ();
     Fmt.pr "%-22s %-6d | %10.2f %10.2f %8.1fx | %10.2f | %5d %6d@." qname
       scale cold_ms prep_ms
       (cold_ms /. Float.max prep_ms 0.001)

@@ -4,6 +4,8 @@
      run       evaluate a query against a generated sample database
      analyze   EXPLAIN ANALYZE: evaluate under the span tracer and
                report measured per-phase cost (text or --json)
+     stats     run a workload and report cumulative per-query
+               statistics and the execution flight recorder
      explain   show the transformation pipeline and evaluation plan
      plan      show the cost-based planner's decision
      normalize show the standard form (prenex + DNF) of a query
@@ -187,6 +189,34 @@ let trace_arg =
     & info [ "trace" ]
         ~doc:"Print the span trace (timing tree with metric deltas).")
 
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Arm slow-query capture: an execution taking at least MS wall \
+           milliseconds arms its query digest, and the digest's next \
+           execution is captured under a full span trace (exported with \
+           $(b,--trace-out), listed by $(b,pascalr stats)).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the execution's span trace as Chrome trace-event JSON \
+           to FILE (loadable in chrome://tracing and Perfetto).")
+
+let write_chrome_trace path span =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string (Obs.Trace.to_chrome span));
+  output_char oc '\n';
+  close_out oc;
+  (* stderr: stdout may be the --json document. *)
+  Fmt.epr "wrote Chrome trace to %s@." path
+
 (* --failpoint SITE=TRIGGER: arm storage-layer fault-injection sites
    before evaluating, e.g. --failpoint heap.read.short=nth:2. *)
 let failpoint_arg =
@@ -354,9 +384,11 @@ let pool_pages_arg =
 
 let run_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      jobs params verbose trace pool_pages verbosity failpoints =
+      jobs params verbose trace slow_ms trace_out pool_pages verbosity
+      failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
+    Obs.Flight_recorder.set_slow_ms slow_ms;
     with_setup kind scale seed schema loads query file example (fun db q ->
         (match pool_pages with
         | Some n when n <= 0 -> failwith "--pool-pages must be positive"
@@ -378,12 +410,16 @@ let run_cmd =
         let params = parse_params db params in
         let session = Session.create db in
         let report, span =
-          if trace then
+          (* --trace-out needs the span even without --trace. *)
+          if trace || trace_out <> None then
             let report, span = Session.exec_traced ~opts ~params session q in
             (report, Some span)
           else (Session.exec_report ~opts ~params session q, None)
         in
         let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        (match span, trace_out with
+        | Some span, Some path -> write_chrome_trace path span
+        | _ -> ());
         (match decision with
         | Some d -> Fmt.pr "planner: %a@.@." Strategy.pp d.Planner.d_strategy
         | None -> ());
@@ -399,8 +435,8 @@ let run_cmd =
             report.Phased_eval.intermediates
         end;
         match span with
-        | Some span -> Fmt.pr "@.%a" Obs.Trace.pp span
-        | None -> ())
+        | Some span when trace -> Fmt.pr "@.%a" Obs.Trace.pp span
+        | Some _ | None -> ())
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show intermediates.")
@@ -410,8 +446,8 @@ let run_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
-      $ jobs_arg $ param_arg $ verbose $ trace_arg $ pool_pages_arg
-      $ verbosity_arg $ failpoint_arg)
+      $ jobs_arg $ param_arg $ verbose $ trace_arg $ slow_ms_arg
+      $ trace_out_arg $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
 
 (* ----------------------------------------------------------------- *)
 (* analyze: EXPLAIN ANALYZE for the three-phase pipeline.  The report
@@ -421,9 +457,11 @@ let run_cmd =
 
 let analyze_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      jobs params repeat json show_trace pool_pages verbosity failpoints =
+      jobs params repeat json show_trace slow_ms trace_out pool_pages
+      verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
+    Obs.Flight_recorder.set_slow_ms slow_ms;
     with_setup kind scale seed schema loads query file example (fun db q ->
         let st =
           match strategy with
@@ -440,6 +478,9 @@ let analyze_cmd =
           with Invalid_argument _ ->
             failwith "--pool-pages and --repeat must be positive"
         in
+        (match trace_out with
+        | Some path -> write_chrome_trace path a.Analyze.a_root
+        | None -> ());
         let rows = a.Analyze.a_rows in
         let total_ms = a.Analyze.a_root.Obs.Trace.sp_elapsed_ms in
         let report = a.Analyze.a_report in
@@ -499,7 +540,139 @@ let analyze_cmd =
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
       $ jobs_arg $ param_arg $ repeat_arg $ json_arg $ trace_arg
-      $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
+      $ slow_ms_arg $ trace_out_arg $ pool_pages_arg $ verbosity_arg
+      $ failpoint_arg)
+
+(* ----------------------------------------------------------------- *)
+(* stats: run a workload through one session, then report the
+   cumulative per-digest statistics and the flight recorder.  The
+   registries are in-process, so the command executes the workload
+   itself: by default a built-in mix of three queries against the
+   chosen sample database (repeated, so later rounds demonstrate
+   plan-cache hits), or a single query given the usual --query / --file
+   / --example. *)
+
+let stats_cmd =
+  let go kind scale seed schema loads query file example strategy join_order
+      jobs params repeat json slow_ms trace_out verbosity =
+    setup_logs verbosity;
+    Obs.Flight_recorder.set_slow_ms slow_ms;
+    if repeat < 1 then begin
+      Fmt.epr "pascalr: --repeat must be positive@.";
+      exit 1
+    end;
+    let explicit =
+      query <> None || file <> None || example <> None || schema <> None
+    in
+    (* with_setup's fallback query is the university running example,
+       which does not elaborate against other databases; when the
+       built-in workload mix will be used anyway, resolve a query that
+       matches the chosen database. *)
+    let example =
+      if explicit then example
+      else Some (if kind = "suppliers" then "ships-all-parts" else "running")
+    in
+    with_setup kind scale seed schema loads query file example (fun db q ->
+        let workload =
+          if explicit then [ q ]
+          else
+            match kind with
+            | "suppliers" ->
+              [
+                Workload.Suppliers.ships_all_parts db;
+                Workload.Suppliers.ships_all_red_parts db;
+                Workload.Suppliers.ships_no_red_part db;
+              ]
+            | _ ->
+              [
+                Workload.Queries.running_query db;
+                Workload.Queries.existential_query db;
+                Workload.Queries.universal_query db;
+              ]
+        in
+        let opts_of qq =
+          let st =
+            match strategy with
+            | Some s -> strategy_of_string s
+            | None -> (Planner.choose db qq).Planner.d_strategy
+          in
+          Exec_opts.make ~strategy:st
+            ~join_order:(join_order_of_flag join_order) ?jobs ()
+        in
+        let params = parse_params db params in
+        let workload = List.map (fun qq -> (qq, opts_of qq)) workload in
+        let session = Session.create db in
+        for _ = 1 to repeat do
+          List.iter
+            (fun (qq, opts) ->
+              ignore (Session.exec ~opts ~params session qq : Relation.t))
+            workload
+        done;
+        (match trace_out with
+        | None -> ()
+        | Some path ->
+          (* Prefer a captured slow-query trace; otherwise trace one
+             more execution of the workload's first query. *)
+          let span =
+            match Obs.Flight_recorder.slow_traces () with
+            | (_, span) :: _ -> span
+            | [] ->
+              let qq, opts = List.hd workload in
+              snd (Session.exec_traced ~opts ~params session qq)
+          in
+          write_chrome_trace path span);
+        if json then
+          Fmt.pr "%a@." Obs.Json.pp_pretty
+            (Obs.Json.Obj
+               [
+                 ("schema_version", Obs.Json.Int Analyze.schema_version);
+                 ("database", Obs.Json.Str kind);
+                 ("scale", Obs.Json.Int scale);
+                 ("repeat", Obs.Json.Int repeat);
+                 ("queries", Obs.Query_stats.to_json ());
+                 ("flight_recorder", Obs.Flight_recorder.to_json ~n:16 ());
+               ])
+        else begin
+          Fmt.pr "%a@." Obs.Query_stats.pp ();
+          Fmt.pr "@.flight recorder: %d recorded, %d dropped (capacity %d)@."
+            (Obs.Flight_recorder.total_recorded ())
+            (Obs.Flight_recorder.dropped ())
+            (Obs.Flight_recorder.capacity ());
+          List.iter
+            (fun r -> Fmt.pr "  %a@." Obs.Flight_recorder.pp_record r)
+            (Obs.Flight_recorder.recent ~n:8 ());
+          match Obs.Flight_recorder.slow_traces () with
+          | [] -> ()
+          | slow ->
+            Fmt.pr "@.slow-query traces captured:@.";
+            List.iter (fun (d, _) -> Fmt.pr "  %s@." d) slow
+        end)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the statistics as machine-readable JSON.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Rounds through the workload (default 5): the first round \
+             plans, later rounds hit the plan cache, so the report shows \
+             both calls and cache hits per digest.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a workload and report cumulative per-query statistics \
+          (calls, cache hits, rows, latency percentiles, phase split) \
+          and the execution flight recorder")
+    Term.(
+      const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
+      $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
+      $ jobs_arg $ param_arg $ repeat_arg $ json_arg $ slow_ms_arg
+      $ trace_out_arg $ verbosity_arg)
 
 let explain_cmd =
   let go kind scale seed schema loads query file example strategy =
@@ -606,6 +779,7 @@ let () =
           [
             run_cmd;
             analyze_cmd;
+            stats_cmd;
             explain_cmd;
             plan_cmd;
             normalize_cmd;

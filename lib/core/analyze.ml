@@ -244,7 +244,6 @@ let parallel_json a =
 let plan_cache_json a =
   let open Obs.Json in
   let s = a.a_cache in
-  let lookups = s.Plan_cache.hits + s.Plan_cache.misses + s.Plan_cache.invalidations in
   Obj
     [
       ("repeat", Int a.a_repeat);
@@ -252,15 +251,20 @@ let plan_cache_json a =
       ("misses", Int s.Plan_cache.misses);
       ("evictions", Int s.Plan_cache.evictions);
       ("invalidations", Int s.Plan_cache.invalidations);
-      ( "hit_rate",
-        if lookups = 0 then Null
-        else Float (float_of_int s.Plan_cache.hits /. float_of_int lookups) );
+      ("hit_rate", Float (Plan_cache.hit_rate s));
     ]
+
+(* Report schema version, bumped whenever sections are added or
+   reshaped.  2: schema_version itself, cumulative per-digest "stats",
+   the "flight_recorder" section, and plan_cache.hit_rate becoming a
+   number (0.0 instead of null on zero lookups). *)
+let schema_version = 2
 
 let to_json ~database ~scale db q a =
   let open Obs.Json in
   Obj
     [
+      ("schema_version", Int schema_version);
       ("database", Str database);
       ("scale", Int scale);
       ("query", Str (Fmt.str "%a" Calculus.pp_query q));
@@ -286,6 +290,12 @@ let to_json ~database ~scale db q a =
       ("parallel", parallel_json a);
       ("faults", faults_json ());
       ("plan_cache", plan_cache_json a);
+      ( "stats",
+        Obj
+          [
+            ("queries", Obs.Query_stats.to_json ());
+          ] );
+      ("flight_recorder", Obs.Flight_recorder.to_json ~n:16 ());
       ("plan", Str (Explain.explain ~strategy:a.a_strategy db q));
       ("trace", Obs.Trace.to_json a.a_root);
     ]

@@ -46,11 +46,19 @@ val run :
     spans and the plan-cache stats show the hits.
     @raise Invalid_argument on non-positive [pool_pages] or [repeat]. *)
 
+val schema_version : int
+(** Version stamp of the analyze / stats JSON documents, bumped
+    whenever sections are added or reshaped.  2 added [schema_version]
+    itself, the cumulative per-digest [stats] section, the
+    [flight_recorder] section, and made [plan_cache.hit_rate] a number
+    (0.0 instead of null on zero lookups). *)
+
 val to_json : database:string -> scale:int -> Database.t -> Calculus.query -> t -> Obs.Json.t
 (** The full analyze document: query, strategy, totals, per-phase rows,
     intermediates, parallel-execution activity (jobs, tasks, chunks,
     par vs seq operator tallies), fault/recovery counters, plan-cache
-    activity, plan and span trace. *)
+    activity, cumulative per-digest stats, flight-recorder contents,
+    plan and span trace. *)
 
 val faults_json : unit -> Obs.Json.t
 (** Fault-injection and recovery counters from the metrics registry,

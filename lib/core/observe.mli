@@ -1,0 +1,32 @@
+(** Observability glue around one query execution.
+
+    {!run} is the single choke point through which every
+    {!Session} / {!Prepared} execution reports itself: it times the
+    whole execution and the three evaluation phases, reads plan-cache
+    and storage counter deltas over the window, then feeds the
+    cumulative {!Obs.Query_stats} registry and the always-on
+    {!Obs.Flight_recorder} ring.  It also honours slow-query arming:
+    an execution of an armed digest runs under a full
+    {!Obs.Trace.collect} and the span is handed to
+    {!Obs.Flight_recorder.capture}. *)
+
+type phase = Collection | Combination | Construction
+
+type clock = { time : 'a. phase -> (unit -> 'a) -> 'a }
+(** The execution body wraps each evaluation phase in [clock.time], so
+    the recorded phase split reflects where the wall time actually
+    went. *)
+
+val run :
+  digest:string ->
+  text:string ->
+  opts:Exec_opts.t ->
+  rows_of:('r -> int) ->
+  (clock -> 'r) ->
+  'r
+(** [run ~digest ~text ~opts ~rows_of f] executes [f], records the
+    execution under [digest], and returns [f]'s result.  Cache-hit /
+    replan attribution reads [plan_cache.*] counter deltas over the
+    window, so callers must open the window around {e all} planning
+    work for the execution (Session's one-shot paths call this around
+    prepare + execute).  Exceptions propagate unrecorded. *)

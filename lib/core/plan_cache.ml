@@ -58,6 +58,11 @@ let stats t =
     invalidations = t.invalidations;
   }
 
+(* Guarded against the zero-lookup cache: 0.0, never NaN. *)
+let hit_rate (s : stats) =
+  let lookups = s.hits + s.misses + s.invalidations in
+  if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups
+
 let next_tick t =
   t.tick <- t.tick + 1;
   t.tick

@@ -32,3 +32,7 @@ val add : t -> epoch:int -> string -> Plan.t -> unit
 
 val clear : t -> unit
 val stats : t -> stats
+
+val hit_rate : stats -> float
+(** Hits over lookups (hits + misses + invalidations); 0.0 — never NaN
+    — when the cache has seen no lookups. *)

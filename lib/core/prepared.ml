@@ -32,6 +32,8 @@ type report = {
 type t = {
   p_db : Database.t;
   p_opts : Exec_opts.t;
+  p_digest : string;  (* structural digest: the Query_stats key *)
+  p_text : string;  (* pretty-printed query, for stats display *)
   p_params : string list;  (* required placeholders, sorted *)
   p_replan : unit -> Plan.t;  (* through the session's plan cache *)
   p_reground : Value.t Var_map.t -> Plan.t;
@@ -63,10 +65,12 @@ let param_qranges body =
   in
   go [] body
 
-let make ~db ~opts ~query ~replan ~reground =
+let make ~db ~opts ~digest ~query ~replan ~reground =
   {
     p_db = db;
     p_opts = opts;
+    p_digest = digest;
+    p_text = Fmt.str "%a" pp_query query;
     p_params = query_params query;
     p_replan = replan;
     p_reground = reground;
@@ -75,6 +79,8 @@ let make ~db ~opts ~query ~replan ~reground =
 
 let params t = t.p_params
 let opts t = t.p_opts
+let digest t = t.p_digest
+let text t = t.p_text
 let plan t = t.p_replan ()
 
 (* --- Grounding a plan ---------------------------------------------- *)
@@ -142,26 +148,34 @@ let ground t provided =
 
 (* --- Execution ----------------------------------------------------- *)
 
-let exec ?name ?(params = []) t =
+(* The [_with] variants run under a caller-supplied phase clock, so the
+   observation window can start before this function — Session's
+   one-shot paths open it around prepare + execute, attributing a cold
+   one-shot's planning to the same record. *)
+
+let exec_with ?name ?(params = []) (clock : Observe.clock) t =
   let plan = ground t params in
   let coll =
     Collection.create
       ?par:(Exec_opts.par t.p_opts)
       t.p_db t.p_opts.Exec_opts.strategy plan
   in
-  Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
+  clock.time Observe.Collection (fun () ->
+      Obs.Trace.with_span "collection" (fun () -> Collection.run coll));
   let refs =
-    Obs.Trace.with_span "combination" (fun () ->
-        Combination.evaluate ~join_order:t.p_opts.Exec_opts.join_order coll
-          plan)
+    clock.time Observe.Combination (fun () ->
+        Obs.Trace.with_span "combination" (fun () ->
+            Combination.evaluate ~join_order:t.p_opts.Exec_opts.join_order
+              coll plan))
   in
-  Obs.Trace.with_span "construction" (fun () ->
-      Construction.run ?name t.p_db plan refs)
+  clock.time Observe.Construction (fun () ->
+      Obs.Trace.with_span "construction" (fun () ->
+          Construction.run ?name t.p_db plan refs))
 
 (* Execute with instrumentation.  Scan/probe counters of the database
    relations are reset first, so the report reflects this execution
    alone. *)
-let exec_report ?name ?(params = []) t =
+let exec_report_with ?name ?(params = []) (clock : Observe.clock) t =
   Database.reset_counters t.p_db;
   let plan = ground t params in
   let coll =
@@ -169,15 +183,18 @@ let exec_report ?name ?(params = []) t =
       ?par:(Exec_opts.par t.p_opts)
       t.p_db t.p_opts.Exec_opts.strategy plan
   in
-  Obs.Trace.with_span "collection" (fun () -> Collection.run coll);
+  clock.time Observe.Collection (fun () ->
+      Obs.Trace.with_span "collection" (fun () -> Collection.run coll));
   let refs, max_ntuple =
-    Obs.Trace.with_span "combination" (fun () ->
-        Combination.evaluate_with_stats
-          ~join_order:t.p_opts.Exec_opts.join_order coll plan)
+    clock.time Observe.Combination (fun () ->
+        Obs.Trace.with_span "combination" (fun () ->
+            Combination.evaluate_with_stats
+              ~join_order:t.p_opts.Exec_opts.join_order coll plan))
   in
   let result =
-    Obs.Trace.with_span "construction" (fun () ->
-        Construction.run ?name t.p_db plan refs)
+    clock.time Observe.Construction (fun () ->
+        Obs.Trace.with_span "construction" (fun () ->
+            Construction.run ?name t.p_db plan refs))
   in
   {
     result;
@@ -187,6 +204,16 @@ let exec_report ?name ?(params = []) t =
     max_ntuple;
     intermediates = Collection.intermediate_sizes coll;
   }
+
+let exec ?name ?params t =
+  Observe.run ~digest:t.p_digest ~text:t.p_text ~opts:t.p_opts
+    ~rows_of:Relation.cardinality (fun clock ->
+      exec_with ?name ?params clock t)
+
+let exec_report ?name ?params t =
+  Observe.run ~digest:t.p_digest ~text:t.p_text ~opts:t.p_opts
+    ~rows_of:(fun r -> Relation.cardinality r.result)
+    (fun clock -> exec_report_with ?name ?params clock t)
 
 (* Execute under the span tracer.  On a cache hit the root "query" span
    has only collection / combination / construction children — the

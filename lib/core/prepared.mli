@@ -27,21 +27,31 @@ type t
 val make :
   db:Database.t ->
   opts:Exec_opts.t ->
+  digest:string ->
   query:Calculus.query ->
   replan:(unit -> Plan.t) ->
   reground:(Relalg.Value.t Calculus.Var_map.t -> Plan.t) ->
   t
 (** Used by {!Session.prepare}; [replan] must consult the session's
-    plan cache under the current stats epoch.  [reground] must plan the
-    fully substituted query from scratch — the fallback taken when a
-    [$param]-dependent quantifier range turns out empty under the
-    actual bindings, so the empty-range adaptation assumed at plan time
-    no longer holds (counted as [plan_cache.regrounds]). *)
+    plan cache under the current stats epoch.  [digest] is the
+    structural digest of the alpha-canonical query — the key under
+    which executions accumulate in {!Obs.Query_stats}.  [reground]
+    must plan the fully substituted query from scratch — the fallback
+    taken when a [$param]-dependent quantifier range turns out empty
+    under the actual bindings, so the empty-range adaptation assumed
+    at plan time no longer holds (counted as
+    [plan_cache.regrounds]). *)
 
 val params : t -> string list
 (** The [$name] placeholders an execution must bind, sorted. *)
 
 val opts : t -> Exec_opts.t
+
+val digest : t -> string
+(** The structural digest executions are accounted under. *)
+
+val text : t -> string
+(** The query pretty-printed once at prepare time. *)
 
 val plan : t -> Plan.t
 (** The current (possibly re-validated) plan, placeholders intact. *)
@@ -55,6 +65,24 @@ val exec_report :
   ?name:string -> ?params:(string * Relalg.Value.t) list -> t -> report
 (** {!exec} with instrumentation; resets the database scan/probe
     counters first. *)
+
+val exec_with :
+  ?name:string ->
+  ?params:(string * Relalg.Value.t) list ->
+  Observe.clock ->
+  t ->
+  Relation.t
+(** {!exec} under a caller-supplied {!Observe.clock} — no recording of
+    its own.  {!Session}'s one-shot paths use this so the observation
+    window also covers prepare. *)
+
+val exec_report_with :
+  ?name:string ->
+  ?params:(string * Relalg.Value.t) list ->
+  Observe.clock ->
+  t ->
+  report
+(** {!exec_report}, clocked by the caller like {!exec_with}. *)
 
 val exec_traced :
   ?name:string ->

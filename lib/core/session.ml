@@ -90,15 +90,15 @@ let cache_stats t = Plan_cache.stats t.s_cache
 let cache_length t = Plan_cache.length t.s_cache
 let clear_cache t = Plan_cache.clear t.s_cache
 
-(* The structural digest ignores variable spelling; the options
-   fingerprint separates plans the knobs would compile differently. *)
-let cache_key opts query =
-  Calculus.digest_query (Normalize.canonical_query query)
-  ^ "#"
-  ^ Exec_opts.fingerprint opts
+(* The structural digest ignores variable spelling; it keys the
+   cumulative per-query statistics on its own, and — concatenated with
+   the options fingerprint, which separates plans the knobs would
+   compile differently — the plan cache. *)
+let digest query = Calculus.digest_query (Normalize.canonical_query query)
 
 let prepare ?(opts = Exec_opts.default) t query =
-  let key = cache_key opts query in
+  let digest = digest query in
+  let key = digest ^ "#" ^ Exec_opts.fingerprint opts in
   let replan () =
     let epoch = Database.stats_epoch t.s_db in
     match Plan_cache.find t.s_cache ~epoch key with
@@ -110,17 +110,30 @@ let prepare ?(opts = Exec_opts.default) t query =
   in
   (* Plan eagerly: prepare pays for planning, executions need not. *)
   ignore (replan () : Plan.t);
-  Prepared.make ~db:t.s_db ~opts ~query ~replan
+  Prepared.make ~db:t.s_db ~opts ~digest ~query ~replan
     ~reground:(fun b -> plan_only ~opts t.s_db (Calculus.subst_query b query))
 
 (* One-shot conveniences: prepare + single execution, through the
-   session cache (so a repeated one-shot query still hits). *)
+   session cache (so a repeated one-shot query still hits).  The
+   observation window opens around prepare + execute, so a cold
+   one-shot records as a replan while a repeat records as a cache
+   hit — Prepared.exec alone would misread the cold case, because
+   prepare's eager plan is re-found (hit) at execution time. *)
 
-let exec ?opts ?name ?params t query =
-  Prepared.exec ?name ?params (prepare ?opts t query)
+let exec ?(opts = Exec_opts.default) ?name ?params t query =
+  Observe.run ~digest:(digest query)
+    ~text:(Fmt.str "%a" Calculus.pp_query query)
+    ~opts ~rows_of:Relation.cardinality
+    (fun clock ->
+      Prepared.exec_with ?name ?params clock (prepare ~opts t query))
 
-let exec_report ?opts ?name ?params t query =
-  Prepared.exec_report ?name ?params (prepare ?opts t query)
+let exec_report ?(opts = Exec_opts.default) ?name ?params t query =
+  Observe.run ~digest:(digest query)
+    ~text:(Fmt.str "%a" Calculus.pp_query query)
+    ~opts
+    ~rows_of:(fun r -> Relation.cardinality r.Prepared.result)
+    (fun clock ->
+      Prepared.exec_report_with ?name ?params clock (prepare ~opts t query))
 
 let exec_traced ?(opts = Exec_opts.default) ?name ?params t query =
   Obs.Metrics.set_gauge "combination.max_ntuple" 0.0;
@@ -132,6 +145,12 @@ let exec_traced ?(opts = Exec_opts.default) ?name ?params t query =
       ]
     (fun () ->
       (* Prepare inside the root span so planning spans (on a cache
-         miss) are attributed to this query's trace. *)
-      let p = prepare ~opts t query in
-      Prepared.exec_report ?name ?params p)
+         miss) are attributed to this query's trace; the observation
+         window sits inside the span for the same reason. *)
+      Observe.run ~digest:(digest query)
+        ~text:(Fmt.str "%a" Calculus.pp_query query)
+        ~opts
+        ~rows_of:(fun r -> Relation.cardinality r.Prepared.result)
+        (fun clock ->
+          let p = prepare ~opts t query in
+          Prepared.exec_report_with ?name ?params clock p))

@@ -21,6 +21,11 @@ val cache_stats : t -> Plan_cache.stats
 val cache_length : t -> int
 val clear_cache : t -> unit
 
+val digest : query -> string
+(** The structural digest of the alpha-canonical query — the key under
+    which executions accumulate in {!Obs.Query_stats} and (with the
+    {!Exec_opts.fingerprint} appended) in the plan cache. *)
+
 val prepare : ?opts:Exec_opts.t -> t -> query -> Prepared.t
 (** Plan now (through the cache), execute later — possibly many times,
     with different [$name] parameter bindings. *)

@@ -1,7 +1,13 @@
 type datum =
   | Counter of int
   | Gauge of float
-  | Histogram of { count : int; sum : float; min : float; max : float }
+  | Histogram of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      buckets : int array;  (* Histogram.n_buckets log-spaced buckets *)
+    }
 
 type instrument =
   | I_counter of { mutable c : int }
@@ -11,6 +17,7 @@ type instrument =
       mutable sum : float;
       mutable min : float;
       mutable max : float;
+      buckets : int array;
     }
 
 type snapshot = (string * datum) list
@@ -57,12 +64,16 @@ let observe name v =
     h.count <- h.count + 1;
     h.sum <- h.sum +. v;
     if v < h.min then h.min <- v;
-    if v > h.max then h.max <- v
+    if v > h.max then h.max <- v;
+    let i = Histogram.bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1
   | Some (I_counter _ | I_gauge _) ->
     invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
   | None ->
+    let buckets = Array.make Histogram.n_buckets 0 in
+    buckets.(Histogram.bucket_of v) <- 1;
     Hashtbl.replace registry name
-      (I_histogram { count = 1; sum = v; min = v; max = v })
+      (I_histogram { count = 1; sum = v; min = v; max = v; buckets })
 
 let counter_value name =
   match Hashtbl.find_opt (registry ()) name with
@@ -73,7 +84,14 @@ let freeze = function
   | I_counter c -> Counter c.c
   | I_gauge g -> Gauge g.g
   | I_histogram h ->
-    Histogram { count = h.count; sum = h.sum; min = h.min; max = h.max }
+    Histogram
+      {
+        count = h.count;
+        sum = h.sum;
+        min = h.min;
+        max = h.max;
+        buckets = Array.copy h.buckets;
+      }
 
 let snapshot () =
   Hashtbl.fold (fun name i acc -> (name, freeze i) :: acc) (registry ()) []
@@ -103,6 +121,11 @@ let diff ~before ~after =
                   sum = h.sum -. b.sum;
                   min = h.min;
                   max = h.max;
+                  buckets =
+                    Array.init (Array.length h.buckets) (fun i ->
+                        h.buckets.(i)
+                        - if i < Array.length b.buckets then b.buckets.(i)
+                          else 0);
                 } )
       | Histogram h, _ -> if h.count = 0 then None else Some (name, Histogram h))
     after
@@ -123,10 +146,21 @@ let merge (delta : snapshot) =
         cur.count <- cur.count + h.count;
         cur.sum <- cur.sum +. h.sum;
         if h.min < cur.min then cur.min <- h.min;
-        if h.max > cur.max then cur.max <- h.max
+        if h.max > cur.max then cur.max <- h.max;
+        Array.iteri
+          (fun i c -> if i < Array.length cur.buckets then
+              cur.buckets.(i) <- cur.buckets.(i) + c)
+          h.buckets
       | Histogram h, _ ->
         Hashtbl.replace registry name
-          (I_histogram { count = h.count; sum = h.sum; min = h.min; max = h.max }))
+          (I_histogram
+             {
+               count = h.count;
+               sum = h.sum;
+               min = h.min;
+               max = h.max;
+               buckets = Array.copy h.buckets;
+             }))
     delta
 
 let find snap name = List.assoc_opt name snap
@@ -141,16 +175,33 @@ let get_gauge snap name =
   | Some (Gauge g) -> Some g
   | Some (Counter _ | Histogram _) | None -> None
 
+let histogram_quantile snap name q =
+  match find snap name with
+  | Some (Histogram h) when h.count > 0 ->
+    Some
+      (Histogram.quantile_of ~count:h.count ~min:h.min ~max:h.max
+         ~counts:h.buckets q)
+  | Some (Histogram _ | Counter _ | Gauge _) | None -> None
+
 let datum_to_json = function
   | Counter c -> Json.Int c
   | Gauge g -> Json.Float g
   | Histogram h ->
+    let quantile q =
+      if h.count = 0 then 0.0
+      else
+        Histogram.quantile_of ~count:h.count ~min:h.min ~max:h.max
+          ~counts:h.buckets q
+    in
     Json.Obj
       [
         ("count", Json.Int h.count);
         ("sum", Json.Float h.sum);
         ("min", Json.Float h.min);
         ("max", Json.Float h.max);
+        ("p50", Json.Float (quantile 0.5));
+        ("p95", Json.Float (quantile 0.95));
+        ("p99", Json.Float (quantile 0.99));
       ]
 
 let to_json snap = Json.Obj (List.map (fun (n, d) -> (n, datum_to_json d)) snap)
@@ -161,7 +212,14 @@ let pp_datum ppf = function
   | Counter c -> Fmt.int ppf c
   | Gauge g -> Fmt.pf ppf "%g" g
   | Histogram h ->
-    Fmt.pf ppf "count %d, sum %g, min %g, max %g" h.count h.sum h.min h.max
+    let p q =
+      if h.count = 0 then 0.0
+      else
+        Histogram.quantile_of ~count:h.count ~min:h.min ~max:h.max
+          ~counts:h.buckets q
+    in
+    Fmt.pf ppf "count %d, sum %g, min %g, p50 %g, p95 %g, max %g" h.count
+      h.sum h.min (p 0.5) (p 0.95) h.max
 
 let pp ppf snap =
   Fmt.pf ppf "@[<v>%a@]"

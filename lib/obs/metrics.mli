@@ -11,8 +11,9 @@
     - counters: monotonically increasing ints ({!incr});
     - gauges: last-written floats, with a high-water variant
       ({!set_gauge}, {!gauge_max});
-    - histograms: count/sum/min/max summaries of observations
-      ({!observe}).
+    - histograms: count/sum/min/max summaries plus log-spaced
+      {!Histogram} buckets, so pooled quantiles survive snapshotting
+      and the domain-pool merge ({!observe}).
 
     The registry is per-domain (domain-local storage) and not
     thread-safe within a domain — the engine proper runs on the main
@@ -25,7 +26,15 @@
 type datum =
   | Counter of int
   | Gauge of float
-  | Histogram of { count : int; sum : float; min : float; max : float }
+  | Histogram of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      buckets : int array;
+          (** per-bucket observation counts in the shared
+              {!Histogram} log-spaced layout *)
+    }
 
 type snapshot = (string * datum) list
 (** Immutable copy of the registry, sorted by instrument name. *)
@@ -65,9 +74,14 @@ val get_counter : snapshot -> string -> int
 
 val get_gauge : snapshot -> string -> float option
 
+val histogram_quantile : snapshot -> string -> float -> float option
+(** Estimated quantile of a histogram instrument's bucketed
+    observations, clamped to its recorded min/max; [None] when the
+    instrument is absent, not a histogram, or empty. *)
+
 val to_json : snapshot -> Json.t
 (** Object keyed by instrument name; counters and gauges as numbers,
-    histograms as [{count, sum, min, max}] objects. *)
+    histograms as [{count, sum, min, max, p50, p95, p99}] objects. *)
 
 val reset : unit -> unit
 (** Drop every instrument.  Tests and one-shot CLI runs use this; the

@@ -1,5 +1,6 @@
 type span = {
   sp_name : string;
+  sp_start_ms : float;  (* absolute wall clock; differences meaningful *)
   sp_elapsed_ms : float;
   sp_attrs : (string * Json.t) list;
   sp_metrics : Metrics.snapshot;
@@ -36,6 +37,7 @@ let open_span ?(attrs = []) name =
 let close_span o =
   {
     sp_name = o.o_name;
+    sp_start_ms = o.o_start;
     sp_elapsed_ms = now_ms () -. o.o_start;
     sp_attrs = List.rev o.o_attrs;
     sp_metrics = Metrics.diff ~before:o.o_before ~after:(Metrics.snapshot ());
@@ -107,6 +109,37 @@ let to_json span =
       | cs -> [ ("children", Json.List (List.map go cs)) ])
   in
   go span
+
+(* Chrome trace-event JSON: a flat array of complete ("ph": "X") events
+   with microsecond timestamps relative to the root span's start, one
+   event per span.  The output loads directly in chrome://tracing and
+   Perfetto; span attrs and metric deltas travel in "args". *)
+let to_chrome span =
+  let base = span.sp_start_ms in
+  let rec go acc s =
+    let args =
+      (match s.sp_attrs with [] -> [] | attrs -> [ ("attrs", Json.Obj attrs) ])
+      @
+      match s.sp_metrics with
+      | [] -> []
+      | m -> [ ("metrics", Metrics.to_json m) ]
+    in
+    let event =
+      Json.Obj
+        ([
+           ("name", Json.Str s.sp_name);
+           ("cat", Json.Str "pascalr");
+           ("ph", Json.Str "X");
+           ("ts", Json.Float ((s.sp_start_ms -. base) *. 1000.0));
+           ("dur", Json.Float (s.sp_elapsed_ms *. 1000.0));
+           ("pid", Json.Int 1);
+           ("tid", Json.Int 1);
+         ]
+        @ match args with [] -> [] | a -> [ ("args", Json.Obj a) ])
+    in
+    List.fold_left go (event :: acc) s.sp_children
+  in
+  Json.List (List.rev (go [] span))
 
 let pp ppf span =
   let rec go indent s =

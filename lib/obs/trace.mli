@@ -15,6 +15,8 @@
 
 type span = {
   sp_name : string;
+  sp_start_ms : float;
+      (** absolute wall-clock start; only differences are meaningful *)
   sp_elapsed_ms : float;
   sp_attrs : (string * Json.t) list;  (** explicit attachments, in order *)
   sp_metrics : Metrics.snapshot;  (** metric activity inside the span *)
@@ -22,6 +24,11 @@ type span = {
 }
 
 val enabled : unit -> bool
+
+val now_ms : unit -> float
+(** The tracer's wall clock, in milliseconds — exposed so callers that
+    time phases outside spans (the flight recorder) agree with span
+    timings. *)
 
 val with_span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** Run the callback under a child span of the current span.  When
@@ -47,6 +54,12 @@ val counter : span -> string -> int
 
 val to_json : span -> Json.t
 (** [{name, elapsed_ms, attrs..., metrics, children}]. *)
+
+val to_chrome : span -> Json.t
+(** Chrome trace-event JSON: a flat array of complete ([ph = "X"])
+    events with microsecond [ts]/[dur] relative to the root span,
+    loadable in chrome://tracing and Perfetto.  Span attrs and metric
+    deltas are attached under [args]. *)
 
 val pp : span Fmt.t
 (** Indented tree with timings and non-zero metric deltas. *)

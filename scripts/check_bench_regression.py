@@ -8,7 +8,11 @@ Two checks:
    row of the B-SCALE or B-DIV experiments at scale <= 2 got more than
    3x slower.  The generous factor absorbs CI machine noise; the point
    is to catch the combination phase falling back to quadratic padding,
-   which shows up as a 100x+ cliff, not a 2x wobble.
+   which shows up as a 100x+ cliff, not a 2x wobble.  When both the
+   baseline row and the new row carry a wall_ms_p95 column (bucketed
+   latency histograms in the bench harness), the p95 is held to the
+   same 3x / absolute-bound rules — a tail-latency cliff fails the
+   gate even if the median survived.
 
 2. The B-PREP experiment of the NEW run alone: for every (query, scale)
    pair, the prepared row (one Session.prepare, N plan-cache-hit
@@ -46,8 +50,19 @@ def key_rows(path):
             and r.get("strategy") == STRATEGY
             and r.get("scale", 0) <= MAX_SCALE
         ):
-            rows[(r["experiment"], r.get("query", ""), r["scale"])] = r["wall_ms"]
+            rows[(r["experiment"], r.get("query", ""), r["scale"])] = (
+                r["wall_ms"],
+                r.get("wall_ms_p95"),
+            )
     return rows
+
+
+def exceeds(base_ms, new_ms):
+    """The shared 3x rule: sub-millisecond baselines are timer noise and
+    are held to an absolute bound instead of a ratio."""
+    if base_ms < 1.0:
+        return new_ms > FACTOR * max(base_ms, 1.0)
+    return new_ms > FACTOR * base_ms
 
 
 def prep_rows(path):
@@ -144,23 +159,25 @@ def main():
     new = key_rows(sys.argv[2])
     compared = 0
     failed = []
-    for key, base_ms in sorted(baseline.items()):
+    for key, (base_ms, base_p95) in sorted(baseline.items()):
         if key not in new:
             continue
         compared += 1
-        new_ms = new[key]
+        new_ms, new_p95 = new[key]
         status = "ok"
-        # Sub-millisecond baselines are all timer noise; hold those rows
-        # to an absolute bound instead of a ratio.
-        if base_ms < 1.0:
-            if new_ms > FACTOR * max(base_ms, 1.0):
-                status = "REGRESSION"
-        elif new_ms > FACTOR * base_ms:
+        if exceeds(base_ms, new_ms):
             status = "REGRESSION"
+        # Tail latency, when both runs recorded it (older baselines
+        # predate the percentile columns).
+        p95_note = ""
+        if base_p95 is not None and new_p95 is not None:
+            p95_note = f"  p95={base_p95:8.2f}->{new_p95:8.2f}ms"
+            if exceeds(base_p95, new_p95):
+                status = "P95 REGRESSION" if status == "ok" else status
         exp, query, scale = key
         print(
             f"{exp:8s} {query:16s} scale={scale}  "
-            f"baseline={base_ms:9.2f}ms  new={new_ms:9.2f}ms  {status}"
+            f"baseline={base_ms:9.2f}ms  new={new_ms:9.2f}ms{p95_note}  {status}"
         )
         if status != "ok":
             failed.append(key)

@@ -194,6 +194,98 @@ let test_jobs_differential =
     jobs_independent_on
 
 (* --------------------------------------------------------------- *)
+(* Metric histograms across the pool: the bucketed-histogram merge is
+   commutative and associative, so the order in which worker deltas
+   reach the caller's registry cannot be observed — and actually
+   routing the observations through a jobs=4 pool lands on the same
+   pooled histogram as observing them serially. *)
+
+(* Deterministic pseudo-random values: an LCG seeded per worker, spread
+   over several histogram decades.  Dyadic rationals (x / 8) so pooled
+   sums are exact in binary floating point — snapshot equality across
+   merge orders can then be bit-strict. *)
+let worker_values seed w =
+  let state = ref ((seed * 48271 + w * 69621 + 1) land 0x3FFFFFFF) in
+  let next () =
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    float_of_int (!state mod 10_000) /. 8.0
+  in
+  List.init (3 + ((seed + w) mod 5)) (fun _ -> next ())
+
+(* Per-seed instrument name: worker-domain registries survive across
+   property iterations, and a delta's histogram min/max come from the
+   worker's cumulative "after" state — a reused name would leak earlier
+   iterations' extremes into this one's delta. *)
+let histo_name seed = Printf.sprintf "h.pool.merge.%d" seed
+
+(* One worker's delta, produced on the main domain with the same
+   diff discipline the pool join uses. *)
+let delta_of name values =
+  let before = Obs.Metrics.snapshot () in
+  List.iter (Obs.Metrics.observe name) values;
+  let after = Obs.Metrics.snapshot () in
+  Obs.Metrics.diff ~before ~after
+
+let merged_snapshot deltas =
+  Obs.Metrics.reset ();
+  List.iter Obs.Metrics.merge deltas;
+  Obs.Metrics.snapshot ()
+
+let permutations_of xs =
+  (* A few structurally different orders; full factorial is overkill. *)
+  [ xs; List.rev xs; (match xs with [] -> [] | x :: tl -> tl @ [ x ]) ]
+
+let merge_order_invisible_on seed =
+  let workers = 4 in
+  let name = histo_name seed in
+  let values = List.init workers (worker_values seed) in
+  Obs.Metrics.reset ();
+  let deltas = List.map (delta_of name) values in
+  let reference = merged_snapshot deltas in
+  let all_orders_agree =
+    List.for_all
+      (fun perm -> merged_snapshot perm = reference)
+      (permutations_of deltas)
+  in
+  (* The real pool: observe each worker's values inside a jobs=4 task;
+     worker-domain registries reach this one via merge at the join. *)
+  Obs.Metrics.reset ();
+  let varr = Array.of_list values in
+  Domain_pool.run_tasks ~jobs:4 workers (fun i ->
+      List.iter (Obs.Metrics.observe name) varr.(i));
+  let pooled = Obs.Metrics.snapshot () in
+  let pooled_matches =
+    Obs.Metrics.find pooled name = Obs.Metrics.find reference name
+  in
+  let flat = List.concat values in
+  let lo = List.fold_left min infinity flat
+  and hi = List.fold_left max neg_infinity flat in
+  let quantiles_bounded =
+    List.for_all
+      (fun q ->
+        match Obs.Metrics.histogram_quantile reference name q with
+        | Some v -> lo <= v && v <= hi
+        | None -> false)
+      [ 0.0; 0.5; 0.95; 0.99; 1.0 ]
+  in
+  Obs.Metrics.reset ();
+  (all_orders_agree
+  || QCheck.Test.fail_reportf "merge order observable at seed %d" seed)
+  && (pooled_matches
+     || QCheck.Test.fail_reportf
+          "jobs=4 pooled histogram differs from serial merge at seed %d" seed)
+  && (quantiles_bounded
+     || QCheck.Test.fail_reportf
+          "pooled quantile outside pooled min/max at seed %d" seed)
+
+let test_merge_permutation =
+  QCheck.Test.make
+    ~name:"histogram worker deltas: merge order invisible, quantiles bounded"
+    ~count:100
+    QCheck.(make Gen.(int_range 0 100_000))
+    merge_order_invisible_on
+
+(* --------------------------------------------------------------- *)
 (* Options plumbing *)
 
 let test_fingerprint_distinguishes_parallelism () =
@@ -226,6 +318,7 @@ let suite =
           test_join_and_product_deterministic;
         Alcotest.test_case "fingerprint separates parallelism settings" `Quick
           test_fingerprint_distinguishes_parallelism;
+        QCheck_alcotest.to_alcotest test_merge_permutation;
         QCheck_alcotest.to_alcotest test_jobs_differential;
       ] );
   ]
