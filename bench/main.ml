@@ -746,7 +746,10 @@ let bench_parallel () =
       in
       case "no red part" s Strategy.s123 db
         (Workload.Suppliers.ships_no_red_part db))
-    (scales [ 4 ])
+    (scales [ 4 ]);
+  (* Join the pool workers: idle parked domains tax every later
+     stop-the-world section, and nothing after B-PAR needs the pool. *)
+  Domain_pool.shutdown ()
 
 (* B-PREP: the Session plan cache — prepared re-execution vs cold
    one-shot runs.  A cold run (Phased_eval.run, one throwaway session
@@ -855,6 +858,59 @@ let bench_prepared () =
     (scales [ 1 ])
 
 (* ------------------------------------------------------------------ *)
+(* B-TRAFFIC: the workload driver under concurrent clients — the same
+   seeded university mix driven closed-loop (back-to-back, measures
+   capacity) and open-loop (Poisson arrivals at a fixed offered rate;
+   latency from *scheduled* arrival, so queueing delay is charged and
+   coordinated omission cannot hide).  Passes interleave A-B-A-B so
+   drift — heap growth, cache warmth — lands on both modes equally.
+   One row per pass; the regression guard keys on (strategy, pass) and
+   checks the achieved-throughput floor and the p95 ceiling. *)
+
+let bench_traffic () =
+  section "B-TRAFFIC" "concurrent-client traffic: closed vs open loop (A-B-A-B)";
+  let module D = Workload.Driver in
+  let scale = 2 and clients = 4 and requests = 120 and warmup = 20 in
+  let rate = 50.0 and seed = 42 in
+  let db = Workload.University.generate (uni_params scale) in
+  let mix = D.university_mix db in
+  Fmt.pr
+    "(university scale %d, %d clients, %d requests, warmup %d, seed %d)@."
+    scale clients requests warmup seed;
+  Fmt.pr "%-4s %-8s | %8s %9s | %9s %9s %9s@." "pass" "mode" "offered"
+    "achieved" "p50(ms)" "p95(ms)" "p99(ms)";
+  List.iteri
+    (fun pass mode ->
+      let cfg = D.config ~clients ~mode ~requests ~warmup ~seed () in
+      let r = D.run cfg db mix in
+      let p q = Obs.Histogram.quantile r.D.r_latency q in
+      let p50 = p 0.5 and p95 = p 0.95 and p99 = p 0.99 in
+      let strategy, offered =
+        match mode with
+        | D.Closed -> ("closed", Obs.Json.Null)
+        | D.Open rps -> ("open", Obs.Json.Float rps)
+      in
+      record ~experiment:"B-TRAFFIC" ~query:"university-mix" ~strategy ~scale
+        ~wall_ms:r.D.r_wall_ms ~scans:0 ~probes:0 ~max_ntuple:0
+        ~percentiles:(p50, p95, p99)
+        ~extra:
+          [
+            ("pass", Obs.Json.Int pass);
+            ("clients", Obs.Json.Int clients);
+            ("requests", Obs.Json.Int requests);
+            ("warmup", Obs.Json.Int warmup);
+            ("offered_rps", offered);
+            ("achieved_rps", Obs.Json.Float r.D.r_achieved_rps);
+          ]
+        ();
+      Fmt.pr "%-4d %-8s | %8s %9.1f | %9.2f %9.2f %9.2f@." pass strategy
+        (match mode with
+        | D.Closed -> "-"
+        | D.Open rps -> Fmt.str "%.1f" rps)
+        r.D.r_achieved_rps p50 p95 p99)
+    [ D.Closed; D.Open rate; D.Closed; D.Open rate ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmark of the headline comparison at one scale. *)
 
 let bench_bechamel () =
@@ -912,9 +968,12 @@ let experiments =
     ("B-CNF", bench_cnf);
     ("B-JOIN", bench_joins);
     ("B-MICRO", bench_bechamel);
-    (* Last on purpose: the first jobs>1 run spawns the process-lifetime
-       pool domains, and even idle domains tax every later stop-the-world
-       GC section — the serial experiments must finish first. *)
+    (* The two multi-domain experiments run last: the serial experiments
+       must not share their process phase with extra domains, which tax
+       every stop-the-world GC section.  B-TRAFFIC's client domains are
+       joined when each pass ends; B-PAR's pool workers are joined by the
+       Domain_pool.shutdown at its end. *)
+    ("B-TRAFFIC", bench_traffic);
     ("B-PAR", bench_parallel);
   ]
 

@@ -6,6 +6,8 @@
                report measured per-phase cost (text or --json)
      stats     run a workload and report cumulative per-query
                statistics and the execution flight recorder
+     traffic   drive a concurrent-client workload (closed or open
+               loop) and report throughput + latency percentiles
      explain   show the transformation pipeline and evaluation plan
      plan      show the cost-based planner's decision
      normalize show the standard form (prenex + DNF) of a query
@@ -674,6 +676,121 @@ let stats_cmd =
       $ jobs_arg $ param_arg $ repeat_arg $ json_arg $ slow_ms_arg
       $ trace_out_arg $ verbosity_arg)
 
+(* ----------------------------------------------------------------- *)
+(* traffic: the open-loop workload driver.  N client domains, each with
+   a private session over one shared read-only database, replay a
+   seeded scenario mix (ad-hoc / prepared-sweep / replan) — either
+   closed loop (back to back) or open loop at a target offered rate —
+   and report offered vs achieved throughput plus latency percentiles
+   per scenario class. *)
+
+let traffic_cmd =
+  let go kind scale seed clients rate duration requests warmup jobs json
+      verbosity =
+    setup_logs verbosity;
+    try
+      if clients < 1 then failwith "--clients must be positive";
+      if warmup < 0 then failwith "--warmup must be non-negative";
+      (match rate with
+      | Some r when not (r > 0.0) -> failwith "--rate must be positive"
+      | _ -> ());
+      let mode =
+        match rate with
+        | Some r -> Workload.Driver.Open r
+        | None -> Workload.Driver.Closed
+      in
+      let requests =
+        match duration, rate with
+        | Some _, None -> failwith "--duration requires --rate (open loop)"
+        | Some d, _ when not (d > 0.0) -> failwith "--duration must be positive"
+        | Some d, Some r -> max (warmup + 1) (int_of_float (d *. r))
+        | None, _ -> requests
+      in
+      if requests <= warmup then
+        failwith "--requests must exceed --warmup";
+      let db = make_db kind scale seed in
+      let mix = Workload.Driver.mix_for db ~kind in
+      (* Unlike run/analyze, the default is jobs=1: the driver
+         parallelizes across clients, not inside queries, so client
+         domains do not contend for the worker pool. *)
+      let opts = Exec_opts.make ~jobs:(Option.value jobs ~default:1) () in
+      let cfg =
+        Workload.Driver.config ~clients ~mode ~requests ~warmup ~seed ~opts ()
+      in
+      let report = Workload.Driver.run cfg db mix in
+      (* Client domains are joined; quiesce any pool workers the
+         queries themselves spawned so the process exits with no idle
+         domains taxing final GC sections. *)
+      Relalg.Domain_pool.shutdown ();
+      if json then
+        Fmt.pr "%a@." Obs.Json.pp_pretty
+          (Obs.Json.Obj
+             (match Workload.Driver.report_to_json report with
+             | Obs.Json.Obj fields ->
+               ("database", Obs.Json.Str kind)
+               :: ("scale", Obs.Json.Int scale)
+               :: fields
+             | other -> [ ("report", other) ]))
+      else Fmt.pr "%a@." Workload.Driver.pp_report report;
+      0
+    with Failure msg ->
+      Fmt.epr "pascalr: %s@." msg;
+      1
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Concurrent client domains, each with a private session.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop offered rate in requests/second (Poisson \
+             arrivals).  Without $(b,--rate) the driver runs closed \
+             loop: every client fires its next request on completion.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"SEC"
+          ~doc:
+            "With $(b,--rate): offer traffic for SEC seconds \
+             (requests = rate * duration) instead of $(b,--requests).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Total requests to schedule, warmup included.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "warmup" ] ~docv:"N"
+          ~doc:
+            "Leading requests executed but excluded from the reported \
+             histograms and result multiset.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Drive a concurrent-client workload (closed or open loop) and \
+          report throughput and latency percentiles per scenario class")
+    Term.(
+      const go $ db_arg $ scale_arg $ seed_arg $ clients_arg $ rate_arg
+      $ duration_arg $ requests_arg $ warmup_arg $ jobs_arg $ json_arg
+      $ verbosity_arg)
+
 let explain_cmd =
   let go kind scale seed schema loads query file example strategy =
     with_setup kind scale seed schema loads query file example (fun db q ->
@@ -780,6 +897,7 @@ let () =
             run_cmd;
             analyze_cmd;
             stats_cmd;
+            traffic_cmd;
             explain_cmd;
             plan_cmd;
             normalize_cmd;

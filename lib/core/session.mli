@@ -6,7 +6,15 @@
     only the collection / combination / construction phases.  Cache
     keys digest the alpha-canonical query, so variable spelling does
     not matter; entries are invalidated when
-    {!Relalg.Database.stats_epoch} moves. *)
+    {!Relalg.Database.stats_epoch} moves.
+
+    A session — including its plan cache and statistics — is a
+    single-domain structure: share the read-only database across
+    domains, never the session.  Concurrent clients each create their
+    own (what {!Workload.Driver} does, one session per client domain);
+    the process-global stores every execution feeds,
+    {!Obs.Query_stats} and {!Obs.Flight_recorder}, are mutex-protected
+    and safe to reach from any number of sessions concurrently. *)
 
 open Relalg
 open Calculus

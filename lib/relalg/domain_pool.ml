@@ -1,6 +1,7 @@
-(* Lazily-spawned, process-lifetime pool of worker domains.  See the
-   .mli for the caller contract (snapshots in, private results out,
-   metrics deltas merged at the join, lowest-index exception wins). *)
+(* Lazily-spawned pool of worker domains, reused across queries and
+   joinable via [shutdown].  See the .mli for the caller contract
+   (snapshots in, private results out, metrics deltas merged at the
+   join, lowest-index exception wins). *)
 
 type par = { jobs : int; threshold : int }
 
@@ -11,11 +12,14 @@ let active par n =
 
 (* ---- the pool ------------------------------------------------------ *)
 
+type job = Job of (unit -> unit) | Quit
+
 let lock = Mutex.create ()
 let work_available = Condition.create ()
-let queue : (unit -> unit) Queue.t = Queue.create ()
+let queue : job Queue.t = Queue.create ()
 let workers = ref 0
 let spawned_total = ref 0
+let handles : unit Domain.t list ref = ref []
 
 let spawned_domains () =
   Mutex.lock lock;
@@ -37,30 +41,50 @@ let worker_loop () =
     done;
     let job = Queue.pop queue in
     Mutex.unlock lock;
-    (* Jobs are wrapped by [run_tasks] and never raise; the catch-all
-       only shields the pool from a bug in the wrapper itself. *)
-    (try job () with _ -> ());
-    loop ()
+    match job with
+    | Quit -> ()
+    | Job f ->
+      (* Jobs are wrapped by [run_tasks] and never raise; the catch-all
+         only shields the pool from a bug in the wrapper itself. *)
+      (try f () with _ -> ());
+      loop ()
   in
   loop ()
 
-(* Grow the pool to [n] workers.  Workers are never torn down: they
-   park on [work_available] between queries, and idle blocked domains
-   do not delay process exit. *)
+(* Grow the pool to [n] workers.  Between queries workers park on
+   [work_available]; idle blocked domains do not delay process exit, but
+   they do tax every stop-the-world section, which is what [shutdown]
+   exists to undo. *)
 let ensure_workers n =
   Mutex.lock lock;
   while !workers < n do
     incr workers;
     incr spawned_total;
-    ignore (Domain.spawn worker_loop : unit Domain.t)
+    handles := Domain.spawn worker_loop :: !handles
   done;
   Mutex.unlock lock
 
 let submit job =
   Mutex.lock lock;
-  Queue.push job queue;
+  Queue.push (Job job) queue;
   Condition.signal work_available;
   Mutex.unlock lock
+
+(* Quiesce the pool: one poison pill per worker (the queue is FIFO, so
+   pending jobs drain first), then join every worker domain.  Must be
+   called from outside the pool with no [run_tasks] in flight; the next
+   parallel call after a shutdown lazily respawns a fresh pool. *)
+let shutdown () =
+  Mutex.lock lock;
+  let joinable = !handles in
+  for _ = 1 to !workers do
+    Queue.push Quit queue
+  done;
+  workers := 0;
+  handles := [];
+  Condition.broadcast work_available;
+  Mutex.unlock lock;
+  List.iter Domain.join joinable
 
 (* ---- fork/join over indexed tasks ---------------------------------- *)
 

@@ -63,4 +63,13 @@ val parallel_chunks : jobs:int -> 'a array -> (int -> 'a array -> 'b) -> 'b list
 val spawned_domains : unit -> int
 (** Total worker domains spawned so far in this process — observable
     pool-reuse evidence for tests: repeated parallel calls at the same
-    [jobs] must not grow it. *)
+    [jobs] must not grow it (until a {!shutdown}, after which the next
+    parallel call respawns and the total grows again). *)
+
+val shutdown : unit -> unit
+(** Quiesce the pool: drain pending jobs, stop and join every worker
+    domain.  Even parked workers tax later stop-the-world GC sections,
+    so long-lived processes (the bench harness, the traffic driver)
+    call this once a parallel phase is over.  Must not be called with a
+    {!run_tasks} in flight.  The pool respawns lazily on the next
+    parallel call; a no-op when no workers are alive. *)

@@ -31,8 +31,21 @@ let in_range t lo hi =
 
 let bool t = int t 2 = 0
 
+(* Uniform float in [0, 1): 53 random mantissa bits, the full precision
+   a double can hold in that interval. *)
+let float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  Stdlib.float_of_int bits /. 9007199254740992.0 (* 2^53 *)
+
 (* Bernoulli with probability [p]. *)
 let flip t p = int t 1_000_000 < int_of_float (p *. 1_000_000.)
+
+(* Exponentially distributed with the given mean: inverse-CDF over a
+   uniform draw pinned away from 0 so the log is finite.  The workload
+   driver's Poisson-process inter-arrival times come from here. *)
+let exponential t ~mean =
+  if not (mean > 0.0) then invalid_arg "Prng.exponential: non-positive mean"
+  else -.mean *. Float.log (1.0 -. float t)
 
 let pick t = function
   | [] -> invalid_arg "Prng.pick: empty list"

@@ -17,6 +17,14 @@ val bool : t -> bool
 val flip : t -> float -> bool
 (** Bernoulli with the given probability. *)
 
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53 bits of precision. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean (inverse CDF) — the
+    inter-arrival times of a Poisson arrival process.
+    @raise Invalid_argument on non-positive means. *)
+
 val pick : t -> 'a list -> 'a
 val pick_array : t -> 'a array -> 'a
 val word : t -> int -> string

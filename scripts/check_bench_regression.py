@@ -28,6 +28,17 @@ Two checks:
    never be catastrophically slower than the serial engine it wraps.
    Rows whose serial median is under 5 ms are skipped as timer noise.
 
+4. B-TRAFFIC, baseline vs new, only when BOTH runs carry rows (older
+   baselines predate the traffic experiment).  Rows are keyed by
+   (strategy, pass) — the A-B-A-B interleave records two closed-loop
+   and two open-loop passes.  Each new row's achieved throughput must
+   stay above a third of the baseline's, and its p95 latency is held
+   to the shared 3x / absolute-bound rule.  Thirds, not tenths: the
+   traffic driver multiplexes client domains over whatever cores the
+   CI runner exposes, so absolute throughput is machine-relative and
+   only a cliff — scheduler convoy, lost concurrency, accidental
+   serialization — should fail the gate.
+
 Usage: check_bench_regression.py BASELINE.json NEW.json
 """
 
@@ -152,6 +163,57 @@ def check_parallel(path):
     return failed
 
 
+TRAFFIC_THROUGHPUT_FLOOR = 3.0
+
+
+def traffic_rows(path):
+    """B-TRAFFIC rows of one run: {(query, strategy, pass): row dict}."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for r in doc.get("results", doc if isinstance(doc, list) else []):
+        if r.get("experiment") == "B-TRAFFIC":
+            rows[(r.get("query", ""), r.get("strategy", ""), r.get("pass", 0))] = r
+    return rows
+
+
+def check_traffic(baseline_path, new_path):
+    """Achieved-throughput floor and p95 ceiling, baseline vs new.
+
+    Applies only when both runs carry B-TRAFFIC rows; a baseline that
+    predates the traffic experiment silently passes."""
+    baseline = traffic_rows(baseline_path)
+    new = traffic_rows(new_path)
+    if not baseline or not new:
+        print("B-TRAFFIC: rows missing on one side, skipping the traffic check")
+        return []
+    failed = []
+    for key, base in sorted(baseline.items()):
+        if key not in new:
+            continue
+        query, strategy, pass_ = key
+        row = new[key]
+        base_rps = base.get("achieved_rps")
+        new_rps = row.get("achieved_rps")
+        status = "ok"
+        if base_rps is not None and new_rps is not None:
+            if new_rps < base_rps / TRAFFIC_THROUGHPUT_FLOOR:
+                status = "THROUGHPUT CLIFF"
+        base_p95, new_p95 = base.get("wall_ms_p95"), row.get("wall_ms_p95")
+        p95_note = ""
+        if base_p95 is not None and new_p95 is not None:
+            p95_note = f"  p95={base_p95:7.2f}->{new_p95:7.2f}ms"
+            if exceeds(base_p95, new_p95):
+                status = "P95 REGRESSION" if status == "ok" else status
+        print(
+            f"B-TRAFFIC {query:16s} {strategy:7s} pass={pass_}  "
+            f"rps={base_rps:7.1f}->{new_rps:7.1f}{p95_note}  {status}"
+        )
+        if status != "ok":
+            failed.append(key)
+    return failed
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__.strip())
@@ -189,6 +251,7 @@ def main():
         print("B-SCALE/B-DIV: no rows in the new run, skipping the baseline comparison")
     prep_failed = check_prepared(sys.argv[2])
     par_failed = check_parallel(sys.argv[2])
+    traffic_failed = check_traffic(sys.argv[1], sys.argv[2])
     if failed:
         sys.exit(f"{len(failed)}/{compared} rows regressed beyond {FACTOR}x")
     if prep_failed:
@@ -200,6 +263,11 @@ def main():
         sys.exit(
             f"{len(par_failed)} B-PAR rows where jobs>1 was more than "
             f"{PAR_FACTOR}x slower than the serial engine"
+        )
+    if traffic_failed:
+        sys.exit(
+            f"{len(traffic_failed)} B-TRAFFIC rows lost more than "
+            f"{TRAFFIC_THROUGHPUT_FLOOR}x throughput or regressed p95"
         )
     if compared:
         print(f"all {compared} rows within {FACTOR}x of baseline")

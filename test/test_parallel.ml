@@ -44,6 +44,25 @@ let test_pool_reuse () =
   Alcotest.(check int) "second run reuses the pooled workers" after_first
     (Domain_pool.spawned_domains ())
 
+let test_shutdown_and_respawn () =
+  (* Park some workers, quiesce them, and confirm the next parallel run
+     lazily respawns a working pool: the spawn counter advances (fresh
+     domains, not reused ones) and results stay correct. *)
+  ignore (Domain_pool.parallel_map ~jobs:3 Fun.id (Array.init 32 Fun.id));
+  let before = Domain_pool.spawned_domains () in
+  Domain_pool.shutdown ();
+  Domain_pool.shutdown ();
+  (* idempotent on an empty pool *)
+  Alcotest.(check int) "shutdown spawns nothing" before
+    (Domain_pool.spawned_domains ());
+  let input = Array.init 64 Fun.id in
+  let out = Domain_pool.parallel_map ~jobs:3 (fun x -> x + 1) input in
+  Alcotest.(check (array int)) "respawned pool computes correctly"
+    (Array.map (fun x -> x + 1) input)
+    out;
+  Alcotest.(check bool) "respawn used fresh domains" true
+    (Domain_pool.spawned_domains () > before)
+
 let test_exception_lowest_index () =
   let ran = Array.make 6 false in
   let raised =
@@ -306,6 +325,8 @@ let suite =
           test_parallel_map;
         Alcotest.test_case "pool domains are reused across runs" `Quick
           test_pool_reuse;
+        Alcotest.test_case "shutdown joins workers, next run respawns" `Quick
+          test_shutdown_and_respawn;
         Alcotest.test_case "lowest-index exception wins at the join" `Quick
           test_exception_lowest_index;
         Alcotest.test_case "typed storage errors propagate from workers" `Quick

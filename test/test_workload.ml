@@ -1,0 +1,150 @@
+(* The traffic driver: schedule generation (deterministic under seed,
+   exponential arrivals matching the offered rate, warmup flagging) and
+   the run-level determinism contract — the (scenario class, rows_out)
+   result multiset is independent of the client-domain count. *)
+
+module D = Workload.Driver
+
+let small_db () = Workload.University.generate Workload.University.small_params
+
+(* --------------------------------------------------------------- *)
+(* Schedule generation *)
+
+let sched_key r = (r.D.rq_index, r.D.rq_class, r.D.rq_at_ms, r.D.rq_warmup)
+
+let test_schedule_deterministic () =
+  let db = small_db () in
+  let mix = D.university_mix db in
+  List.iter
+    (fun mode ->
+      let s1 = D.schedule mode ~requests:50 ~warmup:10 ~seed:7 mix in
+      let s2 = D.schedule mode ~requests:50 ~warmup:10 ~seed:7 mix in
+      Alcotest.(check int) "length" 50 (Array.length s1);
+      Alcotest.(check bool) "same seed, same schedule" true
+        (Array.for_all2 (fun a b -> sched_key a = sched_key b) s1 s2);
+      let s3 = D.schedule mode ~requests:50 ~warmup:10 ~seed:8 mix in
+      Alcotest.(check bool) "different seed, different draws" false
+        (Array.for_all2 (fun a b -> sched_key a = sched_key b) s1 s3))
+    [ D.Closed; D.Open 100.0 ]
+
+let test_schedule_arrivals () =
+  let db = small_db () in
+  let mix = D.university_mix db in
+  (* Closed-loop requests carry no arrival offsets. *)
+  let closed = D.schedule D.Closed ~requests:30 ~warmup:5 ~seed:3 mix in
+  Alcotest.(check bool) "closed: all at_ms zero" true
+    (Array.for_all (fun r -> r.D.rq_at_ms = 0.0) closed);
+  (* Open loop: offsets are strictly increasing and the empirical mean
+     inter-arrival converges on 1000/rate ms.  2000 exponential draws
+     put the sample mean within a few percent of the true mean with
+     overwhelming probability; 15% absorbs unlucky seeds. *)
+  let rate = 100.0 in
+  let n = 2000 in
+  let s = D.schedule (D.Open rate) ~requests:n ~warmup:0 ~seed:42 mix in
+  let increasing = ref true in
+  Array.iteri
+    (fun i r -> if i > 0 && r.D.rq_at_ms <= s.(i - 1).D.rq_at_ms then increasing := false)
+    s;
+  Alcotest.(check bool) "open: offsets strictly increasing" true !increasing;
+  let mean_gap = s.(n - 1).D.rq_at_ms /. float_of_int (n - 1) in
+  let expected = 1000.0 /. rate in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean inter-arrival %.2fms within 15%% of %.2fms" mean_gap
+       expected)
+    true
+    (Float.abs (mean_gap -. expected) <= 0.15 *. expected)
+
+let test_schedule_warmup_flags () =
+  let db = small_db () in
+  let mix = D.university_mix db in
+  let s = D.schedule D.Closed ~requests:25 ~warmup:10 ~seed:1 mix in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d warmup flag" i)
+        (i < 10) r.D.rq_warmup)
+    s
+
+let test_schedule_validation () =
+  let db = small_db () in
+  let mix = D.university_mix db in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "requests <= 0 rejected" true
+    (raises (fun () -> D.schedule D.Closed ~requests:0 ~warmup:0 ~seed:1 mix));
+  Alcotest.(check bool) "warmup >= requests rejected" true
+    (raises (fun () -> D.schedule D.Closed ~requests:5 ~warmup:5 ~seed:1 mix));
+  Alcotest.(check bool) "negative warmup rejected" true
+    (raises (fun () -> D.schedule D.Closed ~requests:5 ~warmup:(-1) ~seed:1 mix));
+  Alcotest.(check bool) "non-positive rate rejected" true
+    (raises (fun () -> D.schedule (D.Open 0.0) ~requests:5 ~warmup:0 ~seed:1 mix));
+  Alcotest.(check bool) "empty mix rejected" true
+    (raises (fun () -> D.schedule D.Closed ~requests:5 ~warmup:0 ~seed:1 []))
+
+(* --------------------------------------------------------------- *)
+(* Runs: warmup exclusion and the report's accounting *)
+
+let test_run_warmup_excluded () =
+  let db = small_db () in
+  let mix = D.university_mix db in
+  let requests = 40 and warmup = 15 in
+  let cfg = D.config ~clients:2 ~requests ~warmup ~seed:9 () in
+  let r = D.run cfg db mix in
+  let measured = requests - warmup in
+  Alcotest.(check int) "histogram holds only non-warmup requests" measured
+    (Obs.Histogram.count r.D.r_latency);
+  Alcotest.(check int) "one result entry per non-warmup request" measured
+    (List.length r.D.r_results);
+  Alcotest.(check int) "class request counts sum to the measured total"
+    measured
+    (List.fold_left (fun acc c -> acc + c.D.cs_requests) 0 r.D.r_classes);
+  let class_histo_total =
+    List.fold_left
+      (fun acc c -> acc + Obs.Histogram.count c.D.cs_latency)
+      0 r.D.r_classes
+  in
+  Alcotest.(check int) "class histograms partition the overall one"
+    measured class_histo_total;
+  Alcotest.(check bool) "achieved throughput is positive" true
+    (r.D.r_achieved_rps > 0.0)
+
+(* The determinism contract: same seed, any client count, byte-identical
+   result multiset.  Random seeds, tiny runs — the cheap end-to-end
+   version of the CLI smoke test. *)
+let multiset_on seed =
+  let db = small_db () in
+  let mix = D.university_mix db in
+  let run clients =
+    (D.run (D.config ~clients ~requests:18 ~warmup:6 ~seed ()) db mix).D.r_results
+  in
+  let reference = run 1 in
+  List.for_all
+    (fun clients ->
+      run clients = reference
+      || QCheck.Test.fail_reportf
+           "clients=%d result multiset diverges at seed %d" clients seed)
+    [ 2; 4 ]
+
+let test_multiset_clients_independent =
+  QCheck.Test.make
+    ~name:"driver runs: result multiset independent of client count"
+    ~count:15
+    QCheck.(make Gen.(int_range 0 100_000))
+    multiset_on
+
+let suite =
+  [
+    ( "workload-driver",
+      [
+        Alcotest.test_case "schedule is deterministic under its seed" `Quick
+          test_schedule_deterministic;
+        Alcotest.test_case "open-loop arrivals match the offered rate" `Quick
+          test_schedule_arrivals;
+        Alcotest.test_case "warmup flags cover exactly the prefix" `Quick
+          test_schedule_warmup_flags;
+        Alcotest.test_case "schedule rejects invalid configurations" `Quick
+          test_schedule_validation;
+        Alcotest.test_case "warmup excluded from histograms and results"
+          `Quick test_run_warmup_excluded;
+        QCheck_alcotest.to_alcotest test_multiset_clients_independent;
+      ] );
+  ]
