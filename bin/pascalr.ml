@@ -309,6 +309,16 @@ let jobs_arg =
            the serial engine; the default comes from PASCALR_JOBS or the \
            core count.")
 
+let batch_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "batch-size" ] ~docv:"N"
+        ~doc:
+          "Row window of the vectorized stream kernels.  $(b,1) forces \
+           the scalar per-tuple engine; the default comes from \
+           PASCALR_BATCH_SIZE or 2048.")
+
 let param_arg =
   Arg.(
     value & opt_all string []
@@ -386,8 +396,8 @@ let pool_pages_arg =
 
 let run_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      jobs params verbose trace slow_ms trace_out pool_pages verbosity
-      failpoints =
+      jobs batch_size params verbose trace slow_ms trace_out pool_pages
+      verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
     Obs.Flight_recorder.set_slow_ms slow_ms;
@@ -407,7 +417,7 @@ let run_cmd =
         in
         let opts =
           Exec_opts.make ~strategy:st
-            ~join_order:(join_order_of_flag join_order) ?jobs ()
+            ~join_order:(join_order_of_flag join_order) ?jobs ?batch_size ()
         in
         let params = parse_params db params in
         let session = Session.create db in
@@ -448,7 +458,8 @@ let run_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
-      $ jobs_arg $ param_arg $ verbose $ trace_arg $ slow_ms_arg
+      $ jobs_arg $ batch_size_arg $ param_arg $ verbose $ trace_arg
+      $ slow_ms_arg
       $ trace_out_arg $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
 
 (* ----------------------------------------------------------------- *)
@@ -459,8 +470,8 @@ let run_cmd =
 
 let analyze_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      jobs params repeat json show_trace slow_ms trace_out pool_pages
-      verbosity failpoints =
+      jobs batch_size params repeat json show_trace slow_ms trace_out
+      pool_pages verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
     Obs.Flight_recorder.set_slow_ms slow_ms;
@@ -472,7 +483,7 @@ let analyze_cmd =
         in
         let opts =
           Exec_opts.make ~strategy:st
-            ~join_order:(join_order_of_flag join_order) ?jobs ()
+            ~join_order:(join_order_of_flag join_order) ?jobs ?batch_size ()
         in
         let params = parse_params db params in
         let a =
@@ -541,7 +552,8 @@ let analyze_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
-      $ jobs_arg $ param_arg $ repeat_arg $ json_arg $ trace_arg
+      $ jobs_arg $ batch_size_arg $ param_arg $ repeat_arg $ json_arg
+      $ trace_arg
       $ slow_ms_arg $ trace_out_arg $ pool_pages_arg $ verbosity_arg
       $ failpoint_arg)
 
@@ -556,7 +568,7 @@ let analyze_cmd =
 
 let stats_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      jobs params repeat json slow_ms trace_out verbosity =
+      jobs batch_size params repeat json slow_ms trace_out verbosity =
     setup_logs verbosity;
     Obs.Flight_recorder.set_slow_ms slow_ms;
     if repeat < 1 then begin
@@ -599,7 +611,7 @@ let stats_cmd =
             | None -> (Planner.choose db qq).Planner.d_strategy
           in
           Exec_opts.make ~strategy:st
-            ~join_order:(join_order_of_flag join_order) ?jobs ()
+            ~join_order:(join_order_of_flag join_order) ?jobs ?batch_size ()
         in
         let params = parse_params db params in
         let workload = List.map (fun qq -> (qq, opts_of qq)) workload in
@@ -673,7 +685,8 @@ let stats_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
-      $ jobs_arg $ param_arg $ repeat_arg $ json_arg $ slow_ms_arg
+      $ jobs_arg $ batch_size_arg $ param_arg $ repeat_arg $ json_arg
+      $ slow_ms_arg
       $ trace_out_arg $ verbosity_arg)
 
 (* ----------------------------------------------------------------- *)

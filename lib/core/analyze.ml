@@ -205,6 +205,18 @@ let combination_json () =
         Int (Obs.Metrics.counter_value "combination.join_rows_out") );
       ("fused", tally "algebra.fused." fused_ops);
       ("materialized", tally "algebra.materialized." materialized_ops);
+      (* Vectorized-kernel traffic: rows entering / surviving the
+         batched chains, and the wall time spent inside the kernel
+         loops.  All zero when batch_size = 1 (scalar execution). *)
+      ( "batch",
+        Obj
+          [
+            ("rows_in", Int (Obs.Metrics.counter_value "algebra.batch.rows_in"));
+            ( "rows_out",
+              Int (Obs.Metrics.counter_value "algebra.batch.rows_out") );
+            ( "kernel_ns",
+              Int (Obs.Metrics.counter_value "algebra.batch.kernel_ns") );
+          ] );
     ]
 
 (* Multicore activity: the parallelism budget the analysis ran under and
@@ -227,6 +239,7 @@ let parallel_json a =
     [
       ("jobs", Int a.a_opts.Exec_opts.jobs);
       ("par_threshold", Int a.a_opts.Exec_opts.par_threshold);
+      ("batch_size", Int a.a_opts.Exec_opts.batch_size);
       ("tasks", Int (c "parallel.tasks"));
       ("chunks", Int (c "parallel.chunks"));
       ("collection_builds", Int (c "parallel.collection_builds"));
@@ -257,8 +270,10 @@ let plan_cache_json a =
 (* Report schema version, bumped whenever sections are added or
    reshaped.  2: schema_version itself, cumulative per-digest "stats",
    the "flight_recorder" section, and plan_cache.hit_rate becoming a
-   number (0.0 instead of null on zero lookups). *)
-let schema_version = 2
+   number (0.0 instead of null on zero lookups).  3: the
+   "combination.batch" counters and "parallel.batch_size" of the
+   vectorized execution path. *)
+let schema_version = 3
 
 let to_json ~database ~scale db q a =
   let open Obs.Json in

@@ -45,6 +45,12 @@ type t = {
       (* parallelism budget from Exec_opts; None = the untouched serial
          engine.  Carried here so the combination phase (which receives
          the collection) inherits the same budget. *)
+  batch_size : int;
+      (* window size of the vectorized stream kernels; 1 = scalar *)
+  batch_pool : Batch.pool;
+      (* one interning pool per query: every stream chain of the
+         combination phase shares it, so a base single list padded into
+         several disjuncts is column-encoded exactly once *)
 }
 
 type component =
@@ -64,7 +70,7 @@ let var_schemas db (plan : Plan.t) =
     (fun acc e -> bind acc (e.Normalize.v, e.Normalize.range))
     acc plan.Plan.prefix
 
-let create ?par db strategy plan =
+let create ?par ?(batch_size = 1) db strategy plan =
   {
     db;
     strategy;
@@ -73,9 +79,13 @@ let create ?par db strategy plan =
     cache = Hashtbl.create 64;
     perm_installed = false;
     par;
+    batch_size = max 1 batch_size;
+    batch_pool = Batch.create_pool ();
   }
 
 let par t = t.par
+let batch_size t = t.batch_size
+let batch_pool t = t.batch_pool
 
 let var_schema t v = Var_map.find v t.schemas
 
@@ -499,6 +509,32 @@ let pair_spec t shape ~probe_atoms ~probe_derived ~index_atoms ~index_derived
           | None -> invalid_arg "Collection: derived value list not built")
         probe_derived
     in
+    (* Vectorized collection: when the combination phase will consume
+       this structure columnarly (batch_size > 1) and the build is
+       serial (the per-query interning pool is not domain-safe), intern
+       each index entry's references ONCE up front and accumulate the
+       inserted rows' integer cells alongside the build.  The columnar
+       divide then reuses these columns ({!Batch.register_unordered})
+       instead of re-interning the whole structure — for a large
+       indirect join that re-encode is its single biggest cost. *)
+    let vec =
+      if t.batch_size > 1 && t.par = None then
+        let pool = t.batch_pool in
+        let entry_ids =
+          Array.of_list
+            (List.rev
+               (Index.fold_entries
+                  (fun acc _ refs ->
+                    Array.of_list
+                      (List.map
+                         (fun r -> Batch.intern pool (Value.VRef r))
+                         refs)
+                    :: acc)
+                  [] idx))
+        in
+        Some (pool, entry_ids, Batch.acc_create [| Batch.K_obj; Batch.K_obj |])
+      else None
+    in
     let per_tuple tuple =
       if
         restriction_holds t range schema tuple
@@ -508,13 +544,46 @@ let pair_spec t shape ~probe_atoms ~probe_derived ~index_atoms ~index_derived
       then begin
         let probe_value = Tuple.get_by_name schema tuple shape.ps_probe_attr in
         let probe_ref = Reference.value_of_tuple rel tuple in
-        Index.fold_matching idx shape.ps_probe_op probe_value
-          (fun () r ->
-            Relation.insert out (Tuple.of_list [ probe_ref; Value.VRef r ]))
-          ()
+        (* The pair structure has a whole-tuple key and both components
+           are references built from already-checked relations, so the
+           unchecked fast path applies — this is the hottest insert site
+           of the collection phase (one insert per qualifying index
+           match). *)
+        match vec with
+        | None ->
+          Index.fold_matching idx shape.ps_probe_op probe_value
+            (fun () r ->
+              Relation.insert_unchecked out
+                (Tuple.of_list [ probe_ref; Value.VRef r ]))
+            ()
+        | Some (pool, entry_ids, acc) ->
+          let probe_id = Batch.intern pool probe_ref in
+          Index.fold_matching_entries idx shape.ps_probe_op probe_value
+            (fun () ord refs ->
+              List.iteri
+                (fun i r ->
+                  let rv = Value.VRef r in
+                  let before = Relation.cardinality out in
+                  Relation.insert_unchecked out
+                    (Tuple.of_list [ probe_ref; rv ]);
+                  if Relation.cardinality out <> before then begin
+                    Batch.acc_push_cell acc 0 probe_id;
+                    Batch.acc_push_cell acc 1
+                      (match ord with
+                      | Some o -> entry_ids.(o).(i)
+                      | None -> Batch.intern pool rv)
+                  end)
+                refs)
+            ()
       end
     in
-    (per_tuple, fun () -> E_rel out)
+    ( per_tuple,
+      fun () ->
+        (match vec with
+        | Some (pool, _, acc) ->
+          Batch.register_unordered pool out (Batch.acc_finish acc)
+        | None -> ());
+        E_rel out )
   in
   vspecs @ idx_specs
   @ List.concat_map (fun (_, _, specs) -> specs) mutual_with_keys

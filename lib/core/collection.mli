@@ -21,14 +21,28 @@ type component =
       (** indirect join: reference relation [<@v1, @v2>] *)
 
 val create :
-  ?par:Domain_pool.par -> Database.t -> Strategy.t -> Plan.t -> t
+  ?par:Domain_pool.par ->
+  ?batch_size:int ->
+  Database.t ->
+  Strategy.t ->
+  Plan.t ->
+  t
 (** [?par] is the parallelism budget from [Exec_opts.par]: omitted (or
     [jobs = 1] upstream) keeps every phase on the untouched serial
-    path. *)
+    path.  [?batch_size] (clamped to at least 1; default 1) is the
+    window size of the combination phase's vectorized stream kernels —
+    [1] keeps the scalar per-tuple emit. *)
 
 val par : t -> Domain_pool.par option
 (** The budget given to {!create} — the combination phase inherits it
     from the collection it evaluates over. *)
+
+val batch_size : t -> int
+(** The batch size given to {!create}. *)
+
+val batch_pool : t -> Relalg.Batch.pool
+(** The query-scoped interning pool every combination-phase stream
+    chain shares; one column encode per base list per query. *)
 
 val run : t -> unit
 (** With strategy 1, build every structure of the plan up front in

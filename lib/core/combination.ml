@@ -223,10 +223,12 @@ let pad_to coll target rel =
     let s =
       List.fold_left
         (fun s v -> Stream.product s (Collection.base_list coll v))
-        (Stream.of_relation rel) missing
+        (Stream.of_relation ~pool:(Collection.batch_pool coll) rel)
+        missing
     in
     Stream.materialize
       ?par:(Collection.par coll)
+      ~batch_size:(Collection.batch_size coll)
       ~name:"refrel" (Stream.project s target)
   end
 
@@ -235,7 +237,8 @@ let pad_to coll target rel =
    then project the eagerly eliminable variables away in the same
    streaming pass.  Returns [None] for a component-less conjunction
    (constant TRUE). *)
-let combine_streaming ?par (plan : Plan.t) order components =
+let combine_streaming coll (plan : Plan.t) order components =
+  let par = Collection.par coll in
   match List.map rel_of components with
   | [] -> None
   | rels ->
@@ -270,15 +273,251 @@ let combine_streaming ?par (plan : Plan.t) order components =
       Some first (* already in shape: share the collection structure *)
     else begin
       let stream =
-        List.fold_left Stream.natural_join (Stream.of_relation first) rest
+        List.fold_left Stream.natural_join
+          (Stream.of_relation ~pool:(Collection.batch_pool coll) first)
+          rest
       in
       let stream =
         if List.equal String.equal (Schema.names (Stream.schema stream)) out_cols
         then stream
         else Stream.project stream out_cols
       in
-      Some (Stream.materialize ?par ~name:"refrel" stream)
+      Some
+        (Stream.materialize ?par
+           ~batch_size:(Collection.batch_size coll)
+           ~name:"refrel" stream)
     end
+
+(* Batched universal elimination: the pad -> union -> divide pipeline
+   of one Q_all quantifier executed entirely over interned integer
+   columns.  The scalar pipeline materializes the padded cohort members
+   and their union into whole-tuple-keyed relations — one deep
+   structural hash per inserted reference tuple, tens of thousands of
+   inserts whose only purpose is to feed the division.  Here each
+   cohort member is encoded once (cached in the query pool), the padded
+   rows are enumerated as integer rows with an odometer over the
+   member x base-list cross product, the division groups by
+   integer quotient keys, and only the quotient — typically a few
+   rows — is decoded back into a relation.
+
+   Set-equivalence with the scalar path: interning is injective, so
+   integer-row equality is tuple equality within the pool; the union's
+   set semantics fall out of the image sets (duplicate (quotient,
+   image) pairs collapse); cover checks compare the same sets of
+   values.  Returns [None] — caller falls back to the scalar pipeline —
+   if anything fails to encode or the paired column classes disagree.
+   Counter caveat: relation scan/insert counters do not move for the
+   skipped intermediates (the batch.rows counters do instead);
+   max_ntuple accounting is identical, because the distinct-row count
+   of the virtual union is grown exactly like the materialized one. *)
+let eliminate_all_batched coll (plan : Plan.t) grow ~v ~common cohort =
+  let pool = Collection.batch_pool coll in
+  try
+    let t0 = Unix.gettimeofday () in
+    (* Reference type per common column, from the first cohort member
+       carrying it; the padded schema of the scalar path derives its
+       attribute types from the same sources. *)
+    let type_of_col c =
+      let rec go = function
+        | [] -> raise Batch.Unbatchable
+        | d :: rest ->
+          let sd = Relation.schema d in
+          if Schema.mem sd c then Schema.type_of sd c else go rest
+      in
+      go cohort
+    in
+    let ref_types = List.map type_of_col common in
+    let ref_cls = Array.of_list (List.map Batch.cls_of_type ref_types) in
+    let k = List.length common in
+    let vq =
+      match List.find_index (String.equal v) common with
+      | Some i -> i
+      | None -> raise Batch.Unbatchable
+    in
+    (* Per cohort member: sources = the member plus one base list per
+       missing column; map each common column to its source's encoded
+       column, refusing on any column-class mismatch. *)
+    let members =
+      List.map
+        (fun d ->
+          let sd = Relation.schema d in
+          let missing =
+            List.filter (fun c -> not (Schema.mem sd c)) common
+          in
+          let inputs = d :: List.map (Collection.base_list coll) missing in
+          let views =
+            List.map
+              (fun r ->
+                (* The whole pipeline here is order-insensitive (groups,
+                   image sets, distinct counts), so a member that was
+                   materialized by the batched stream engine can reuse
+                   the insertion-order columns it registered. *)
+                let e = Batch.encode_relation_unordered pool r in
+                ( Relation.schema r,
+                  Batch.of_encoded pool e ~off:0 ~len:(Batch.encoded_rows e) ))
+              inputs
+          in
+          let locate j c =
+            let rec go si = function
+              | [] -> raise Batch.Unbatchable
+              | (s, view) :: rest ->
+                if Schema.mem s c then begin
+                  if Batch.cls_of_type (Schema.type_of s c) <> ref_cls.(j)
+                  then raise Batch.Unbatchable;
+                  (si, view.Batch.cols.(Schema.index_of s c))
+                end
+                else go (si + 1) rest
+            in
+            go 0 views
+          in
+          let mapping = Array.of_list (List.mapi locate common) in
+          let dims =
+            Array.of_list (List.map (fun (_, b) -> b.Batch.nrows) views)
+          in
+          (mapping, dims))
+        cohort
+    in
+    let divisor_rel = Collection.base_list coll v in
+    let divisor_view =
+      let e = Batch.encode_relation pool divisor_rel in
+      Batch.of_encoded pool e ~off:0 ~len:(Batch.encoded_rows e)
+    in
+    let sdv = Relation.schema divisor_rel in
+    if Batch.cls_of_type (Schema.type_of sdv v) <> ref_cls.(vq) then
+      raise Batch.Unbatchable;
+    let divisor_col = divisor_view.Batch.cols.(Schema.index_of sdv v) in
+    (* Everything below is pure integer work — no Unbatchable, so no
+       counter can double-bump on fallback. *)
+    let divisor_set = Hashtbl.create 64 in
+    for r = 0 to divisor_view.Batch.nrows - 1 do
+      Hashtbl.replace divisor_set (Batch.cell divisor_col r) ()
+    done;
+    let needed = Hashtbl.length divisor_set in
+    (* Group the virtual union by quotient key, collecting the image
+       set of v per group; count distinct rows for the max_ntuple
+       accounting. *)
+    let groups : (int, unit) Hashtbl.t Batch.Ikey.t =
+      Batch.Ikey.create 256
+    in
+    let dividend_card = ref 0 in
+    let rows_in = ref 0 in
+    List.iter
+      (fun (mapping, dims) ->
+        let nsrc = Array.length dims in
+        let total = Array.fold_left ( * ) 1 dims in
+        if total > 0 then begin
+          rows_in := !rows_in + total;
+          (* Quotient-ordered (source, column) pairs and a reusable key
+             buffer: the loop below allocates only when a new quotient
+             group first appears (the key is copied on insert), and the
+             image-set membership test rides the single [replace]'s
+             length delta instead of a separate [mem]. *)
+          let qmap =
+            Array.init (k - 1) (fun j -> mapping.(if j < vq then j else j + 1))
+          in
+          let vsi, vcol = mapping.(vq) in
+          let qkey = Array.make (k - 1) 0 in
+          let idx = Array.make nsrc 0 in
+          let live = ref true in
+          let rec bump i =
+            if i < 0 then live := false
+            else begin
+              idx.(i) <- idx.(i) + 1;
+              if idx.(i) = dims.(i) then begin
+                idx.(i) <- 0;
+                bump (i - 1)
+              end
+            end
+          in
+          while !live do
+            for j = 0 to k - 2 do
+              let si, col = qmap.(j) in
+              qkey.(j) <- Batch.cell col idx.(si)
+            done;
+            let img = Batch.cell vcol idx.(vsi) in
+            let images =
+              match Batch.Ikey.find_opt groups qkey with
+              | Some set -> set
+              | None ->
+                let set = Hashtbl.create 8 in
+                Batch.Ikey.replace groups (Array.copy qkey) set;
+                set
+            in
+            let before = Hashtbl.length images in
+            Hashtbl.replace images img ();
+            if Hashtbl.length images <> before then incr dividend_card;
+            bump (nsrc - 1)
+          done
+        end)
+      members;
+    (match cohort with
+    | [ d ] when List.equal String.equal (columns d) common -> ()
+    | _ -> Obs.Metrics.incr "algebra.materialized.union");
+    grow !dividend_card;
+    let result =
+      if k = 1 then begin
+        (* Boolean degeneration: does the cohort's v set cover the
+           whole range?  (Vacuously yes over an empty divisor.) *)
+        let images =
+          match Batch.Ikey.find_opt groups [||] with
+          | Some set -> set
+          | None -> Hashtbl.create 1
+        in
+        let covered =
+          Hashtbl.length images >= needed
+          && Hashtbl.fold
+               (fun d () acc -> acc && Hashtbl.mem images d)
+               divisor_set true
+        in
+        if covered then [ true_disjunct coll plan ] else []
+      end
+      else begin
+        Obs.Metrics.incr "algebra.materialized.divide";
+        let quotient_names = List.filter (fun c -> not (String.equal c v)) common in
+        let dividend_schema =
+          Schema.make
+            (List.map2 (fun c ty -> Schema.attr c ty) common ref_types)
+            ~key:[]
+        in
+        let out =
+          Relation.create ~name:"refrel"
+            (Schema.project dividend_schema quotient_names)
+        in
+        let q_cls =
+          Array.init (k - 1) (fun j -> ref_cls.(if j < vq then j else j + 1))
+        in
+        let decode_insert qkey =
+          Relation.insert out
+            (Array.mapi
+               (fun j id ->
+                 match q_cls.(j) with
+                 | Batch.K_int -> Value.VInt id
+                 | Batch.K_bool -> Value.VBool (id <> 0)
+                 | Batch.K_obj -> Batch.value pool id)
+               qkey)
+        in
+        Batch.Ikey.iter
+          (fun qkey images ->
+            let covers =
+              needed = 0
+              || Hashtbl.length images >= needed
+                 && Hashtbl.fold
+                      (fun d () acc -> acc && Hashtbl.mem images d)
+                      divisor_set true
+            in
+            if covers then decode_insert qkey)
+          groups;
+        [ out ]
+      end
+    in
+    let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    Obs.Metrics.incr ~by:!rows_in "algebra.batch.rows_in";
+    Obs.Metrics.incr
+      ~by:(match result with [ r ] -> Relation.cardinality r | _ -> 0)
+      "algebra.batch.rows_out";
+    Obs.Metrics.incr ~by:ns "algebra.batch.kernel_ns";
+    Some result
+  with Batch.Unbatchable -> None
 
 (* Disjunct-wise right-to-left quantifier elimination over the LIST of
    conjunction relations (heterogeneous column sets); see the header
@@ -314,12 +553,19 @@ let eliminate_streaming coll (plan : Plan.t) grow disjuncts =
               let cohort, others = List.partition (fun d -> has_col d v) djs in
               match cohort with
               | [] -> djs (* no disjunct constrains v: ∀v is vacuous *)
-              | _ ->
+              | _ -> (
                 let common =
                   canonical order
                     (List.sort_uniq String.compare
                        (List.concat_map columns cohort))
                 in
+                match
+                  if Collection.batch_size coll > 1 then
+                    eliminate_all_batched coll plan grow ~v ~common cohort
+                  else None
+                with
+                | Some reduced -> reduced @ others
+                | None ->
                 let dividend =
                   match cohort with
                   | [ d ] when List.equal String.equal (columns d) common -> d
@@ -343,7 +589,7 @@ let eliminate_streaming coll (plan : Plan.t) grow disjuncts =
                 else
                   Algebra.divide ~name:"refrel" ~on:[ (v, v) ] dividend
                     divisor
-                  :: others)
+                  :: others))
           in
           let total =
             List.fold_left (fun n d -> n + Relation.cardinality d) 0 reduced
@@ -362,10 +608,7 @@ let evaluate_streaming coll (plan : Plan.t) grow =
         Obs.Trace.with_span (Fmt.str "conjunction %d" i) (fun () ->
             let components = Collection.components coll conj in
             let r =
-              match
-                combine_streaming ?par:(Collection.par coll) plan order
-                  components
-              with
+              match combine_streaming coll plan order components with
               | Some r -> r
               | None -> true_disjunct coll plan
             in

@@ -7,9 +7,22 @@ type t = {
   join_order : Combination.join_order;
   jobs : int;
   par_threshold : int;
+  batch_size : int;
 }
 
 let default_par_threshold = 4096
+
+(* Default window size of the vectorized stream kernels.  Big enough to
+   amortize the per-batch dispatch, small enough that the gather buffers
+   of a join stay cache-resident.  [1] disables batching: the scalar
+   emit is the differential oracle the batched path is tested against. *)
+let default_batch_size =
+  match Sys.getenv_opt "PASCALR_BATCH_SIZE" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 2048)
+  | None -> 2048
 
 (* Default worker count: the PASCALR_JOBS environment variable (how the
    CI matrix pins both the serial and the 4-domain suite) if set to a
@@ -28,12 +41,20 @@ let default =
     join_order = Combination.Cost_ordered;
     jobs = default_jobs;
     par_threshold = default_par_threshold;
+    batch_size = default_batch_size;
   }
 
 let make ?(strategy = Strategy.full)
     ?(join_order = Combination.Cost_ordered) ?(jobs = default_jobs)
-    ?(par_threshold = default_par_threshold) () =
-  { strategy; join_order; jobs = max 1 jobs; par_threshold = max 0 par_threshold }
+    ?(par_threshold = default_par_threshold)
+    ?(batch_size = default_batch_size) () =
+  {
+    strategy;
+    join_order;
+    jobs = max 1 jobs;
+    par_threshold = max 0 par_threshold;
+    batch_size = max 1 batch_size;
+  }
 
 let par t =
   if t.jobs <= 1 then None
@@ -50,13 +71,14 @@ let join_order_of_string = function
 
 (* Injective over the record: each strategy flag has its own token in
    Strategy.to_string, the join order follows after '/', then the
-   parallelism knobs.  jobs and par_threshold are part of the
-   fingerprint — and hence of every plan-cache key — so plans prepared
-   under different parallelism settings never collide in the cache. *)
+   parallelism and batching knobs.  jobs, par_threshold and batch_size
+   are part of the fingerprint — and hence of every plan-cache key — so
+   plans prepared under different execution settings never collide in
+   the cache. *)
 let fingerprint t =
-  Fmt.str "%s/%s/j%d/t%d"
+  Fmt.str "%s/%s/j%d/t%d/b%d"
     (Strategy.to_string t.strategy)
     (join_order_to_string t.join_order)
-    t.jobs t.par_threshold
+    t.jobs t.par_threshold t.batch_size
 
 let pp ppf t = Fmt.string ppf (fingerprint t)

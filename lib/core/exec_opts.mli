@@ -11,25 +11,34 @@ type t = {
   par_threshold : int;
       (** input cardinality below which partitioned operators stay
           serial — chunking tiny inputs costs more than it saves *)
+  batch_size : int;
+      (** window size of the vectorized stream kernels; [1] runs the
+          scalar per-tuple emit (the differential oracle) *)
 }
 
 val default : t
 (** {!Strategy.full} with {!Combination.Cost_ordered} joins; [jobs]
     from the [PASCALR_JOBS] environment variable if set to a positive
     integer, else [Domain.recommended_domain_count ()]; [par_threshold]
-    4096. *)
+    4096; [batch_size] from [PASCALR_BATCH_SIZE] if set to a positive
+    integer, else 2048. *)
 
 val default_jobs : int
 (** The resolved [jobs] default described under {!default}. *)
+
+val default_batch_size : int
+(** The resolved [batch_size] default described under {!default}. *)
 
 val make :
   ?strategy:Strategy.t ->
   ?join_order:Combination.join_order ->
   ?jobs:int ->
   ?par_threshold:int ->
+  ?batch_size:int ->
   unit ->
   t
-(** [jobs] is clamped to at least 1, [par_threshold] to at least 0. *)
+(** [jobs] and [batch_size] are clamped to at least 1, [par_threshold]
+    to at least 0. *)
 
 val par : t -> Relalg.Domain_pool.par option
 (** The parallelism budget the engine threads to {!Relalg.Algebra} and

@@ -158,7 +158,8 @@ let exec_with ?name ?(params = []) (clock : Observe.clock) t =
   let coll =
     Collection.create
       ?par:(Exec_opts.par t.p_opts)
-      t.p_db t.p_opts.Exec_opts.strategy plan
+      ~batch_size:t.p_opts.Exec_opts.batch_size t.p_db
+      t.p_opts.Exec_opts.strategy plan
   in
   clock.time Observe.Collection (fun () ->
       Obs.Trace.with_span "collection" (fun () -> Collection.run coll));
@@ -181,7 +182,8 @@ let exec_report_with ?name ?(params = []) (clock : Observe.clock) t =
   let coll =
     Collection.create
       ?par:(Exec_opts.par t.p_opts)
-      t.p_db t.p_opts.Exec_opts.strategy plan
+      ~batch_size:t.p_opts.Exec_opts.batch_size t.p_db
+      t.p_opts.Exec_opts.strategy plan
   in
   clock.time Observe.Collection (fun () ->
       Obs.Trace.with_span "collection" (fun () -> Collection.run coll));

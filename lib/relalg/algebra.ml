@@ -400,16 +400,44 @@ module Stream = struct
     pc_stage : unit -> stage;
   }
 
+  (* The batched (columnar) description of the same chain.  The source
+     relation is encoded once into column arrays and driven through the
+     chain in windows of [batch_size] rows; each operator is a kernel
+     over batches (selection vectors, column shares, integer-keyed hash
+     tables) instead of a per-tuple callback.  [bt_force] performs the
+     encodes of every build side (it may raise {!Batch.Unbatchable}, in
+     which case {!materialize} falls back to the scalar emit before any
+     counter has moved); [bt_prime] bumps the per-run tallies exactly as
+     the scalar emit would; [bt_stage] manufactures a fresh per-worker
+     kernel instance, mirroring [pc_stage].  Kernels reproduce the
+     scalar emission order exactly — see each operator's comment. *)
+  type bstage = {
+    bfeed : (Batch.t -> unit) -> Batch.t -> unit;
+    bflush : unit -> unit;
+  }
+
+  type bat_chain = {
+    bt_src : Relation.t;
+    bt_pool : Batch.pool;
+    bt_force : unit -> unit;
+    bt_prime : unit -> unit;
+    bt_stage : unit -> bstage;
+  }
+
   type t = {
     schema : Schema.t;
     emit : (Tuple.t -> unit) -> unit;
     par : par_chain option;
+    bat : bat_chain option;
   }
 
   let schema s = s.schema
   let fused op = Obs.Metrics.incr ("algebra.fused." ^ op)
 
-  let of_relation rel =
+  let of_relation ?pool rel =
+    let bt_pool =
+      match pool with Some p -> p | None -> Batch.create_pool ()
+    in
     {
       schema = Relation.schema rel;
       emit = (fun k -> Relation.iter k rel);
@@ -419,6 +447,16 @@ module Stream = struct
             pc_src = rel;
             pc_prime = (fun () -> ());
             pc_stage = (fun () -> { feed = (fun k -> k); flush = (fun () -> ()) });
+          };
+      bat =
+        Some
+          {
+            bt_src = rel;
+            bt_pool;
+            bt_force = (fun () -> ());
+            bt_prime = (fun () -> ());
+            bt_stage =
+              (fun () -> { bfeed = (fun k -> k); bflush = (fun () -> ()) });
           };
     }
 
@@ -434,6 +472,25 @@ module Stream = struct
           let up = pc.pc_stage () in
           stage up);
     }
+
+  let extend_bat bc ~force ~prime ~stage =
+    {
+      bc with
+      bt_force =
+        (fun () ->
+          bc.bt_force ();
+          force ());
+      bt_prime =
+        (fun () ->
+          bc.bt_prime ();
+          prime ());
+      bt_stage =
+        (fun () ->
+          let up = bc.bt_stage () in
+          stage up);
+    }
+
+  let no_force () = ()
 
   let select pred s =
     {
@@ -452,6 +509,22 @@ module Stream = struct
                  flush = up.flush;
                }))
           s.par;
+      (* Opaque predicates take boxed tuples, so the kernel decodes each
+         live row once and refines the selection vector — downstream
+         kernels never look at the dropped rows again. *)
+      bat =
+        Option.map
+          (extend_bat ~force:no_force
+             ~prime:(fun () -> fused "select")
+             ~stage:(fun up ->
+               {
+                 bfeed =
+                   (fun k ->
+                     up.bfeed (fun b ->
+                         k (Batch.filter b (fun i -> pred (Batch.tuple b i)))));
+                 bflush = up.bflush;
+               }))
+          s.bat;
     }
 
   let project s names =
@@ -472,6 +545,18 @@ module Stream = struct
                  flush = up.flush;
                }))
           s.par;
+      (* Columnar projection shares the retained column arrays — no
+         per-row work at all. *)
+      bat =
+        Option.map
+          (extend_bat ~force:no_force
+             ~prime:(fun () -> fused "project")
+             ~stage:(fun up ->
+               {
+                 bfeed = (fun k -> up.bfeed (fun b -> k (Batch.project b positions)));
+                 bflush = up.bflush;
+               }))
+          s.bat;
     }
 
   (* Streaming duplicate elimination: a projection can multiply the rows
@@ -515,6 +600,34 @@ module Stream = struct
                  flush = up.flush;
                }))
           s.par;
+      (* Batched dedup keeps a seen-set of integer rows: hashing machine
+         ints instead of re-walking nested reference keys per tuple.
+         First occurrences pass in arrival order, so the output matches
+         the scalar path; the per-chunk-instance caveat under [par] is
+         the same as the scalar one above. *)
+      bat =
+        (let arity = Schema.arity s.schema in
+         let positions = Array.init arity Fun.id in
+         Option.map
+           (extend_bat ~force:no_force
+              ~prime:(fun () -> fused "dedup")
+              ~stage:(fun up ->
+                let seen = Batch.Ikey.create 64 in
+                {
+                  bfeed =
+                    (fun k ->
+                      up.bfeed (fun b ->
+                          k
+                            (Batch.filter b (fun i ->
+                                 let key = Batch.key_of_row b.Batch.cols positions i in
+                                 if Batch.Ikey.mem seen key then false
+                                 else begin
+                                   Batch.Ikey.replace seen key ();
+                                   true
+                                 end))));
+                  bflush = up.bflush;
+                }))
+           s.bat);
     }
 
   let product s rel =
@@ -522,6 +635,60 @@ module Stream = struct
     (* Shared by the chunk instances; forced by [pc_prime] before the
        fork, read-only afterwards. *)
     let inner_shared = lazy (Relation.fold (fun acc t -> t :: acc) [] rel) in
+    let bat =
+      match s.bat with
+      | None -> None
+      | Some bc ->
+        (* The scalar path folds the inner relation into a cons list —
+           i.e. *reversed* iteration order — so the kernel walks the
+           iteration-order encode backwards to emit identical rows. *)
+        let enc = lazy (Batch.encode_relation bc.bt_pool rel) in
+        Some
+          (extend_bat bc
+             ~force:(fun () -> ignore (Lazy.force enc : Batch.encoded))
+             ~prime:(fun () ->
+               fused "product";
+               Obs.Metrics.incr
+                 ~by:(Relation.cardinality rel)
+                 "combination.join_rows_in")
+             ~stage:(fun up ->
+               let e = Lazy.force enc in
+               let ni = Batch.encoded_rows e in
+               let ib = Batch.of_encoded bc.bt_pool e ~off:0 ~len:ni in
+               let n_in = ref 0 and n_out = ref 0 in
+               {
+                 bfeed =
+                   (fun k ->
+                     up.bfeed (fun b ->
+                         let lc = Batch.live_count b in
+                         n_in := !n_in + lc;
+                         let m = lc * ni in
+                         if m > 0 then begin
+                           n_out := !n_out + m;
+                           let pidx = Array.make m 0 and iidx = Array.make m 0 in
+                           let j = ref 0 in
+                           Batch.live_iter
+                             (fun i ->
+                               for r = ni - 1 downto 0 do
+                                 pidx.(!j) <- i;
+                                 iidx.(!j) <- r;
+                                 incr j
+                               done)
+                             b;
+                           let cols =
+                             Array.append
+                               (Batch.gather_cols b.Batch.cols pidx)
+                               (Batch.gather_cols ib.Batch.cols iidx)
+                           in
+                           k (Batch.of_cols bc.bt_pool cols m)
+                         end));
+                 bflush =
+                   (fun () ->
+                     up.bflush ();
+                     Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
+                     Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+               }))
+    in
     {
       schema = out_schema;
       emit =
@@ -569,6 +736,7 @@ module Stream = struct
                      Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
                }))
           s.par;
+      bat;
     }
 
   (* Natural hash join with the stream as probe side and a materialized
@@ -606,6 +774,114 @@ module Stream = struct
             List.iter
               (fun tb -> per_match (Tuple.concat_project ta keep_positions tb))
               tbs
+      in
+      (* Integer keys are only comparable when the paired columns encode
+         into the same class (a raw int on one side and a pool id on the
+         other would collide meaninglessly), so the batched form exists
+         only when every shared attribute's classes agree.  Build
+         buckets cons row indices in iteration order and are walked
+         front-first — exactly the scalar table's LIFO bucket order. *)
+      let classes_ok =
+        let ok = ref true in
+        Array.iteri
+          (fun idx ca ->
+            if
+              Batch.cls_of_type (Schema.type_at sa ca)
+              <> Batch.cls_of_type (Schema.type_at sb pb.(idx))
+            then ok := false)
+          pa;
+        !ok
+      in
+      let bat =
+        match s.bat with
+        | Some bc when classes_ok ->
+          let built =
+            lazy
+              (let e = Batch.encode_relation bc.bt_pool rel in
+               let nb = Batch.encoded_rows e in
+               let eb = Batch.of_encoded bc.bt_pool e ~off:0 ~len:nb in
+               let tbl = Batch.Ikey.create (max 16 nb) in
+               for r = 0 to nb - 1 do
+                 let key = Batch.key_of_row eb.Batch.cols pb r in
+                 match Batch.Ikey.find_opt tbl key with
+                 | Some rows -> Batch.Ikey.replace tbl key (r :: rows)
+                 | None -> Batch.Ikey.replace tbl key [ r ]
+               done;
+               eb, tbl)
+          in
+          Some
+            (extend_bat bc
+               ~force:(fun () ->
+                 ignore (Lazy.force built : Batch.t * int list Batch.Ikey.t))
+               ~prime:(fun () ->
+                 fused "join";
+                 Obs.Metrics.incr
+                   ~by:(Relation.cardinality rel)
+                   "combination.join_rows_in")
+               ~stage:(fun up ->
+                 let eb, tbl = Lazy.force built in
+                 let n_in = ref 0 and n_out = ref 0 in
+                 {
+                   bfeed =
+                     (fun k ->
+                       up.bfeed (fun b ->
+                           n_in := !n_in + Batch.live_count b;
+                           if keep_b = [] then begin
+                             (* Semijoin degeneration: keep the probe
+                                rows whose key has a bucket. *)
+                             let out =
+                               Batch.filter b (fun i ->
+                                   Batch.Ikey.mem tbl
+                                     (Batch.key_of_row b.Batch.cols pa i))
+                             in
+                             let lc = Batch.live_count out in
+                             if lc > 0 then begin
+                               n_out := !n_out + lc;
+                               k out
+                             end
+                           end
+                           else begin
+                             let pidx = Batch.Ivec.create ()
+                             and bidx = Batch.Ivec.create () in
+                             Batch.live_iter
+                               (fun i ->
+                                 match
+                                   Batch.Ikey.find_opt tbl
+                                     (Batch.key_of_row b.Batch.cols pa i)
+                                 with
+                                 | None -> ()
+                                 | Some rows ->
+                                   List.iter
+                                     (fun r ->
+                                       Batch.Ivec.push pidx i;
+                                       Batch.Ivec.push bidx r)
+                                     rows)
+                               b;
+                             let m = Batch.Ivec.length pidx in
+                             if m > 0 then begin
+                               n_out := !n_out + m;
+                               let pidx = Batch.Ivec.to_array pidx
+                               and bidx = Batch.Ivec.to_array bidx in
+                               let keep_src =
+                                 Array.map
+                                   (fun c -> eb.Batch.cols.(c))
+                                   keep_positions
+                               in
+                               let cols =
+                                 Array.append
+                                   (Batch.gather_cols b.Batch.cols pidx)
+                                   (Batch.gather_cols keep_src bidx)
+                               in
+                               k (Batch.of_cols bc.bt_pool cols m)
+                             end
+                           end));
+                   bflush =
+                     (fun () ->
+                       up.bflush ();
+                       Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
+                       Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+                 }))
+        | _ -> None
       in
       {
         schema = out_schema;
@@ -648,6 +924,7 @@ module Stream = struct
                        Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
                  }))
             s.par;
+        bat;
       }
 
   (* The chain's one output relation.  The schema is re-keyed on the
@@ -662,38 +939,134 @@ module Stream = struct
      buffers its emissions privately, and the buffers are replayed here
      in chunk order — the same insertion sequence as the serial emit,
      for every [jobs]. *)
-  let materialize ?par ?name s =
+  let materialize ?par ?(batch_size = 1) ?name s =
+    (* Every arm preallocates the output key table from the source
+       cardinality (the output bound of a select/project/dedup/join
+       chain over it) and replays the same insertion sequence, so the
+       resulting relation iterates identically whichever arm ran. *)
+    let size_hint =
+      match s.par, s.bat with
+      | Some pc, _ -> Relation.cardinality pc.pc_src
+      | None, Some bc -> Relation.cardinality bc.bt_src
+      | None, None -> 0
+    in
+    let out_relation () =
+      Relation.create ?name ~size_hint
+        (Schema.make (Schema.attrs s.schema) ~key:[])
+    in
     let serial () =
       Obs.Metrics.incr "algebra.materialized.stream";
-      let out =
-        Relation.create ?name (Schema.make (Schema.attrs s.schema) ~key:[])
-      in
+      let out = out_relation () in
       s.emit (Relation.insert_unchecked out);
       out
     in
-    match s.par with
-    | None -> serial ()
-    | Some pc -> (
-      match Domain_pool.active par (Relation.cardinality pc.pc_src) with
+    let scalar () =
+      match s.par with
       | None -> serial ()
+      | Some pc -> (
+        match Domain_pool.active par (Relation.cardinality pc.pc_src) with
+        | None -> serial ()
+        | Some p ->
+          Obs.Metrics.incr "algebra.materialized.stream";
+          tally_par "stream";
+          pc.pc_prime ();
+          let src = Relation.to_array_uncounted pc.pc_src in
+          let out = out_relation () in
+          Domain_pool.parallel_chunks ~jobs:p.Domain_pool.jobs src
+            (fun _ chunk ->
+              let inst = pc.pc_stage () in
+              let buf = ref [] in
+              let consume = inst.feed (fun t -> buf := t :: !buf) in
+              Array.iter consume chunk;
+              inst.flush ();
+              List.rev !buf)
+          |> List.iter (List.iter (Relation.insert_unchecked out));
+          out)
+    in
+    (* Batched execution: encode the source once, drive [batch_size]-row
+       windows through the kernel chain, decode the surviving rows into
+       the output.  [bt_force] runs before any counter moves, so an
+       {!Batch.Unbatchable} encode falls back to the scalar arms with
+       identical observable behaviour.  Under [par] the windows become
+       the fan-out unit — the pool hands each domain whole batches, the
+       kernels run per-chunk instances over read-only shared state, and
+       the decoded buffers replay in chunk order, reproducing the serial
+       sequence exactly (same caveat for dedup counters as the scalar
+       par path). *)
+    let batched bc =
+      let enc = Batch.encode_relation bc.bt_pool bc.bt_src in
+      bc.bt_force ();
+      Obs.Metrics.incr "algebra.materialized.stream";
+      bc.bt_prime ();
+      let n = Batch.encoded_rows enc in
+      let out = out_relation () in
+      let rows_out = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      (match Domain_pool.active par n with
       | Some p ->
-        Obs.Metrics.incr "algebra.materialized.stream";
         tally_par "stream";
-        pc.pc_prime ();
-        let src = Relation.to_array_uncounted pc.pc_src in
-        let out =
-          Relation.create ?name (Schema.make (Schema.attrs s.schema) ~key:[])
+        let nb = (n + batch_size - 1) / batch_size in
+        let batches =
+          Array.init nb (fun i ->
+              let off = i * batch_size in
+              Batch.of_encoded bc.bt_pool enc ~off
+                ~len:(min batch_size (n - off)))
         in
-        Domain_pool.parallel_chunks ~jobs:p.Domain_pool.jobs src
+        Domain_pool.parallel_chunks ~jobs:p.Domain_pool.jobs batches
           (fun _ chunk ->
-            let inst = pc.pc_stage () in
+            let inst = bc.bt_stage () in
             let buf = ref [] in
-            let consume = inst.feed (fun t -> buf := t :: !buf) in
+            let consume =
+              inst.bfeed (fun ob ->
+                  Batch.live_iter (fun i -> buf := Batch.tuple ob i :: !buf) ob)
+            in
             Array.iter consume chunk;
-            inst.flush ();
+            inst.bflush ();
             List.rev !buf)
-        |> List.iter (List.iter (Relation.insert_unchecked out));
-        out)
+        |> List.iter
+             (List.iter (fun t ->
+                  incr rows_out;
+                  Relation.insert_unchecked out t))
+      | None ->
+        let inst = bc.bt_stage () in
+        (* Accumulate the inserted rows' integer cells alongside the
+           decode, and register them as the output's insertion-order
+           encode — a later set-semantics pass (the columnar divide)
+           then reuses these columns instead of re-interning the whole
+           intermediate.  The par arm skips this (its chunks decode in
+           the workers), costing only a re-encode on fallback. *)
+        let acc =
+          Batch.acc_create
+            (Array.init (Schema.arity s.schema) (fun c ->
+                 Batch.cls_of_type (Schema.type_at s.schema c)))
+        in
+        let sink ob =
+          Batch.live_iter
+            (fun i ->
+              incr rows_out;
+              let before = Relation.cardinality out in
+              Relation.insert_unchecked out (Batch.tuple ob i);
+              if Relation.cardinality out <> before then Batch.acc_push acc ob i)
+            ob
+        in
+        let off = ref 0 in
+        while !off < n do
+          let len = min batch_size (n - !off) in
+          inst.bfeed sink (Batch.of_encoded bc.bt_pool enc ~off:!off ~len);
+          off := !off + len
+        done;
+        inst.bflush ();
+        Batch.register_unordered bc.bt_pool out (Batch.acc_finish acc));
+      let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+      Obs.Metrics.incr ~by:n "algebra.batch.rows_in";
+      Obs.Metrics.incr ~by:!rows_out "algebra.batch.rows_out";
+      Obs.Metrics.incr ~by:ns "algebra.batch.kernel_ns";
+      out
+    in
+    match s.bat with
+    | Some bc when batch_size > 1 -> (
+      try batched bc with Batch.Unbatchable -> scalar ())
+    | _ -> scalar ()
 end
 
 let cardinality = Relation.cardinality

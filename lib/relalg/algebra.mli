@@ -115,7 +115,12 @@ module Stream : sig
   type t
 
   val schema : t -> Schema.t
-  val of_relation : Relation.t -> t
+
+  val of_relation : ?pool:Batch.pool -> Relation.t -> t
+  (** [?pool] shares one interning pool (and its per-relation encode
+      cache) across the chains of a query, so a base relation padded
+      into several disjuncts is encoded once.  Defaults to a fresh
+      pool per chain. *)
 
   val select : (Tuple.t -> bool) -> t -> t
 
@@ -133,11 +138,21 @@ module Stream : sig
 
   val product : t -> Relation.t -> t
 
-  val materialize : ?par:Domain_pool.par -> ?name:string -> t -> Relation.t
+  val materialize :
+    ?par:Domain_pool.par -> ?batch_size:int -> ?name:string -> t -> Relation.t
   (** Run the chain once, collecting into a whole-tuple-keyed relation.
-      With [?par] active and a source-rooted chain whose source clears
-      the threshold, the chain runs chunk-wise on the {!Domain_pool}:
-      shared join tables are built before the fork, each chunk gets a
+
+      With [batch_size > 1] and a source-rooted chain, the source is
+      encoded into column arrays and driven through vectorized kernels
+      in [batch_size]-row windows; the output is tuple-for-tuple
+      identical to the scalar emit (which remains the [batch_size = 1]
+      differential oracle).  A chain that cannot encode (exotic values,
+      mismatched join column classes) silently runs the scalar path.
+
+      With [?par] active and a source clearing the threshold, the chain
+      runs chunk-wise on the {!Domain_pool} — over tuple chunks in
+      scalar mode, over whole batches in batched mode: shared join
+      tables and encodes are built before the fork, each chunk gets a
       private instance of the consumer chain, and chunk outputs are
       replayed in order — the output relation is identical to the
       serial run's for every [jobs].  (Only caveat: a {!dedup} mid-chain

@@ -91,6 +91,31 @@ let fold_matching t op probe f init =
             "comparison probe on a multi-component index over %s" t.source)
       init t
 
+(* As [fold_matching], but folding whole entries tagged with a stable
+   entry ordinal: the entry's position in [fold_entries] enumeration
+   order, matching the ordinals a prior [fold_entries] walk over the
+   unmodified index would assign.  The vectorized collection builder
+   pre-interns each entry's references once and reuses them across
+   every probe through this fold.  [Eq] probes find their bucket by
+   lookup, not a walk, and report no ordinal.  Probe counting is
+   identical to [fold_matching]. *)
+let fold_matching_entries t op probe f init =
+  match op with
+  | Value.Eq -> f init None (lookup t [ probe ])
+  | Value.Ne | Value.Lt | Value.Le | Value.Gt | Value.Ge ->
+    count_probe t;
+    let ord = ref (-1) in
+    fold_entries
+      (fun acc key refs ->
+        incr ord;
+        match key with
+        | [ v ] ->
+          if Value.apply op v probe then f acc (Some !ord) refs else acc
+        | _ ->
+          Errors.type_error
+            "comparison probe on a multi-component index over %s" t.source)
+      init t
+
 (* Existence version of {!fold_matching}, with early exit. *)
 let exists_matching t op probe =
   match op with

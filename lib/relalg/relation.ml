@@ -33,11 +33,16 @@ type t = {
   mutable backing : backing option;
 }
 
-let create ?(name = "") schema =
+(* [size_hint] presizes the key table: operators that know their output
+   bound (a stream materialization knows its source cardinality)
+   allocate the buckets once instead of growing through the doubling
+   ladder.  Purely a capacity hint — contents and semantics are
+   unaffected. *)
+let create ?(name = "") ?(size_hint = 0) schema =
   {
     name;
     schema;
-    tbl = Key_table.create 64;
+    tbl = Key_table.create (max 64 size_hint);
     scans = 0;
     probes = 0;
     version = 0;
@@ -94,12 +99,17 @@ let insert_list r ts = List.iter (insert r) ts
 (* Fast-path insertion for operator outputs whose tuples are well typed
    by construction (projections/concatenations of tuples read from
    already-checked relations, under the derived schema).  Intended for
-   whole-tuple-key intermediates only: a duplicate key silently keeps
-   the first tuple instead of checking for a key violation. *)
+   whole-tuple-key intermediates only: under a whole-tuple key a
+   duplicate key IS an equal tuple, so the unconditional [replace]
+   stores the same set either way and [Hashtbl.replace] keeps the
+   bucket position, leaving iteration order untouched.  The single
+   [replace] hashes the key once where a mem-then-replace pair would
+   hash twice; growth is detected by the table's length. *)
 let insert_unchecked r t =
   let key = Tuple.key_of r.schema t in
-  if not (Key_table.mem r.tbl key) then begin
-    Key_table.replace r.tbl key t;
+  let before = Key_table.length r.tbl in
+  Key_table.replace r.tbl key t;
+  if Key_table.length r.tbl <> before then begin
     r.version <- r.version + 1;
     Obs.Metrics.incr "relation.inserts";
     match r.backing with

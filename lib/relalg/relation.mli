@@ -8,7 +8,10 @@
 
 type t
 
-val create : ?name:string -> Schema.t -> t
+val create : ?name:string -> ?size_hint:int -> Schema.t -> t
+(** [size_hint] presizes the key table for operators that know their
+    output bound; capacity only, never semantics. *)
+
 val name : t -> string
 val schema : t -> Schema.t
 val cardinality : t -> int

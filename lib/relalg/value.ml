@@ -115,13 +115,20 @@ let to_string v = Fmt.str "%a" pp v
 
 (* Structural hash compatible with [equal].  The polymorphic hash would
    also hash the label arrays of enum infos; this one hashes only the
-   identifying parts. *)
+   identifying parts.  Values are hashed per probe on every
+   join/dedup/insert hot path, so no case may allocate: each variant
+   mixes a distinct constant in arithmetically instead of boxing a
+   tagged tuple for [Hashtbl.hash]. *)
 let rec hash = function
-  | VInt n -> Hashtbl.hash (0, n)
-  | VStr s -> Hashtbl.hash (1, s)
-  | VBool b -> Hashtbl.hash (2, b)
-  | VEnum (info, i) -> Hashtbl.hash (3, info.enum_name, i)
-  | VRef r -> Hashtbl.hash (4, r.target, List.map hash r.key)
+  | VInt n -> Hashtbl.hash n lxor 0x1fb218
+  | VStr s -> Hashtbl.hash s lxor 0x2e5a99
+  | VBool b -> if b then 0x633d5 else 0x9e379
+  | VEnum (info, i) -> ((Hashtbl.hash info.enum_name * 31) + i) lxor 0x3c6ef3
+  | VRef r ->
+    List.fold_left
+      (fun acc v -> (acc * 31) + hash v)
+      (Hashtbl.hash r.target lxor 0x4d2fa1)
+      r.key
 
 (* Convenience constructors used pervasively in tests and examples. *)
 let int n = VInt n

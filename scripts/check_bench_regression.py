@@ -28,7 +28,13 @@ Two checks:
    never be catastrophically slower than the serial engine it wraps.
    Rows whose serial median is under 5 ms are skipped as timer noise.
 
-4. B-TRAFFIC, baseline vs new, only when BOTH runs carry rows (older
+4. The B-VEC experiment of the NEW run alone: for every (query, scale)
+   pair, the batched (vectorized kernels) row must not be slower than
+   the scalar row.  Both arms are medians measured back to back in one
+   process, so machine speed cancels out; rows whose scalar median is
+   under 5 ms are skipped as timer noise.
+
+5. B-TRAFFIC, baseline vs new, only when BOTH runs carry rows (older
    baselines predate the traffic experiment).  Rows are keyed by
    (strategy, pass) — the A-B-A-B interleave records two closed-loop
    and two open-loop passes.  Each new row's achieved throughput must
@@ -163,6 +169,58 @@ def check_parallel(path):
     return failed
 
 
+VEC_NOISE_FLOOR_MS = 5.0
+
+
+def vec_rows(path):
+    """B-VEC rows of one run: {(query, scale): {engine: wall_ms}}.
+
+    The engine label rides the strategy column ("scalar" vs "batched");
+    both arms run the same strategy preset within a row pair."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for r in doc.get("results", doc if isinstance(doc, list) else []):
+        if r.get("experiment") == "B-VEC":
+            rows.setdefault((r.get("query", ""), r.get("scale", 0)), {})[
+                r.get("strategy")
+            ] = r["wall_ms"]
+    return rows
+
+
+def check_vectorized(path):
+    """Batched execution must not lose to the scalar engine, within the
+    new run.  Both arms are medians measured back to back in one
+    process, so machine speed cancels out; rows whose scalar median is
+    under the noise floor are skipped as timer noise."""
+    rows = vec_rows(path)
+    if not rows:
+        print("B-VEC: no rows in the new run, skipping the vectorized check")
+        return []
+    failed = []
+    for (query, scale), cells in sorted(rows.items()):
+        if "scalar" not in cells or "batched" not in cells:
+            failed.append((query, scale))
+            print(f"B-VEC    {query:22s} scale={scale}  missing scalar/batched row")
+            continue
+        scalar, batched = cells["scalar"], cells["batched"]
+        if scalar < VEC_NOISE_FLOOR_MS:
+            print(
+                f"B-VEC    {query:22s} scale={scale}  "
+                f"scalar={scalar:9.2f}ms  below noise floor, skipped"
+            )
+            continue
+        ok = batched <= scalar
+        print(
+            f"B-VEC    {query:22s} scale={scale}  "
+            f"scalar={scalar:9.2f}ms  batched={batched:9.2f}ms  "
+            f"({scalar / batched:4.2f}x)  {'ok' if ok else 'SLOWER THAN SCALAR'}"
+        )
+        if not ok:
+            failed.append((query, scale))
+    return failed
+
+
 TRAFFIC_THROUGHPUT_FLOOR = 3.0
 
 
@@ -251,6 +309,7 @@ def main():
         print("B-SCALE/B-DIV: no rows in the new run, skipping the baseline comparison")
     prep_failed = check_prepared(sys.argv[2])
     par_failed = check_parallel(sys.argv[2])
+    vec_failed = check_vectorized(sys.argv[2])
     traffic_failed = check_traffic(sys.argv[1], sys.argv[2])
     if failed:
         sys.exit(f"{len(failed)}/{compared} rows regressed beyond {FACTOR}x")
@@ -263,6 +322,11 @@ def main():
         sys.exit(
             f"{len(par_failed)} B-PAR rows where jobs>1 was more than "
             f"{PAR_FACTOR}x slower than the serial engine"
+        )
+    if vec_failed:
+        sys.exit(
+            f"{len(vec_failed)} B-VEC rows where batched execution "
+            "was slower than the scalar engine"
         )
     if traffic_failed:
         sys.exit(
