@@ -16,6 +16,12 @@
 open Relalg
 open Pascalr
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+let exec_q_report ?opts db q = Session.exec_report ?opts (Session.create db) q
+
+
 let only : string list option ref = ref None
 let max_scale : int option ref = ref None
 let out_path = ref "BENCH_results.json"
@@ -172,13 +178,13 @@ let bench_scale () =
         if feasible then begin
           let report, ms, percentiles =
             time_percentiles (fun () ->
-                Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
+                exec_q_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
           in
           record ~experiment:"B-SCALE" ~query:"running" ~strategy:sname
-            ~scale:s ~wall_ms:ms ~scans:report.Phased_eval.scans
-            ~probes:report.Phased_eval.probes
-            ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles ();
-          Some (ms, report.Phased_eval.scans)
+            ~scale:s ~wall_ms:ms ~scans:report.Exec_result.scans
+            ~probes:report.Exec_result.probes
+            ~max_ntuple:report.Exec_result.max_ntuple ~percentiles ();
+          Some (ms, report.Exec_result.scans)
         end
         else None
       in
@@ -215,7 +221,7 @@ let bench_s1 () =
   List.iter
     (fun (qname, q) ->
       let counts strategy =
-        let _ = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
+        let _ = exec_q_report ~opts:(Exec_opts.make ~strategy ()) db q in
         List.map
           (fun r -> (Relation.name r, Relation.scan_count r))
           (Database.relations db)
@@ -248,8 +254,8 @@ let bench_s2 () =
       let db = Workload.University.generate (uni_params s) in
       let q = Workload.Queries.running_query db in
       let pair_volume strategy =
-        let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
-        sum_sizes_with_prefix "pair:" report.Phased_eval.intermediates
+        let report = exec_q_report ~opts:(Exec_opts.make ~strategy ()) db q in
+        sum_sizes_with_prefix "pair:" report.Exec_result.intermediates
       in
       let unrestricted = pair_volume Strategy.s1 in
       let restricted = pair_volume Strategy.s12 in
@@ -273,19 +279,19 @@ let bench_s3 () =
       in
       let db = Workload.University.generate params in
       let q = Workload.Queries.running_query db in
-      let report2 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
+      let report2 = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
       let ms2 =
-        time_median ~repeat:1 (fun () -> Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q)
+        time_median ~repeat:1 (fun () -> exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q)
       in
-      let report3 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
+      let report3 = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
       let ms3 =
         time_median ~repeat:1 (fun () ->
-            Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q)
+            exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q)
       in
       Fmt.pr "%-6.0f | %6d %6d | %12d %12d | %10.2f %10.2f@." (100.0 *. prob)
-        (List.length report2.Phased_eval.plan.Plan.conjs)
-        (List.length report3.Phased_eval.plan.Plan.conjs)
-        report2.Phased_eval.max_ntuple report3.Phased_eval.max_ntuple ms2 ms3)
+        (List.length report2.Exec_result.plan.Plan.conjs)
+        (List.length report3.Exec_result.plan.Plan.conjs)
+        report2.Exec_result.max_ntuple report3.Exec_result.max_ntuple ms2 ms3)
     [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
 
 (* ------------------------------------------------------------------ *)
@@ -300,22 +306,22 @@ let bench_s4 () =
     (fun s ->
       let db = Workload.University.generate (uni_params s) in
       let q = Workload.Queries.running_query db in
-      let r3 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
+      let r3 = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
       let ms3 =
         if s <= 4 then
           Fmt.str "%10.2f"
             (time_median ~repeat:1 (fun () ->
-                 Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q))
+                 exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q))
         else Fmt.str "%10s" "-"
       in
-      let r4 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
+      let r4 = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
       let ms4 =
-        time_median (fun () -> Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
+        time_median (fun () -> exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
       in
       Fmt.pr "%-6d | %8d %8d | %12d %12d | %s %10.2f@." s
-        (List.length r3.Phased_eval.plan.Plan.prefix)
-        (List.length r4.Phased_eval.plan.Plan.prefix)
-        r3.Phased_eval.max_ntuple r4.Phased_eval.max_ntuple ms3 ms4)
+        (List.length r3.Exec_result.plan.Plan.prefix)
+        (List.length r4.Exec_result.plan.Plan.prefix)
+        r3.Exec_result.max_ntuple r4.Exec_result.max_ntuple ms3 ms4)
     [ 1; 2; 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
@@ -331,9 +337,9 @@ let bench_minmax () =
       let db = Workload.University.generate (uni_params s) in
       List.iter
         (fun (qname, q) ->
-          let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
+          let report = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
           let stored =
-            sum_sizes_with_prefix "vlist:" report.Phased_eval.intermediates
+            sum_sizes_with_prefix "vlist:" report.Exec_result.intermediates
           in
           let papers = Database.find_relation db "papers" in
           let full =
@@ -341,7 +347,7 @@ let bench_minmax () =
           in
           let ms =
             time_median (fun () ->
-                Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
+                exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
           in
           Fmt.pr "%-14s | %10d | %12d %12d | %10.3f@." qname
             (Relation.cardinality papers)
@@ -361,14 +367,14 @@ let bench_eq_ne () =
   let db = Workload.University.generate (uni_params 4) in
   List.iter
     (fun (qname, q) ->
-      let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
+      let report = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
       let stored =
-        sum_sizes_with_prefix "vlist:" report.Phased_eval.intermediates
+        sum_sizes_with_prefix "vlist:" report.Exec_result.intermediates
       in
       Fmt.pr "%-14s | %10d | %12d | %8d@." qname
         (Relation.cardinality (Database.find_relation db "papers"))
         stored
-        (Relation.cardinality report.Phased_eval.result))
+        (Relation.cardinality report.Exec_result.result))
     [
       ("all eq", Workload.Queries.all_eq_query db);
       ("some ne", Workload.Queries.some_ne_query db);
@@ -388,7 +394,7 @@ let bench_empty () =
       let q = Workload.Queries.running_query db in
       let naive, naive_ms = time (fun () -> Naive_eval.run db q) in
       let result, ms =
-        time (fun () -> Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
+        time (fun () -> exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)
       in
       Fmt.pr "%-10s | %10d %12b | %12.2f %12.2f@."
         (if empty then "empty" else "populated")
@@ -420,12 +426,12 @@ let bench_division () =
           let run sname st =
             let report, ms, percentiles =
               time_percentiles (fun () ->
-                  Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
+                  exec_q_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
             in
             record ~experiment:"B-DIV" ~query:qname ~strategy:sname ~scale:s
-              ~wall_ms:ms ~scans:report.Phased_eval.scans
-              ~probes:report.Phased_eval.probes
-              ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles ();
+              ~wall_ms:ms ~scans:report.Exec_result.scans
+              ~probes:report.Exec_result.probes
+              ~max_ntuple:report.Exec_result.max_ntuple ~percentiles ();
             ms
           in
           let palermo =
@@ -466,7 +472,7 @@ let bench_order () =
         let out0 = Obs.Metrics.counter_value "combination.join_rows_out" in
         let report, ms, percentiles =
           time_percentiles ~repeat (fun () ->
-              Phased_eval.run_report
+              exec_q_report
                 ~opts:(Exec_opts.make ~strategy ~join_order ())
                 db q)
         in
@@ -482,9 +488,9 @@ let bench_order () =
           / repeat
         in
         record ~experiment:"B-ORDER" ~query:qname ~strategy:ename ~scale
-          ~wall_ms:ms ~scans:report.Phased_eval.scans
-          ~probes:report.Phased_eval.probes
-          ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles
+          ~wall_ms:ms ~scans:report.Exec_result.scans
+          ~probes:report.Exec_result.probes
+          ~max_ntuple:report.Exec_result.max_ntuple ~percentiles
           ~extra:
             [
               ("join_rows_in", Obs.Json.Int join_in);
@@ -492,7 +498,7 @@ let bench_order () =
             ]
           ();
         Fmt.pr "%-14s %-6d %-12s | %10.2f %12d %12d %12d@." qname scale ename
-          ms report.Phased_eval.max_ntuple join_in join_out)
+          ms report.Exec_result.max_ntuple join_in join_out)
       engines
   in
   List.iter
@@ -546,7 +552,7 @@ let bench_page_io () =
   row "naive" (fun db q -> ignore (Naive_eval.run db q));
   List.iter
     (fun (name, st) ->
-      row name (fun db q -> ignore (Phased_eval.run ~opts:(Exec_opts.make ~strategy:st ()) db q)))
+      row name (fun db q -> ignore (exec_q ~opts:(Exec_opts.make ~strategy:st ()) db q)))
     strategies;
   (* The gap widens with scale: naive re-reads relations per enclosing
      binding. *)
@@ -562,7 +568,7 @@ let bench_page_io () =
     (run4 (fun db q -> ignore (Naive_eval.run db q)));
   Fmt.pr "%-12s | %8d page reads@." "s1+s2+s3+s4"
     (run4 (fun db q ->
-         ignore (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)))
+         ignore (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q)))
 
 (* ------------------------------------------------------------------ *)
 (* B-IDX: permanent indexes (Section 3.2: "The first step can be
@@ -578,13 +584,13 @@ let bench_permanent_indexes () =
         (fun (sname, strategy) ->
           let db = Workload.University.generate (uni_params 4) in
           let q = make_q db in
-          let r0 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
+          let r0 = exec_q_report ~opts:(Exec_opts.make ~strategy ()) db q in
           ignore (Database.register_index db "timetable" ~on:"tcnr");
           ignore (Database.register_index db "timetable" ~on:"tenr");
           ignore (Database.register_index db "papers" ~on:"penr");
-          let r1 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
-          Fmt.pr "%-12s | %-8s | %8d %8d@." qname sname r0.Phased_eval.scans
-            r1.Phased_eval.scans)
+          let r1 = exec_q_report ~opts:(Exec_opts.make ~strategy ()) db q in
+          Fmt.pr "%-12s | %-8s | %8d %8d@." qname sname r0.Exec_result.scans
+            r1.Exec_result.scans)
         [ ("palermo", Strategy.palermo); ("s1+2", Strategy.s12) ])
     [
       ("existential", Workload.Queries.existential_query);
@@ -619,20 +625,20 @@ let bench_cnf () =
     (fun s ->
       let db = Workload.University.generate (uni_params s) in
       let q = cnf_query db in
-      let r3 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
+      let r3 = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q in
       let ms3 =
         time_median ~repeat:1 (fun () ->
-            Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q)
+            exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q)
       in
-      let rc = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q in
+      let rc = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q in
       let msc =
         time_median ~repeat:1 (fun () ->
-            Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q)
+            exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q)
       in
       Fmt.pr "%-6d | %6d %6d | %12d %12d | %10.2f %10.2f@." s
-        (List.length r3.Phased_eval.plan.Plan.conjs)
-        (List.length rc.Phased_eval.plan.Plan.conjs)
-        r3.Phased_eval.max_ntuple rc.Phased_eval.max_ntuple ms3 msc)
+        (List.length r3.Exec_result.plan.Plan.conjs)
+        (List.length rc.Exec_result.plan.Plan.conjs)
+        r3.Exec_result.max_ntuple rc.Exec_result.max_ntuple ms3 msc)
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
@@ -709,11 +715,11 @@ let bench_parallel () =
         let opts = Exec_opts.make ~strategy ~jobs ~par_threshold:0 () in
         (* Warmup: spawn the pool workers (a one-off cost amortized
            across queries in a real process) and touch the caches. *)
-        let report = Phased_eval.run_report ~opts db q in
+        let report = exec_q_report ~opts db q in
         let t0 = Obs.Metrics.counter_value "parallel.tasks" in
         let (), ms, percentiles =
           time_percentiles ~repeat:5 (fun () ->
-              ignore (Phased_eval.run ~opts db q : Relation.t))
+              ignore (exec_q ~opts db q : Relation.t))
         in
         let tasks =
           (Obs.Metrics.counter_value "parallel.tasks" - t0) / 5
@@ -721,8 +727,8 @@ let bench_parallel () =
         if jobs = 1 then serial_ms := ms;
         record ~experiment:"B-PAR" ~query:qname
           ~strategy:(Fmt.str "jobs=%d" jobs) ~scale ~wall_ms:ms
-          ~scans:report.Phased_eval.scans ~probes:report.Phased_eval.probes
-          ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles
+          ~scans:report.Exec_result.scans ~probes:report.Exec_result.probes
+          ~max_ntuple:report.Exec_result.max_ntuple ~percentiles
           ~extra:
             [
               ("jobs", Obs.Json.Int jobs);
@@ -752,7 +758,7 @@ let bench_parallel () =
   Domain_pool.shutdown ()
 
 (* B-PREP: the Session plan cache — prepared re-execution vs cold
-   one-shot runs.  A cold run (Phased_eval.run, one throwaway session
+   one-shot runs.  A cold run (exec_q, one throwaway session
    per call) re-enters the whole planning pipeline every time: adapt,
    standard form, range extension, quantifier pushing.  A prepared
    query pays for planning once; each further execution costs one
@@ -796,11 +802,11 @@ let bench_prepared () =
     in
     (* One untimed execution of each path first: module initialisation,
        tracer setup and heap growth land on the warmup, not the race. *)
-    ignore (Phased_eval.run ~opts db (ground 0) : Relation.t);
+    ignore (exec_q ~opts db (ground 0) : Relation.t);
     let (), cold_ms, cold_percentiles =
       time_percentiles ~repeat:5 (fun () ->
           for i = 1 to repeats do
-            ignore (Phased_eval.run ~opts db (ground i) : Relation.t)
+            ignore (exec_q ~opts db (ground i) : Relation.t)
           done)
     in
     ignore
@@ -877,15 +883,15 @@ let bench_vec () =
       (fun (ename, batch_size) ->
         let report, ms, percentiles =
           time_percentiles ~repeat:5 (fun () ->
-              Phased_eval.run_report
+              exec_q_report
                 ~opts:(Exec_opts.make ~strategy ~batch_size ())
                 db q)
         in
         let p50, p95, p99 = percentiles in
         record ~experiment:"B-VEC" ~query:qname ~strategy:ename ~scale
-          ~wall_ms:ms ~scans:report.Phased_eval.scans
-          ~probes:report.Phased_eval.probes
-          ~max_ntuple:report.Phased_eval.max_ntuple ~percentiles
+          ~wall_ms:ms ~scans:report.Exec_result.scans
+          ~probes:report.Exec_result.probes
+          ~max_ntuple:report.Exec_result.max_ntuple ~percentiles
           ~extra:[ ("batch_size", Obs.Json.Int batch_size) ]
           ();
         Fmt.pr "%-14s %-6d %-12s | %10.2f %10.2f %10.2f %10.2f@." qname scale
@@ -926,38 +932,46 @@ let bench_traffic () =
   Fmt.pr
     "(university scale %d, %d clients, %d requests, warmup %d, seed %d)@."
     scale clients requests warmup seed;
-  Fmt.pr "%-4s %-8s | %8s %9s | %9s %9s %9s@." "pass" "mode" "offered"
+  Fmt.pr "%-4s %-12s | %8s %9s | %9s %9s %9s@." "pass" "mode" "offered"
     "achieved" "p50(ms)" "p95(ms)" "p99(ms)";
-  List.iteri
-    (fun pass mode ->
-      let cfg = D.config ~clients ~mode ~requests ~warmup ~seed () in
-      let r = D.run cfg db mix in
-      let p q = Obs.Histogram.quantile r.D.r_latency q in
-      let p50 = p 0.5 and p95 = p 0.95 and p99 = p 0.99 in
-      let strategy, offered =
-        match mode with
-        | D.Closed -> ("closed", Obs.Json.Null)
-        | D.Open rps -> ("open", Obs.Json.Float rps)
-      in
-      record ~experiment:"B-TRAFFIC" ~query:"university-mix" ~strategy ~scale
-        ~wall_ms:r.D.r_wall_ms ~scans:0 ~probes:0 ~max_ntuple:0
-        ~percentiles:(p50, p95, p99)
-        ~extra:
-          [
-            ("pass", Obs.Json.Int pass);
-            ("clients", Obs.Json.Int clients);
-            ("requests", Obs.Json.Int requests);
-            ("warmup", Obs.Json.Int warmup);
-            ("offered_rps", offered);
-            ("achieved_rps", Obs.Json.Float r.D.r_achieved_rps);
-          ]
-        ();
-      Fmt.pr "%-4d %-8s | %8s %9.1f | %9.2f %9.2f %9.2f@." pass strategy
-        (match mode with
-        | D.Closed -> "-"
-        | D.Open rps -> Fmt.str "%.1f" rps)
-        r.D.r_achieved_rps p50 p95 p99)
-    [ D.Closed; D.Open rate; D.Closed; D.Open rate ]
+  (* One A-B-A-B round per mix: read-only, then a 30%-write mix whose
+     commits go through snapshot transactions into traffic_log (the
+     suffix keeps the regression-guard keys disjoint). *)
+  let round ~query ~suffix mix =
+    List.iteri
+      (fun pass mode ->
+        let cfg = D.config ~clients ~mode ~requests ~warmup ~seed () in
+        let r = D.run cfg db mix in
+        let p q = Obs.Histogram.quantile r.D.r_latency q in
+        let p50 = p 0.5 and p95 = p 0.95 and p99 = p 0.99 in
+        let strategy, offered =
+          match mode with
+          | D.Closed -> ("closed" ^ suffix, Obs.Json.Null)
+          | D.Open rps -> ("open" ^ suffix, Obs.Json.Float rps)
+        in
+        record ~experiment:"B-TRAFFIC" ~query ~strategy ~scale
+          ~wall_ms:r.D.r_wall_ms ~scans:0 ~probes:0 ~max_ntuple:0
+          ~percentiles:(p50, p95, p99)
+          ~extra:
+            [
+              ("pass", Obs.Json.Int pass);
+              ("clients", Obs.Json.Int clients);
+              ("requests", Obs.Json.Int requests);
+              ("warmup", Obs.Json.Int warmup);
+              ("offered_rps", offered);
+              ("achieved_rps", Obs.Json.Float r.D.r_achieved_rps);
+            ]
+          ();
+        Fmt.pr "%-4d %-12s | %8s %9.1f | %9.2f %9.2f %9.2f@." pass strategy
+          (match mode with
+          | D.Closed -> "-"
+          | D.Open rps -> Fmt.str "%.1f" rps)
+          r.D.r_achieved_rps p50 p95 p99)
+      [ D.Closed; D.Open rate; D.Closed; D.Open rate ]
+  in
+  round ~query:"university-mix" ~suffix:"" mix;
+  round ~query:"university-mix-rw" ~suffix:"-rw"
+    (D.mix_for ~write_pct:30 db ~kind:"university")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmark of the headline comparison at one scale. *)
@@ -974,7 +988,7 @@ let bench_bechamel () =
       :: List.map
            (fun (name, st) ->
              Test.make ~name
-               (Staged.stage (fun () -> Phased_eval.run ~opts:(Exec_opts.make ~strategy:st ()) db q)))
+               (Staged.stage (fun () -> exec_q ~opts:(Exec_opts.make ~strategy:st ()) db q)))
            strategies)
   in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in

@@ -435,16 +435,16 @@ let run_cmd =
         (match decision with
         | Some d -> Fmt.pr "planner: %a@.@." Strategy.pp d.Planner.d_strategy
         | None -> ());
-        Fmt.pr "%a@.@." Relation.pp report.Phased_eval.result;
+        Fmt.pr "%a@.@." Relation.pp report.Exec_result.result;
         Fmt.pr "%d elements in %.2f ms; %d scans, %d probes, max n-tuple %d@."
-          (Relation.cardinality report.Phased_eval.result)
-          ms report.Phased_eval.scans report.Phased_eval.probes
-          report.Phased_eval.max_ntuple;
+          (Relation.cardinality report.Exec_result.result)
+          ms report.Exec_result.scans report.Exec_result.probes
+          report.Exec_result.max_ntuple;
         if verbose then begin
           Fmt.pr "@.intermediate structures:@.";
           List.iter
             (fun (key, size) -> Fmt.pr "  %6d  %s@." size key)
-            report.Phased_eval.intermediates
+            report.Exec_result.intermediates
         end;
         match span with
         | Some span when trace -> Fmt.pr "@.%a" Obs.Trace.pp span
@@ -513,8 +513,8 @@ let analyze_cmd =
                 r.Analyze.ph_max_ntuple r.Analyze.ph_tuples)
             rows;
           Fmt.pr "%-16s %10.3f %8d %8d %12d@." "total" total_ms
-            report.Phased_eval.scans report.Phased_eval.probes
-            report.Phased_eval.max_ntuple;
+            report.Exec_result.scans report.Exec_result.probes
+            report.Exec_result.max_ntuple;
           (match Database.pool_stats db with
           | Some s -> Fmt.pr "buffer pool: %a@." Buffer_pool.pp_stats s
           | None -> ());
@@ -526,7 +526,7 @@ let analyze_cmd =
                    Fmt.pf ppf "%s=%s" site (Failpoint.trigger_to_string trig)))
               armed);
           Fmt.pr "@.%d elements in the result.@."
-            (Relation.cardinality report.Phased_eval.result);
+            (Relation.cardinality report.Exec_result.result);
           if show_trace then Fmt.pr "@.%a" Obs.Trace.pp a.Analyze.a_root
         end)
   in
@@ -698,8 +698,8 @@ let stats_cmd =
    per scenario class. *)
 
 let traffic_cmd =
-  let go kind scale seed clients rate duration requests warmup jobs json
-      verbosity =
+  let go kind scale seed clients rate duration requests warmup jobs write_pct
+      json verbosity =
     setup_logs verbosity;
     try
       if clients < 1 then failwith "--clients must be positive";
@@ -722,7 +722,7 @@ let traffic_cmd =
       if requests <= warmup then
         failwith "--requests must exceed --warmup";
       let db = make_db kind scale seed in
-      let mix = Workload.Driver.mix_for db ~kind in
+      let mix = Workload.Driver.mix_for ~write_pct db ~kind in
       (* Unlike run/analyze, the default is jobs=1: the driver
          parallelizes across clients, not inside queries, so client
          domains do not contend for the worker pool. *)
@@ -731,10 +731,6 @@ let traffic_cmd =
         Workload.Driver.config ~clients ~mode ~requests ~warmup ~seed ~opts ()
       in
       let report = Workload.Driver.run cfg db mix in
-      (* Client domains are joined; quiesce any pool workers the
-         queries themselves spawned so the process exits with no idle
-         domains taxing final GC sections. *)
-      Relalg.Domain_pool.shutdown ();
       if json then
         Fmt.pr "%a@." Obs.Json.pp_pretty
           (Obs.Json.Obj
@@ -789,6 +785,16 @@ let traffic_cmd =
             "Leading requests executed but excluded from the reported \
              histograms and result multiset.")
   in
+  let write_pct_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "write-pct" ] ~docv:"N"
+          ~doc:
+            "Make roughly N percent of requests committed write \
+             transactions into the dedicated traffic_log relation \
+             (uniquely keyed, so answers stay identical to a serial \
+             run at any client count).  0-90; default 0 (read-only).")
+  in
   let json_arg =
     Arg.(
       value & flag
@@ -801,8 +807,8 @@ let traffic_cmd =
           report throughput and latency percentiles per scenario class")
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ clients_arg $ rate_arg
-      $ duration_arg $ requests_arg $ warmup_arg $ jobs_arg $ json_arg
-      $ verbosity_arg)
+      $ duration_arg $ requests_arg $ warmup_arg $ jobs_arg $ write_pct_arg
+      $ json_arg $ verbosity_arg)
 
 let explain_cmd =
   let go kind scale seed schema loads query file example strategy =
@@ -898,7 +904,212 @@ let script_cmd =
     (Cmd.info "script" ~doc:"Execute a statement-level PASCAL/R program")
     Term.(const go $ path $ show $ verbosity_arg)
 
+(* ----------------------------------------------------------------- *)
+(* serve / client: a line-oriented query and statement server over a
+   Unix-domain socket, one domain per connection.  Each connection owns
+   a private Session (plan cache) and PREPARE/EXECUTE table over the
+   one shared database; queries run inside read transactions (pinned
+   snapshots), statements inside write transactions, so concurrent
+   clients always see committed states and mutations land atomically.
+
+   Protocol: one request per line; the response is zero or more lines
+   followed by a line containing a single ".".  "quit" closes the
+   connection. *)
+
+let serve_request db session prepared line =
+  match Pascalr_lang.Elaborate.query_of_string db line with
+  | q ->
+    let rel = Session.read session (fun txn -> Session.Txn.exec txn q) in
+    Fmt.str "%a@?" Relation.pp rel
+  | exception
+      ( Pascalr_lang.Parser.Parse_error _ | Pascalr_lang.Lexer.Lex_error _
+      | Pascalr_lang.Elaborate.Elab_error _ ) ->
+    (* Not a query: execute as a statement inside a write transaction,
+       retrying first-committer-wins conflicts a few times. *)
+    let stmt = Pascalr_lang.Parser.stmt_of_string line in
+    let rec attempt n =
+      try
+        Session.write session (fun txn ->
+            Pascalr_lang.Interp.exec
+              (Pascalr_lang.Interp.txn_env ~prepared txn)
+              stmt);
+        "ok"
+      with Errors.Txn_conflict _ when n < 100 -> attempt (n + 1)
+    in
+    attempt 0
+
+let handle_conn db fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let session = Session.create db in
+  let prepared = Hashtbl.create 8 in
+  let respond text =
+    String.split_on_char '\n' text
+    |> List.iter (fun l -> if l <> "" then output_string oc (l ^ "\n"));
+    output_string oc ".\n";
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      let line = String.trim line in
+      if line = "quit" then ()
+      else begin
+        if line <> "" then begin
+          (try respond (serve_request db session prepared line) with
+          | Pascalr_lang.Parser.Parse_error (msg, _) ->
+            respond ("error: parse: " ^ msg)
+          | Pascalr_lang.Lexer.Lex_error (msg, _) ->
+            respond ("error: lex: " ^ msg)
+          | Pascalr_lang.Elaborate.Elab_error msg
+          | Pascalr_lang.Interp.Runtime_error msg
+          | Failure msg ->
+            respond ("error: " ^ msg)
+          | Errors.Txn_conflict msg -> respond ("error: conflict: " ^ msg)
+          | Errors.Unknown_relation r ->
+            respond ("error: unknown relation " ^ r))
+        end;
+        loop ()
+      end
+  in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) loop
+
+let serve_cmd =
+  let go kind scale seed file socket max_conns verbosity =
+    setup_logs verbosity;
+    try
+      let db =
+        match file with
+        | Some path when Sys.file_exists path -> Database.open_durable ~path
+        | Some path ->
+          let db = make_db kind scale seed in
+          Database.attach_wal db ~path;
+          db
+        | None -> make_db kind scale seed
+      in
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX socket);
+      Unix.listen sock 16;
+      Fmt.pr "pascalr: serving on %s (%s)@." socket
+        (if Database.durable db then "durable" else "in-memory");
+      Fmt.flush Fmt.stdout ();
+      let rec accept_loop n doms =
+        if match max_conns with Some m -> n >= m | None -> false then doms
+        else begin
+          let fd, _ = Unix.accept sock in
+          let d = Domain.spawn (fun () -> handle_conn db fd) in
+          accept_loop (n + 1) (d :: doms)
+        end
+      in
+      let doms = accept_loop 0 [] in
+      List.iter Domain.join doms;
+      Unix.close sock;
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      if Database.durable db then Database.close db;
+      0
+    with
+    | Failure msg ->
+      Fmt.epr "pascalr: %s@." msg;
+      1
+    | Errors.Io_error msg ->
+      Fmt.epr "pascalr: I/O fault: %s@." msg;
+      1
+    | Errors.Corruption msg ->
+      Fmt.epr "pascalr: corruption detected: %s@." msg;
+      1
+    | Unix.Unix_error (e, op, arg) ->
+      Fmt.epr "pascalr: %s %s: %s@." op arg (Unix.error_message e);
+      1
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH"
+          ~doc:
+            "Serve a durable database: open PATH (snapshot + \
+             write-ahead log, replaying the log if the last run \
+             crashed) if it exists, otherwise seed it from the sample \
+             database and attach a WAL.  Without $(b,--file) the \
+             database is in-memory.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "/tmp/pascalr.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Exit after serving N connections (smoke tests); default: \
+             serve until killed.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve queries and statements over a Unix-domain socket, one \
+          domain per connection, with snapshot-isolated transactions")
+    Term.(
+      const go $ db_arg $ scale_arg $ seed_arg $ file_arg $ socket_arg
+      $ max_conns_arg $ verbosity_arg)
+
+let client_cmd =
+  let go socket =
+    try
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX socket);
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      let rec read_response () =
+        match input_line ic with
+        | "." -> ()
+        | line ->
+          print_endline line;
+          read_response ()
+        | exception End_of_file -> ()
+      in
+      (try
+         while true do
+           let line = input_line stdin in
+           output_string oc (line ^ "\n");
+           flush oc;
+           if String.trim line <> "" && String.trim line <> "quit" then
+             read_response ()
+         done
+       with End_of_file -> ());
+      (try
+         output_string oc "quit\n";
+         flush oc
+       with Sys_error _ -> ());
+      Unix.close sock;
+      0
+    with Unix.Unix_error (e, op, arg) ->
+      Fmt.epr "pascalr: %s %s: %s@." op arg (Unix.error_message e);
+      1
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "/tmp/pascalr.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send stdin lines to a pascalr serve socket and print each \
+          response")
+    Term.(const go $ socket_arg)
+
 let () =
+  (* Quiesce pool workers on every exit path (including subcommand
+     failures), so no idle domain taxes final GC sections. *)
+  at_exit Relalg.Domain_pool.shutdown;
   let info =
     Cmd.info "pascalr" ~version:"1.0.0"
       ~doc:"PASCAL/R relational query processing strategies (SIGMOD 1982)"
@@ -911,6 +1122,8 @@ let () =
             analyze_cmd;
             stats_cmd;
             traffic_cmd;
+            serve_cmd;
+            client_cmd;
             explain_cmd;
             plan_cmd;
             normalize_cmd;

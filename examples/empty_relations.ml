@@ -61,7 +61,7 @@ let () =
   (* The full pipeline performs the adaptation automatically. *)
   List.iter
     (fun (name, strategy) ->
-      let r = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
+      let r = Session.exec ~opts:(Exec_opts.make ~strategy ()) (Session.create db) q in
       Fmt.pr "pipeline %-12s: %d (agrees %b)@." name (Relation.cardinality r)
         (Relation.equal_set r correct))
     Strategy.all_presets;
@@ -81,4 +81,4 @@ let () =
   in
   Fmt.pr "query: %a@." pp_query q2;
   Fmt.pr "no paper from 1900 exists, so ALL holds vacuously: %d employees@."
-    (Relation.cardinality (Phased_eval.run db2 q2))
+    (Relation.cardinality (Session.exec (Session.create db2) q2))

@@ -68,8 +68,8 @@ let () =
       body = f_all "p" (base "papers") (ne (attr "e" "enr") (attr "p" "penr"));
     }
   in
-  let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
+  let report = Session.exec_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) (Session.create db) q in
   Fmt.pr
     "@.pipeline with S4: %d employees, %d scans (value-list evaluation)@."
-    (Relation.cardinality report.Phased_eval.result)
-    report.Phased_eval.scans
+    (Relation.cardinality report.Exec_result.result)
+    report.Exec_result.scans

@@ -54,7 +54,7 @@ let () =
   Fmt.pr "@.buffer pool (6 frames) during evaluation:@.";
   show "naive" (fun () -> ignore (Naive_eval.run db q));
   show "s1+s2+s3+s4" (fun () ->
-      ignore (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q));
+      ignore (Session.exec ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) (Session.create db) q));
   Fmt.pr
     "@.the collected evaluation reads each relation once; the naive@.";
   Fmt.pr "evaluator's nested re-scans thrash the small pool.@."

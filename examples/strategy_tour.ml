@@ -34,11 +34,11 @@ let () =
   List.iter
     (fun (name, strategy) ->
       let t0 = Unix.gettimeofday () in
-      let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
+      let report = Session.exec_report ~opts:(Exec_opts.make ~strategy ()) (Session.create db) q in
       let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-      Fmt.pr "%-15s %7d %8d %13d %11.2f %7b@." name report.Phased_eval.scans
-        report.Phased_eval.probes report.Phased_eval.max_ntuple ms
-        (Relation.equal_set report.Phased_eval.result reference))
+      Fmt.pr "%-15s %7d %8d %13d %11.2f %7b@." name report.Exec_result.scans
+        report.Exec_result.probes report.Exec_result.max_ntuple ms
+        (Relation.equal_set report.Exec_result.result reference))
     Strategy.all_presets;
 
   Fmt.pr "@.What each strategy did:@.";

@@ -16,10 +16,10 @@ let show db name q =
     (List.map (fun t -> Tuple.get t 0) (Relation.to_list reference));
   List.iter
     (fun (sname, strategy) ->
-      let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
+      let report = Session.exec_report ~opts:(Exec_opts.make ~strategy ()) (Session.create db) q in
       Fmt.pr "  %-12s scans %2d  max n-tuple %6d  agree %b@." sname
-        report.Phased_eval.scans report.Phased_eval.max_ntuple
-        (Relation.equal_set report.Phased_eval.result reference))
+        report.Exec_result.scans report.Exec_result.max_ntuple
+        (Relation.equal_set report.Exec_result.result reference))
     Strategy.all_presets
 
 let () =

@@ -47,14 +47,14 @@ let () =
     (Relation.cardinality reference);
   List.iter
     (fun (name, strategy) ->
-      let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q in
+      let report = Session.exec_report ~opts:(Exec_opts.make ~strategy ()) (Session.create db) q in
       Fmt.pr
         "%-14s -> %d employees | scans %2d | probes %5d | max n-tuple %6d | agree %b@."
         name
-        (Relation.cardinality report.Phased_eval.result)
-        report.Phased_eval.scans report.Phased_eval.probes
-        report.Phased_eval.max_ntuple
-        (Relation.equal_set report.Phased_eval.result reference))
+        (Relation.cardinality report.Exec_result.result)
+        report.Exec_result.scans report.Exec_result.probes
+        report.Exec_result.max_ntuple
+        (Relation.equal_set report.Exec_result.result reference))
     Strategy.all_presets;
 
   (* Example 2.2's adaptation: empty papers. *)
@@ -65,7 +65,7 @@ let () =
   let reference = Naive_eval.run db q in
   List.iter
     (fun (name, strategy) ->
-      let r = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
+      let r = Session.exec ~opts:(Exec_opts.make ~strategy ()) (Session.create db) q in
       Fmt.pr "%-14s -> %d employees | agree %b@." name (Relation.cardinality r)
         (Relation.equal_set r reference))
     Strategy.all_presets

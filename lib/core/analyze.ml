@@ -80,7 +80,7 @@ let phase_rows root =
     phase_names
 
 type t = {
-  a_report : Phased_eval.report;
+  a_report : Exec_result.t;
   a_root : Obs.Trace.span;
   a_rows : phase_row list;
   a_strategy : Strategy.t;
@@ -164,6 +164,12 @@ let fault_counters =
     "storage.recovery_rebuilds";
     "pool.evict_io_failures";
     "db.save_crashes";
+    "wal.append_crashes";
+    "wal.fsync_crashes";
+    "wal.checkpoint_crashes";
+    "wal.replayed_txns";
+    "db.recoveries";
+    "txn.conflicts";
   ]
 
 let faults_json () =
@@ -272,8 +278,39 @@ let plan_cache_json a =
    the "flight_recorder" section, and plan_cache.hit_rate becoming a
    number (0.0 instead of null on zero lookups).  3: the
    "combination.batch" counters and "parallel.batch_size" of the
-   vectorized execution path. *)
-let schema_version = 3
+   vectorized execution path.  4: the "exec" section (the unified
+   {!Exec_result.t}: rows, phase split, plan-cache outcome, txn/WAL
+   activity) and the WAL/txn fault counters. *)
+let schema_version = 4
+
+(* The last execution's unified result, as the executor reported it:
+   the phase split from the execution clock, the plan-cache outcome of
+   its observation window, and the transactional footprint (commit /
+   conflict / WAL append / fsync deltas — all zero for a read-only
+   query over a non-durable database). *)
+let exec_json (r : Exec_result.t) =
+  let open Obs.Json in
+  Obj
+    [
+      ("rows", Int r.Exec_result.rows);
+      ( "phase_ms",
+        Obj
+          [
+            ("collection", Float r.Exec_result.collection_ms);
+            ("combination", Float r.Exec_result.combination_ms);
+            ("construction", Float r.Exec_result.construction_ms);
+          ] );
+      ( "cache",
+        Str (Exec_result.cache_outcome_to_string r.Exec_result.cache) );
+      ( "txn",
+        Obj
+          [
+            ("commits", Int r.Exec_result.txn.Exec_result.commits);
+            ("conflicts", Int r.Exec_result.txn.Exec_result.conflicts);
+            ("wal_appends", Int r.Exec_result.txn.Exec_result.wal_appends);
+            ("wal_fsyncs", Int r.Exec_result.txn.Exec_result.wal_fsyncs);
+          ] );
+    ]
 
 let to_json ~database ~scale db q a =
   let open Obs.Json in
@@ -285,22 +322,23 @@ let to_json ~database ~scale db q a =
       ("query", Str (Fmt.str "%a" Calculus.pp_query q));
       ("strategy", Str (Strategy.to_string a.a_strategy));
       ( "result_cardinality",
-        Int (Relation.cardinality a.a_report.Phased_eval.result) );
+        Int (Relation.cardinality a.a_report.Exec_result.result) );
       ( "totals",
         Obj
           [
             ("wall_ms", Float a.a_root.Obs.Trace.sp_elapsed_ms);
-            ("scans", Int a.a_report.Phased_eval.scans);
-            ("probes", Int a.a_report.Phased_eval.probes);
-            ("max_ntuple", Int a.a_report.Phased_eval.max_ntuple);
+            ("scans", Int a.a_report.Exec_result.scans);
+            ("probes", Int a.a_report.Exec_result.probes);
+            ("max_ntuple", Int a.a_report.Exec_result.max_ntuple);
             ("pool", pool_stats_json db);
           ] );
+      ("exec", exec_json a.a_report);
       ("phases", List (List.map phase_row_json a.a_rows));
       ( "intermediates",
         Obj
           (List.map
              (fun (k, n) -> (k, Int n))
-             a.a_report.Phased_eval.intermediates) );
+             a.a_report.Exec_result.intermediates) );
       ("combination", combination_json ());
       ("parallel", parallel_json a);
       ("faults", faults_json ());

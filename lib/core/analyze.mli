@@ -22,7 +22,7 @@ type phase_row = {
 }
 
 type t = {
-  a_report : Phased_eval.report;
+  a_report : Exec_result.t;
   a_root : Obs.Trace.span;
   a_rows : phase_row list;
   a_strategy : Strategy.t;
@@ -51,7 +51,8 @@ val schema_version : int
     whenever sections are added or reshaped.  2 added [schema_version]
     itself, the cumulative per-digest [stats] section, the
     [flight_recorder] section, and made [plan_cache.hit_rate] a number
-    (0.0 instead of null on zero lookups). *)
+    (0.0 instead of null on zero lookups).  4 added the [exec] section
+    (the unified {!Exec_result.t}) and the WAL/txn fault counters. *)
 
 val to_json : database:string -> scale:int -> Database.t -> Calculus.query -> t -> Obs.Json.t
 (** The full analyze document: query, strategy, totals, per-phase rows,

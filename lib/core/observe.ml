@@ -15,7 +15,13 @@
    is stored with the flight recorder, disarming the digest. *)
 
 type phase = Collection | Combination | Construction
-type clock = { time : 'a. phase -> (unit -> 'a) -> 'a }
+
+type clock = {
+  time : 'a. phase -> (unit -> 'a) -> 'a;
+  elapsed : phase -> float;
+      (* accumulated milliseconds of a phase so far: how the execution
+         body reads its own phase split back into an Exec_result *)
+}
 
 type window = {
   w_hits : int;
@@ -26,6 +32,10 @@ type window = {
   w_probes : int;
   w_index_probes : int;
   w_pool_fetches : int;
+  w_txn_commits : int;
+  w_txn_conflicts : int;
+  w_wal_appends : int;
+  w_wal_fsyncs : int;
 }
 
 let counters () =
@@ -39,6 +49,33 @@ let counters () =
     w_probes = c "relation.probes";
     w_index_probes = c "index.probes";
     w_pool_fetches = c "pool.fetches";
+    w_txn_commits = c "txn.commits";
+    w_txn_conflicts = c "txn.conflicts";
+    w_wal_appends = c "wal.appends";
+    w_wal_fsyncs = c "wal.fsyncs";
+  }
+
+let window = counters
+
+(* The plan-cache outcome of an execution is the most specific event in
+   its counter window: a reground implies a miss (of the substituted
+   plan), an invalidation implies the subsequent miss, so precedence is
+   reground > invalidated > miss > hit. *)
+let cache_outcome ~since =
+  let now = counters () in
+  if now.w_regrounds > since.w_regrounds then Exec_result.Reground
+  else if now.w_invalidations > since.w_invalidations then
+    Exec_result.Invalidated
+  else if now.w_misses > since.w_misses then Exec_result.Miss
+  else Exec_result.Hit
+
+let txn_stats ~since =
+  let now = counters () in
+  {
+    Exec_result.commits = now.w_txn_commits - since.w_txn_commits;
+    conflicts = now.w_txn_conflicts - since.w_txn_conflicts;
+    wal_appends = now.w_wal_appends - since.w_wal_appends;
+    wal_fsyncs = now.w_wal_fsyncs - since.w_wal_fsyncs;
   }
 
 let run ~digest ~text ~opts ~rows_of f =
@@ -58,7 +95,12 @@ let run ~digest ~text ~opts ~rows_of f =
         ~finally:(fun () -> acc := !acc +. (Obs.Trace.now_ms () -. s))
         g
     in
-    let result = f { time } in
+    let elapsed = function
+      | Collection -> !coll_ms
+      | Combination -> !comb_ms
+      | Construction -> !cons_ms
+    in
+    let result = f { time; elapsed } in
     let wall_ms = Obs.Trace.now_ms () -. t0 in
     let after = counters () in
     let d get = get after - get before in

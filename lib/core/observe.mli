@@ -12,10 +12,28 @@
 
 type phase = Collection | Combination | Construction
 
-type clock = { time : 'a. phase -> (unit -> 'a) -> 'a }
+type clock = {
+  time : 'a. phase -> (unit -> 'a) -> 'a;
+  elapsed : phase -> float;
+}
 (** The execution body wraps each evaluation phase in [clock.time], so
     the recorded phase split reflects where the wall time actually
-    went. *)
+    went; [elapsed] reads a phase's accumulated milliseconds back, so
+    the body can embed its own split in an {!Exec_result.t}. *)
+
+type window
+(** An opaque snapshot of the counters {!run} attributes over its
+    observation window. *)
+
+val window : unit -> window
+
+val cache_outcome : since:window -> Exec_result.cache_outcome
+(** The most specific plan-cache event since the snapshot:
+    reground > invalidated > miss > hit. *)
+
+val txn_stats : since:window -> Exec_result.txn_stats
+(** Transaction commit/conflict and WAL append/fsync deltas since the
+    snapshot. *)
 
 val run :
   digest:string ->

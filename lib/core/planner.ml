@@ -162,9 +162,9 @@ let choose db query =
 let run ?name db query =
   let decision = choose db query in
   ( decision,
-    Phased_eval.run ?name
+    Session.exec ?name
       ~opts:(Exec_opts.make ~strategy:decision.d_strategy ())
-      db query )
+      (Session.create db) query )
 
 let pp_decision ppf d =
   Fmt.pf ppf "@[<v>strategy: %a@ before: %a@ after:  %a@ %a@]" Strategy.pp

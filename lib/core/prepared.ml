@@ -7,6 +7,14 @@
    hashtable probe, a stats-epoch change transparently re-runs the
    adapt / standard-form / plan pipeline.
 
+   Every execution runs against a *snapshot*: the replan/reground
+   closures and the evaluation phases all take the database to run
+   against, and the public entry points pin a read transaction's view
+   when the caller is not already inside one (autocommit).  The epoch
+   the plan cache validates against is the snapshot's, so a plan
+   compiled inside a write transaction is keyed to the transaction's
+   own (post-write) epoch, not the store's.
+
    Plans may contain $name placeholders (Calculus.O_param).  Execution
    grounds the plan first — substituting every placeholder by its bound
    constant across free ranges, prefix ranges, matrix atoms and derived
@@ -19,24 +27,14 @@ open Calculus
 exception Unbound_parameter of string
 exception Unknown_parameter of string
 
-type report = {
-  result : Relation.t;
-  plan : Plan.t;
-  scans : int;  (* counted full relation scans of the database *)
-  probes : int;  (* key lookups against database relations *)
-  max_ntuple : int;  (* largest combined n-tuple relation *)
-  intermediates : (string * int) list;
-      (* sizes of all collection-phase structures *)
-}
-
 type t = {
-  p_db : Database.t;
+  p_db : Database.t;  (* the session's store; autocommit pins snapshots of it *)
   p_opts : Exec_opts.t;
   p_digest : string;  (* structural digest: the Query_stats key *)
   p_text : string;  (* pretty-printed query, for stats display *)
   p_params : string list;  (* required placeholders, sorted *)
-  p_replan : unit -> Plan.t;  (* through the session's plan cache *)
-  p_reground : Value.t Var_map.t -> Plan.t;
+  p_replan : Database.t -> Plan.t;  (* through the session's plan cache *)
+  p_reground : Database.t -> Value.t Var_map.t -> Plan.t;
       (* plan the fully substituted query from scratch: the slow path
          when a $param-dependent range turns out empty (below) *)
   p_param_qranges : range list;
@@ -81,7 +79,7 @@ let params t = t.p_params
 let opts t = t.p_opts
 let digest t = t.p_digest
 let text t = t.p_text
-let plan t = t.p_replan ()
+let plan t = t.p_replan t.p_db
 
 (* --- Grounding a plan ---------------------------------------------- *)
 
@@ -123,27 +121,28 @@ let bindings_of t provided =
   | None -> ());
   b
 
-(* The current plan, grounded under [provided] bindings.
+(* The current plan, grounded under [provided] bindings against [db]
+   (the execution's snapshot).
 
    Fast path: substitute the bindings into the cached plan.  Slow path:
    if a quantifier range whose restriction mentions a $param turns out
    EMPTY under these bindings, the plan-time adaptation (which assumed
    it non-empty) no longer holds — re-plan the fully substituted query
    so SOME/ALL over the empty range simplify correctly. *)
-let ground t provided =
+let ground t db provided =
   let b = bindings_of t provided in
   let adaptation_stale =
     (not (Var_map.is_empty b))
     && List.exists
-         (fun r -> Standard_form.range_is_empty t.p_db (subst_range b r))
+         (fun r -> Standard_form.range_is_empty db (subst_range b r))
          t.p_param_qranges
   in
   if adaptation_stale then begin
     Obs.Metrics.incr "plan_cache.regrounds";
-    t.p_reground b
+    t.p_reground db b
   end
   else
-    let plan = t.p_replan () in
+    let plan = t.p_replan db in
     if Var_map.is_empty b then plan else subst_plan b plan
 
 (* --- Execution ----------------------------------------------------- *)
@@ -151,15 +150,17 @@ let ground t provided =
 (* The [_with] variants run under a caller-supplied phase clock, so the
    observation window can start before this function — Session's
    one-shot paths open it around prepare + execute, attributing a cold
-   one-shot's planning to the same record. *)
+   one-shot's planning to the same record.  [?within] is the snapshot
+   to execute against (a transaction's view); without it, a read
+   transaction is pinned around the execution (autocommit). *)
 
-let exec_with ?name ?(params = []) (clock : Observe.clock) t =
-  let plan = ground t params in
+let exec_in ?name ~params (clock : Observe.clock) db t =
+  let plan = ground t db params in
   let coll =
     Collection.create
       ?par:(Exec_opts.par t.p_opts)
-      ~batch_size:t.p_opts.Exec_opts.batch_size t.p_db
-      t.p_opts.Exec_opts.strategy plan
+      ~batch_size:t.p_opts.Exec_opts.batch_size db t.p_opts.Exec_opts.strategy
+      plan
   in
   clock.time Observe.Collection (fun () ->
       Obs.Trace.with_span "collection" (fun () -> Collection.run coll));
@@ -171,19 +172,27 @@ let exec_with ?name ?(params = []) (clock : Observe.clock) t =
   in
   clock.time Observe.Construction (fun () ->
       Obs.Trace.with_span "construction" (fun () ->
-          Construction.run ?name t.p_db plan refs))
+          Construction.run ?name db plan refs))
 
-(* Execute with instrumentation.  Scan/probe counters of the database
+let exec_with ?name ?(params = []) ?within clock t =
+  match within with
+  | Some db -> exec_in ?name ~params clock db t
+  | None ->
+    Database.with_read t.p_db (fun txn ->
+        exec_in ?name ~params clock (Database.Txn.view txn) t)
+
+(* Execute with instrumentation.  Scan/probe counters of the snapshot's
    relations are reset first, so the report reflects this execution
-   alone. *)
-let exec_report_with ?name ?(params = []) (clock : Observe.clock) t =
-  Database.reset_counters t.p_db;
-  let plan = ground t params in
+   alone; [since] is the caller's observation-window start, from which
+   the cache outcome and txn/WAL activity are attributed. *)
+let exec_report_in ?name ~params ~since (clock : Observe.clock) db t =
+  Database.reset_counters db;
+  let plan = ground t db params in
   let coll =
     Collection.create
       ?par:(Exec_opts.par t.p_opts)
-      ~batch_size:t.p_opts.Exec_opts.batch_size t.p_db
-      t.p_opts.Exec_opts.strategy plan
+      ~batch_size:t.p_opts.Exec_opts.batch_size db t.p_opts.Exec_opts.strategy
+      plan
   in
   clock.time Observe.Collection (fun () ->
       Obs.Trace.with_span "collection" (fun () -> Collection.run coll));
@@ -196,26 +205,40 @@ let exec_report_with ?name ?(params = []) (clock : Observe.clock) t =
   let result =
     clock.time Observe.Construction (fun () ->
         Obs.Trace.with_span "construction" (fun () ->
-            Construction.run ?name t.p_db plan refs))
+            Construction.run ?name db plan refs))
   in
   {
-    result;
+    Exec_result.result;
     plan;
-    scans = Database.total_scans t.p_db;
-    probes = Database.total_probes t.p_db;
+    rows = Relation.cardinality result;
+    scans = Database.total_scans db;
+    probes = Database.total_probes db;
     max_ntuple;
     intermediates = Collection.intermediate_sizes coll;
+    collection_ms = clock.elapsed Observe.Collection;
+    combination_ms = clock.elapsed Observe.Combination;
+    construction_ms = clock.elapsed Observe.Construction;
+    cache = Observe.cache_outcome ~since;
+    txn = Observe.txn_stats ~since;
   }
 
-let exec ?name ?params t =
+let exec_report_with ?name ?(params = []) ?within ~since clock t =
+  match within with
+  | Some db -> exec_report_in ?name ~params ~since clock db t
+  | None ->
+    Database.with_read t.p_db (fun txn ->
+        exec_report_in ?name ~params ~since clock (Database.Txn.view txn) t)
+
+let exec ?name ?params ?within t =
   Observe.run ~digest:t.p_digest ~text:t.p_text ~opts:t.p_opts
     ~rows_of:Relation.cardinality (fun clock ->
-      exec_with ?name ?params clock t)
+      exec_with ?name ?params ?within clock t)
 
 let exec_report ?name ?params t =
+  let since = Observe.window () in
   Observe.run ~digest:t.p_digest ~text:t.p_text ~opts:t.p_opts
-    ~rows_of:(fun r -> Relation.cardinality r.result)
-    (fun clock -> exec_report_with ?name ?params clock t)
+    ~rows_of:(fun r -> r.Exec_result.rows)
+    (fun clock -> exec_report_with ?name ?params ~since clock t)
 
 (* Execute under the span tracer.  On a cache hit the root "query" span
    has only collection / combination / construction children — the

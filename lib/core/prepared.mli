@@ -1,8 +1,10 @@
 (** Prepared queries: compile once via {!Session.prepare}, execute many
-    times.  Execution re-validates the plan against the database stats
-    epoch through the session's plan cache, grounds any [$name]
-    placeholders, then runs only the collection / combination /
-    construction phases. *)
+    times.  Execution re-validates the plan against the stats epoch of
+    the snapshot it runs against through the session's plan cache,
+    grounds any [$name] placeholders, then runs only the collection /
+    combination / construction phases.  Entry points without an
+    explicit snapshot pin a read transaction for the duration of the
+    execution (autocommit). *)
 
 open Relalg
 
@@ -12,16 +14,6 @@ exception Unbound_parameter of string
 exception Unknown_parameter of string
 (** A binding names a placeholder the query does not contain. *)
 
-type report = {
-  result : Relation.t;
-  plan : Plan.t;  (** the plan after all enabled transformations *)
-  scans : int;  (** counted full scans of database relations *)
-  probes : int;  (** key lookups against database relations *)
-  max_ntuple : int;  (** largest combined n-tuple relation *)
-  intermediates : (string * int) list;
-      (** sizes of all collection-phase structures, by memo key *)
-}
-
 type t
 
 val make :
@@ -29,14 +21,15 @@ val make :
   opts:Exec_opts.t ->
   digest:string ->
   query:Calculus.query ->
-  replan:(unit -> Plan.t) ->
-  reground:(Relalg.Value.t Calculus.Var_map.t -> Plan.t) ->
+  replan:(Database.t -> Plan.t) ->
+  reground:(Database.t -> Relalg.Value.t Calculus.Var_map.t -> Plan.t) ->
   t
-(** Used by {!Session.prepare}; [replan] must consult the session's
-    plan cache under the current stats epoch.  [digest] is the
-    structural digest of the alpha-canonical query — the key under
-    which executions accumulate in {!Obs.Query_stats}.  [reground]
-    must plan the fully substituted query from scratch — the fallback
+(** Used by {!Session.prepare}; [replan db] must consult the session's
+    plan cache under [db]'s current stats epoch ([db] is the snapshot
+    the execution runs against).  [digest] is the structural digest of
+    the alpha-canonical query — the key under which executions
+    accumulate in {!Obs.Query_stats}.  [reground db] must plan the
+    fully substituted query from scratch against [db] — the fallback
     taken when a [$param]-dependent quantifier range turns out empty
     under the actual bindings, so the empty-range adaptation assumed
     at plan time no longer holds (counted as
@@ -54,41 +47,55 @@ val text : t -> string
 (** The query pretty-printed once at prepare time. *)
 
 val plan : t -> Plan.t
-(** The current (possibly re-validated) plan, placeholders intact. *)
+(** The current (possibly re-validated) plan against the session's
+    store, placeholders intact. *)
 
 val exec :
-  ?name:string -> ?params:(string * Relalg.Value.t) list -> t -> Relation.t
-(** @raise Unbound_parameter if a required placeholder is missing.
+  ?name:string ->
+  ?params:(string * Relalg.Value.t) list ->
+  ?within:Database.t ->
+  t ->
+  Relation.t
+(** Autocommit: pins a read snapshot around the execution, unless
+    [?within] supplies a transaction's view to run against.
+    @raise Unbound_parameter if a required placeholder is missing.
     @raise Unknown_parameter on a binding the query does not use. *)
 
 val exec_report :
-  ?name:string -> ?params:(string * Relalg.Value.t) list -> t -> report
-(** {!exec} with instrumentation; resets the database scan/probe
+  ?name:string -> ?params:(string * Relalg.Value.t) list -> t -> Exec_result.t
+(** {!exec} with instrumentation; resets the snapshot's scan/probe
     counters first. *)
 
 val exec_with :
   ?name:string ->
   ?params:(string * Relalg.Value.t) list ->
+  ?within:Database.t ->
   Observe.clock ->
   t ->
   Relation.t
 (** {!exec} under a caller-supplied {!Observe.clock} — no recording of
-    its own.  {!Session}'s one-shot paths use this so the observation
-    window also covers prepare. *)
+    its own.  [?within] is the snapshot to run against (a transaction's
+    view); when absent a read transaction is pinned around the
+    execution.  {!Session}'s paths use this so the observation window
+    also covers prepare. *)
 
 val exec_report_with :
   ?name:string ->
   ?params:(string * Relalg.Value.t) list ->
+  ?within:Database.t ->
+  since:Observe.window ->
   Observe.clock ->
   t ->
-  report
-(** {!exec_report}, clocked by the caller like {!exec_with}. *)
+  Exec_result.t
+(** {!exec_report}, clocked by the caller like {!exec_with}; [since] is
+    the observation-window start from which the report's cache outcome
+    and txn/WAL stats are attributed. *)
 
 val exec_traced :
   ?name:string ->
   ?params:(string * Relalg.Value.t) list ->
   t ->
-  report * Obs.Trace.span
+  Exec_result.t * Obs.Trace.span
 (** {!exec_report} under the span tracer.  On a plan-cache hit the root
     span has only collection / combination / construction children; the
     planning spans reappear exactly when the stats epoch forces a

@@ -1,4 +1,5 @@
-(* The front door of the query engine: a database plus a plan cache.
+(* The front door of the query engine: a database plus a plan cache,
+   with an explicit transaction surface.
 
    Planning a PASCAL/R selection is the expensive prefix of every
    evaluation — empty-range adaptation, standard form (prenex + DNF),
@@ -14,8 +15,17 @@
      deletions and snapshot loads move it, invalidating plans whose
      cost ordering or empty-range adaptation assumed the old contents.
 
-   The pipeline itself (formerly Phased_eval.prepare) lives here;
-   Phased_eval's run family survives as thin one-shot wrappers. *)
+   Every execution runs inside a transaction.  [read] and [write] pin a
+   snapshot (Database.Txn) and hand the body a [Txn.t] whose executors
+   evaluate against the pinned view through the session's plan cache —
+   the epoch validated is the snapshot's, which continues the store's
+   version lineage, so monotonicity holds across installs.  The plain
+   [exec] family are single-statement autocommit wrappers over [read].
+
+   A session is shared-database, single-domain: concurrent clients each
+   create their own session over one store (what Workload.Driver and
+   `pascalr serve` do); pins and installs synchronize inside
+   Database. *)
 
 open Relalg
 
@@ -96,44 +106,101 @@ let clear_cache t = Plan_cache.clear t.s_cache
    compile differently — the plan cache. *)
 let digest query = Calculus.digest_query (Normalize.canonical_query query)
 
-let prepare ?(opts = Exec_opts.default) t query =
+(* Build the Prepared without planning anything yet: the replan and
+   reground closures take the database to plan against, so the same
+   prepared query serves the store (autocommit) and any transaction's
+   snapshot, each validated under its own epoch. *)
+let prepare_lazy ?(opts = Exec_opts.default) t query =
   let digest = digest query in
   let key = digest ^ "#" ^ Exec_opts.fingerprint opts in
-  let replan () =
-    let epoch = Database.stats_epoch t.s_db in
+  let replan db =
+    let epoch = Database.stats_epoch db in
     match Plan_cache.find t.s_cache ~epoch key with
     | Some plan -> plan
     | None ->
-      let plan = plan_only ~opts t.s_db query in
+      let plan = plan_only ~opts db query in
       Plan_cache.add t.s_cache ~epoch key plan;
       plan
   in
-  (* Plan eagerly: prepare pays for planning, executions need not. *)
-  ignore (replan () : Plan.t);
   Prepared.make ~db:t.s_db ~opts ~digest ~query ~replan
-    ~reground:(fun b -> plan_only ~opts t.s_db (Calculus.subst_query b query))
+    ~reground:(fun db b -> plan_only ~opts db (Calculus.subst_query b query))
 
-(* One-shot conveniences: prepare + single execution, through the
-   session cache (so a repeated one-shot query still hits).  The
-   observation window opens around prepare + execute, so a cold
-   one-shot records as a replan while a repeat records as a cache
-   hit — Prepared.exec alone would misread the cold case, because
-   prepare's eager plan is re-found (hit) at execution time. *)
+let prepare ?(opts = Exec_opts.default) t query =
+  let p = prepare_lazy ~opts t query in
+  (* Plan eagerly: prepare pays for planning, executions need not. *)
+  ignore (Prepared.plan p : Plan.t);
+  p
 
-let exec ?(opts = Exec_opts.default) ?name ?params t query =
-  Observe.run ~digest:(digest query)
-    ~text:(Fmt.str "%a" Calculus.pp_query query)
-    ~opts ~rows_of:Relation.cardinality
-    (fun clock ->
-      Prepared.exec_with ?name ?params clock (prepare ~opts t query))
+(* --- The transaction surface --------------------------------------- *)
 
-let exec_report ?(opts = Exec_opts.default) ?name ?params t query =
-  Observe.run ~digest:(digest query)
-    ~text:(Fmt.str "%a" Calculus.pp_query query)
-    ~opts
-    ~rows_of:(fun r -> Relation.cardinality r.Prepared.result)
-    (fun clock ->
-      Prepared.exec_report_with ?name ?params clock (prepare ~opts t query))
+module Txn = struct
+  type session = t
+
+  type t = {
+    x_session : session;
+    x_inner : Database.Txn.t;
+  }
+
+  let session txn = txn.x_session
+  let inner txn = txn.x_inner
+  let database txn = Database.Txn.view txn.x_inner
+
+  (* Buffered mutations: applied to the transaction's private copy now
+     (so its own queries see them), logged and installed at commit. *)
+  let insert txn name tup = Database.Txn.insert txn.x_inner name tup
+  let delete_key txn name key = Database.Txn.delete_key txn.x_inner name key
+  let clear txn name = Database.Txn.clear txn.x_inner name
+
+  (* Executors against the pinned snapshot, through the session's plan
+     cache.  The observation window opens around prepare + execute, so
+     a cold query records as a replan and a repeat as a cache hit. *)
+
+  let exec ?(opts = Exec_opts.default) ?name ?params txn query =
+    let view = database txn in
+    Observe.run ~digest:(digest query)
+      ~text:(Fmt.str "%a" Calculus.pp_query query)
+      ~opts ~rows_of:Relation.cardinality
+      (fun clock ->
+        Prepared.exec_with ?name ?params ~within:view clock
+          (prepare_lazy ~opts txn.x_session query))
+
+  let exec_report ?(opts = Exec_opts.default) ?name ?params txn query =
+    let view = database txn in
+    let since = Observe.window () in
+    Observe.run ~digest:(digest query)
+      ~text:(Fmt.str "%a" Calculus.pp_query query)
+      ~opts
+      ~rows_of:(fun r -> r.Exec_result.rows)
+      (fun clock ->
+        Prepared.exec_report_with ?name ?params ~within:view ~since clock
+          (prepare_lazy ~opts txn.x_session query))
+end
+
+let read t f =
+  Database.with_read t.s_db (fun inner ->
+      f { Txn.x_session = t; x_inner = inner })
+
+(* On any aborted write — conflict or exception — drop the session's
+   cached plans: they may have been compiled against the transaction's
+   private snapshot, under epochs the store can later reach with
+   different contents. *)
+let write t f =
+  try
+    Database.with_write t.s_db (fun inner ->
+        f { Txn.x_session = t; x_inner = inner })
+  with e ->
+    Plan_cache.clear t.s_cache;
+    raise e
+
+(* One-shot conveniences: single-statement autocommit — pin a read
+   snapshot, prepare + execute through the session cache (so a repeated
+   one-shot query still hits). *)
+
+let exec ?opts ?name ?params t query =
+  read t (fun txn -> Txn.exec ?opts ?name ?params txn query)
+
+let exec_report ?opts ?name ?params t query =
+  read t (fun txn -> Txn.exec_report ?opts ?name ?params txn query)
 
 let exec_traced ?(opts = Exec_opts.default) ?name ?params t query =
   Obs.Metrics.set_gauge "combination.max_ntuple" 0.0;
@@ -147,10 +214,4 @@ let exec_traced ?(opts = Exec_opts.default) ?name ?params t query =
       (* Prepare inside the root span so planning spans (on a cache
          miss) are attributed to this query's trace; the observation
          window sits inside the span for the same reason. *)
-      Observe.run ~digest:(digest query)
-        ~text:(Fmt.str "%a" Calculus.pp_query query)
-        ~opts
-        ~rows_of:(fun r -> Relation.cardinality r.Prepared.result)
-        (fun clock ->
-          let p = prepare ~opts t query in
-          Prepared.exec_report_with ?name ?params clock p))
+      read t (fun txn -> Txn.exec_report ~opts ?name ?params txn query))

@@ -1,4 +1,5 @@
-(** The engine's front door: a database plus an LRU plan cache.
+(** The engine's front door: a database, an LRU plan cache, and the
+    transactional execution surface.
 
     {!prepare} runs the planning pipeline — empty-range adaptation,
     standard form, strategies 3 and 4 — at most once per (query
@@ -8,13 +9,22 @@
     not matter; entries are invalidated when
     {!Relalg.Database.stats_epoch} moves.
 
+    Every execution runs inside a transaction.  {!read} and {!write}
+    pin a snapshot and hand the body a {!Txn.t}; the body sees a stable
+    view of the database for its whole duration regardless of
+    concurrent committers, and a write transaction's buffered mutations
+    become visible atomically at commit (or not at all).  The plain
+    {!exec} family are single-statement autocommit conveniences.
+
     A session — including its plan cache and statistics — is a
-    single-domain structure: share the read-only database across
-    domains, never the session.  Concurrent clients each create their
-    own (what {!Workload.Driver} does, one session per client domain);
-    the process-global stores every execution feeds,
-    {!Obs.Query_stats} and {!Obs.Flight_recorder}, are mutex-protected
-    and safe to reach from any number of sessions concurrently. *)
+    single-domain structure: share the database across domains, never
+    the session.  Concurrent clients each create their own (what
+    {!Workload.Driver} and [pascalr serve] do, one session per client
+    domain); snapshot pinning and commit installation synchronize
+    inside {!Relalg.Database}, and the process-global stores every
+    execution feeds, {!Obs.Query_stats} and {!Obs.Flight_recorder},
+    are mutex-protected and safe to reach from any number of sessions
+    concurrently. *)
 
 open Relalg
 open Calculus
@@ -36,17 +46,83 @@ val digest : query -> string
 
 val prepare : ?opts:Exec_opts.t -> t -> query -> Prepared.t
 (** Plan now (through the cache), execute later — possibly many times,
-    with different [$name] parameter bindings. *)
+    with different [$name] parameter bindings, inside or outside a
+    transaction ({!Prepared.exec_with}'s [?within]). *)
 
 val plan_only : ?opts:Exec_opts.t -> Database.t -> query -> Plan.t
 (** The uncached planning pipeline: adaptation + standard form +
     enabled transformations, without evaluating.  EXPLAIN and the
     cost-based planner use this directly. *)
 
+(** {2 Transactions}
+
+    A {!Txn.t} couples a pinned database snapshot
+    ({!Relalg.Database.Txn}) with the session whose plan cache its
+    executions go through. *)
+
+module Txn : sig
+  type session := t
+
+  type t
+
+  val session : t -> session
+
+  val inner : t -> Database.Txn.t
+  (** The underlying storage-layer transaction — for commit-state
+      inspection or direct use of {!Relalg.Database.Txn}. *)
+
+  val database : t -> Database.t
+  (** The pinned snapshot this transaction reads (and, in a write
+      transaction, mutates privately until commit). *)
+
+  val insert : t -> string -> Tuple.t -> unit
+  (** Buffered insert: visible to this transaction's own queries
+      immediately, installed atomically at commit.
+      @raise Invalid_argument in a read transaction. *)
+
+  val delete_key : t -> string -> Value.t list -> unit
+  val clear : t -> string -> unit
+
+  val exec :
+    ?opts:Exec_opts.t ->
+    ?name:string ->
+    ?params:(string * Value.t) list ->
+    t ->
+    query ->
+    Relation.t
+  (** Evaluate against the pinned snapshot, through the session's plan
+      cache (plans validate against the {e snapshot's} stats epoch). *)
+
+  val exec_report :
+    ?opts:Exec_opts.t ->
+    ?name:string ->
+    ?params:(string * Value.t) list ->
+    t ->
+    query ->
+    Exec_result.t
+end
+
+val read : t -> (Txn.t -> 'a) -> 'a
+(** [read t f] pins a snapshot and runs [f] over it.  Always commits
+    (trivially — there is nothing to install); the snapshot is stable
+    for [f]'s whole duration regardless of concurrent writers. *)
+
+val write : t -> (Txn.t -> 'a) -> 'a
+(** [write t f] runs [f] in a write transaction and commits its
+    buffered mutations atomically — through the WAL first when the
+    database is durable ({!Relalg.Database.attach_wal}).
+
+    @raise Relalg.Errors.Txn_conflict
+      under first-committer-wins: another transaction committed to a
+      relation this one touched since it pinned its snapshot.  Nothing
+      was installed; the caller retries by calling [write] again.
+      Any abort also clears the session's plan cache. *)
+
 (** {2 One-shot execution}
 
-    Prepare + a single execution, still through the session cache — a
-    repeated one-shot query hits the cache and skips planning. *)
+    Single-statement autocommit: each call pins a read snapshot around
+    prepare + execute, still through the session cache — a repeated
+    one-shot query hits the cache and skips planning. *)
 
 val exec :
   ?opts:Exec_opts.t ->
@@ -62,7 +138,7 @@ val exec_report :
   ?params:(string * Value.t) list ->
   t ->
   query ->
-  Prepared.report
+  Exec_result.t
 
 val exec_traced :
   ?opts:Exec_opts.t ->
@@ -70,7 +146,7 @@ val exec_traced :
   ?params:(string * Value.t) list ->
   t ->
   query ->
-  Prepared.report * Obs.Trace.span
+  Exec_result.t * Obs.Trace.span
 (** Like {!exec_report} under the span tracer: the root span ("query")
     carries the planning spans only when the cache misses, then
     collection, combination and construction. *)

@@ -23,6 +23,10 @@ type env = {
   session : Pascalr.Session.t;
       (* the plan-cache-backed front door used by PREPARE/EXECUTE *)
   prepared : (string, Pascalr.Prepared.t) Hashtbl.t;
+  tx : Pascalr.Session.Txn.t option;
+      (* when set, [db] is the transaction's pinned snapshot and every
+         mutation routes through the transaction (buffered, installed
+         at commit) instead of hitting relations in place *)
 }
 
 let make_env db =
@@ -31,7 +35,39 @@ let make_env db =
     scope = [];
     session = Pascalr.Session.create db;
     prepared = Hashtbl.create 8;
+    tx = None;
   }
+
+(* An environment executing inside [txn]: statements read the pinned
+   snapshot and buffer their mutations in the transaction.  [prepared]
+   lets a long-lived caller (the server loop) share one PREPARE /
+   EXECUTE table across many transactions. *)
+let txn_env ?prepared txn =
+  {
+    db = Pascalr.Session.Txn.database txn;
+    scope = [];
+    session = Pascalr.Session.Txn.session txn;
+    prepared = (match prepared with Some t -> t | None -> Hashtbl.create 8);
+    tx = Some txn;
+  }
+
+(* Mutations on database-resident relations: through the transaction
+   when there is one (required on a durable database, whose committed
+   states are frozen), in place otherwise. *)
+let ins env target tuple =
+  match env.tx with
+  | Some txn -> Pascalr.Session.Txn.insert txn (Relation.name target) tuple
+  | None -> Relation.insert target tuple
+
+let del env target key =
+  match env.tx with
+  | Some txn -> Pascalr.Session.Txn.delete_key txn (Relation.name target) key
+  | None -> Relation.delete_key target key
+
+let clr env target =
+  match env.tx with
+  | Some txn -> Pascalr.Session.Txn.clear txn (Relation.name target)
+  | None -> Relation.clear target
 
 let schema_env env =
   List.map (fun (v, b) -> (v, Relation.schema b.b_rel)) env.scope
@@ -206,19 +242,19 @@ let rec exec env (stmt : Surface.stmt) =
     let target =
       find_or_create env name (Some (Relation.schema result))
     in
-    Relation.clear target;
-    Relation.iter (Relation.insert target) result
+    clr env target;
+    Relation.iter (ins env target) result
   | Surface.S_insert_sel (name, sel) ->
     let result = eval_selection env sel in
     let target = find_or_create env name (Some (Relation.schema result)) in
-    Relation.iter (Relation.insert target) result
+    Relation.iter (ins env target) result
   | Surface.S_insert_lit (name, exprs) ->
     let target = find_or_create env name None in
-    Relation.insert target (eval_literal env target exprs)
+    ins env target (eval_literal env target exprs)
   | Surface.S_remove_lit (name, exprs) ->
     let target = find_or_create env name None in
     let tuple = eval_literal env target exprs in
-    Relation.delete_key target (Tuple.key_of (Relation.schema target) tuple)
+    del env target (Tuple.key_of (Relation.schema target) tuple)
   | Surface.S_prepare (name, sel) ->
     (* PREPARE plans through the session's cache.  The phased pipeline
        works on component selections over the selection's own range
@@ -249,7 +285,10 @@ let rec exec env (stmt : Surface.stmt) =
     in
     let params = List.map (fun (p, e) -> (p, eval_expr env None e)) bindings in
     let result =
-      try Pascalr.Prepared.exec ~params prep with
+      (* Inside a transaction, execute against its pinned snapshot so
+         the prepared query sees the transaction's own writes. *)
+      let within = Option.map Pascalr.Session.Txn.database env.tx in
+      try Pascalr.Prepared.exec ~params ?within prep with
       | Pascalr.Prepared.Unbound_parameter p ->
         errf "EXECUTE %s: parameter $%s is not bound" pname p
       | Pascalr.Prepared.Unknown_parameter p ->
@@ -258,8 +297,8 @@ let rec exec env (stmt : Surface.stmt) =
     (match target with
     | Some name ->
       let tgt = find_or_create env name (Some (Relation.schema result)) in
-      Relation.clear tgt;
-      Relation.iter (Relation.insert tgt) result
+      clr env tgt;
+      Relation.iter (ins env tgt) result
     | None -> Fmt.pr "%a@." Relation.pp result)
 
 (* Run a whole compilation unit: declarations, then the main block. *)

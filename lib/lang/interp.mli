@@ -14,12 +14,26 @@ type env = {
   scope : (string * binding) list;
   session : Pascalr.Session.t;
   prepared : (string, Pascalr.Prepared.t) Hashtbl.t;
+  tx : Pascalr.Session.Txn.t option;
 }
 
 val make_env : Database.t -> env
 (** A fresh top-level environment: empty scope, a new plan-cache-backed
     session, and an empty prepared-query table.  Keep the env across
-    [exec] calls so PREPARE/EXECUTE statements can see each other. *)
+    [exec] calls so PREPARE/EXECUTE statements can see each other.
+    Mutations hit relations in place (no transaction). *)
+
+val txn_env :
+  ?prepared:(string, Pascalr.Prepared.t) Hashtbl.t ->
+  Pascalr.Session.Txn.t ->
+  env
+(** An environment executing inside a transaction: statements read the
+    pinned snapshot and buffer their mutations in the transaction
+    (installed atomically at commit).  This is the only way to execute
+    mutating statements against a durable database, whose committed
+    relation states are frozen.  [prepared] shares a PREPARE/EXECUTE
+    table across transactions (the server loop passes its
+    per-connection table). *)
 
 val eval_selection : env -> Surface.selection -> Relation.t
 (** Evaluate a selection (items may be [v.component] or [@v]) under the

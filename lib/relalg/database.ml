@@ -1,6 +1,43 @@
 (* A database is a catalog of named relations plus the registry of the
    enumeration types their schemas mention (Figure 1's TYPE section). *)
 
+(* Concurrency control state (see the transaction section at the end of
+   this file).  Every database carries one; it costs a mutex and two
+   small tables and stays inert until transactions are used. *)
+type mvcc = {
+  mu : Mutex.t;  (* guards rels/perm_indexes installs, pins, and this record *)
+  cond : Condition.t;
+  mutable commit_seq : int;  (* global commit counter *)
+  mutable next_txn : int;
+  last_commit : (string, int) Hashtbl.t;
+      (* relation name -> commit_seq of the last installed version;
+         absent = unchanged since the catalog was built (seq 0) *)
+  reserved : (string, int) Hashtbl.t;
+      (* relation name -> txn id of a commit past its conflict check but
+         not yet installed (it is fsyncing its WAL record); a second
+         writer must not pass its own check in that window *)
+  mutable checkpointing : bool;
+  mutable wal : Wal.t option;
+  mutable snapshot_path : string option;
+  mutable durable : bool;
+      (* WAL-attached: committed relation states are frozen, and all
+         content mutation must arrive through write transactions *)
+}
+
+let fresh_mvcc () =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    commit_seq = 0;
+    next_txn = 1;
+    last_commit = Hashtbl.create 16;
+    reserved = Hashtbl.create 8;
+    checkpointing = false;
+    wal = None;
+    snapshot_path = None;
+    durable = false;
+  }
+
 type t = {
   rels : (string, Relation.t) Hashtbl.t;
   enums : (string, Value.enum_info) Hashtbl.t;
@@ -11,6 +48,7 @@ type t = {
   mutable catalog_version : int;
       (* bumped when the set of catalogued relations changes, so the
          stats epoch moves even before the new relation is populated *)
+  mvcc : mvcc;
 }
 
 let create () =
@@ -19,6 +57,7 @@ let create () =
     enums = Hashtbl.create 16;
     perm_indexes = Hashtbl.create 8;
     catalog_version = 0;
+    mvcc = fresh_mvcc ();
   }
 
 let add_relation db r =
@@ -401,3 +440,353 @@ let load ~path =
     Errors.corruption "snapshot %s: %d trailing bytes" path
       (Bytes.length c.Codec.bytes - c.Codec.pos);
   db
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot-isolated transactions.
+
+   MVCC at relation granularity, riding the same versions the plan
+   cache's stats epoch already sums.  A transaction pins a *snapshot* —
+   a facade database sharing the committed Relation.t handles — under
+   the store lock, so it sees every relation at one commit point and
+   none of the installs that happen while it runs.  A write transaction
+   never touches a committed state: its first write to a relation takes
+   a private [Relation.copy] (continuing the original's version lineage
+   so epochs stay monotone), and commit *installs* the copies by
+   swapping the handles in the store's catalog.
+
+   Conflicts are first-committer-wins: commit re-checks, under the
+   store lock, that every written relation still has the commit
+   sequence the snapshot saw.  Because durability (the WAL fsync) runs
+   outside the lock so that concurrent commits can share fsyncs, a
+   passed check is protected by a *reservation* on the written
+   relations; a competing writer aborts on the reservation instead of
+   sneaking through the fsync window.
+
+   Durability: [attach_wal] snapshots the database with [save], opens a
+   WAL beside it and freezes the committed states; from then on commit
+   appends the transaction's operations to the WAL (group commit)
+   before installing.  [open_durable] is crash recovery — load the
+   snapshot, replay the WAL's intact records, checkpoint.  Replay is
+   idempotent (inserts are upserts) because a crash between the
+   checkpoint's snapshot save and its WAL truncation replays a log
+   whose prefix is already in the snapshot. *)
+
+module Txn = struct
+  type kind = Read | Write
+  type state = Open | Committed | Aborted
+
+  type nonrec t = {
+    store : t;
+    view_db : t;
+    kind : kind;
+    id : int;
+    read_seqs : (string, int) Hashtbl.t;  (* last_commit at pin time *)
+    touched : (string, Relation.t) Hashtbl.t;  (* private copies *)
+    mutable ops : Wal.op list;  (* reversed write set *)
+    mutable state : state;
+  }
+
+  (* Pin a snapshot: copy the catalog's handle tables under the store
+     lock, so the view is one commit point even while writers install.
+     Committed Relation.t states are never mutated in place, so sharing
+     the handles is safe; the view's own mvcc state is fresh and inert. *)
+  let begin_txn kind store =
+    let m = store.mvcc in
+    Mutex.lock m.mu;
+    let view_db =
+      {
+        rels = Hashtbl.copy store.rels;
+        enums = Hashtbl.copy store.enums;
+        perm_indexes = Hashtbl.copy store.perm_indexes;
+        catalog_version = store.catalog_version;
+        mvcc = fresh_mvcc ();
+      }
+    in
+    let read_seqs = Hashtbl.copy m.last_commit in
+    let id = m.next_txn in
+    m.next_txn <- id + 1;
+    Mutex.unlock m.mu;
+    Obs.Metrics.incr
+      (match kind with
+      | Read -> "txn.begin_read"
+      | Write -> "txn.begin_write");
+    {
+      store;
+      view_db;
+      kind;
+      id;
+      read_seqs;
+      touched = Hashtbl.create 4;
+      ops = [];
+      state = Open;
+    }
+
+  let view txn = txn.view_db
+  let kind txn = txn.kind
+  let state txn = txn.state
+
+  let writable txn op =
+    (match txn.state with
+    | Open -> ()
+    | Committed | Aborted -> invalid_arg ("Txn." ^ op ^ ": transaction is closed"));
+    match txn.kind with
+    | Write -> ()
+    | Read -> invalid_arg ("Txn." ^ op ^ ": read-only transaction")
+
+  (* Copy-on-first-write: swap a private copy into the view so the
+     transaction reads its own writes through the normal executors. *)
+  let touch txn name =
+    match Hashtbl.find_opt txn.touched name with
+    | Some c -> c
+    | None ->
+      let orig = find_relation txn.view_db name in
+      let c = Relation.copy orig in
+      Relation.set_version c (Relation.version orig);
+      Hashtbl.replace txn.touched name c;
+      Hashtbl.replace txn.view_db.rels name c;
+      c
+
+  let insert txn name tup =
+    writable txn "insert";
+    let c = touch txn name in
+    Relation.insert c tup;
+    txn.ops <- Wal.Insert (name, Codec.encode_tuple (Relation.schema c) tup) :: txn.ops
+
+  let delete_key txn name key =
+    writable txn "delete_key";
+    let c = touch txn name in
+    Relation.delete_key c key;
+    txn.ops <- Wal.Delete (name, key) :: txn.ops
+
+  let clear txn name =
+    writable txn "clear";
+    let c = touch txn name in
+    Relation.clear c;
+    txn.ops <- Wal.Clear name :: txn.ops
+
+  let read_seq txn name =
+    match Hashtbl.find_opt txn.read_seqs name with Some s -> s | None -> 0
+
+  (* First-committer-wins, called with the store lock held: a written
+     relation whose committed sequence moved past our snapshot — or one
+     reserved by a commit in its fsync window — loses. *)
+  let conflicting m txn =
+    Hashtbl.fold
+      (fun name _ acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let committed =
+            match Hashtbl.find_opt m.last_commit name with
+            | Some s -> s
+            | None -> 0
+          in
+          if committed <> read_seq txn name then Some name
+          else (
+            match Hashtbl.find_opt m.reserved name with
+            | Some id when id <> txn.id -> Some name
+            | Some _ | None -> None))
+      txn.touched None
+
+  let unreserve m txn =
+    Hashtbl.iter (fun name _ -> Hashtbl.remove m.reserved name) txn.touched;
+    Condition.broadcast m.cond
+
+  let abort txn =
+    match txn.state with
+    | Open ->
+      txn.state <- Aborted;
+      if txn.kind = Write then Obs.Metrics.incr "txn.aborts"
+    | Committed | Aborted -> ()
+
+  let commit txn =
+    (match txn.state with
+    | Open -> ()
+    | Committed -> invalid_arg "Txn.commit: already committed"
+    | Aborted -> invalid_arg "Txn.commit: already aborted");
+    if txn.kind = Read || Hashtbl.length txn.touched = 0 then
+      txn.state <- Committed
+    else begin
+      let m = txn.store.mvcc in
+      Mutex.lock m.mu;
+      while m.checkpointing do
+        Condition.wait m.cond m.mu
+      done;
+      if m.durable && m.wal = None then begin
+        Mutex.unlock m.mu;
+        abort txn;
+        Errors.io_error "Txn.commit: database is closed"
+      end;
+      (match conflicting m txn with
+      | Some name ->
+        Mutex.unlock m.mu;
+        txn.state <- Aborted;
+        Obs.Metrics.incr "txn.conflicts";
+        Obs.Metrics.incr "txn.aborts";
+        Errors.txn_conflict
+          "relation %s was committed by a concurrent transaction" name
+      | None -> ());
+      Hashtbl.iter
+        (fun name _ -> Hashtbl.replace m.reserved name txn.id)
+        txn.touched;
+      let wal = m.wal in
+      Mutex.unlock m.mu;
+      (* Durability outside the store lock: concurrent commits batch
+         into shared fsyncs (group commit). *)
+      (match wal with
+      | Some w -> (
+        try Wal.commit w (List.rev txn.ops)
+        with e ->
+          Mutex.lock m.mu;
+          unreserve m txn;
+          Mutex.unlock m.mu;
+          txn.state <- Aborted;
+          Obs.Metrics.incr "txn.aborts";
+          raise e)
+      | None -> ());
+      Mutex.lock m.mu;
+      m.commit_seq <- m.commit_seq + 1;
+      Hashtbl.iter
+        (fun name c ->
+          if m.durable then Relation.freeze c;
+          Hashtbl.replace txn.store.rels name c;
+          Hashtbl.replace m.last_commit name m.commit_seq)
+        txn.touched;
+      (* Refresh permanent indexes over the installed states; pinned
+         readers keep the index values they snapshotted, consistent
+         with their old relation handles. *)
+      let stale =
+        Hashtbl.fold
+          (fun (rn, on) _ acc ->
+            if Hashtbl.mem txn.touched rn then (rn, on) :: acc else acc)
+          txn.store.perm_indexes []
+      in
+      List.iter
+        (fun (rn, on) ->
+          Hashtbl.replace txn.store.perm_indexes (rn, on)
+            (Index.build (Hashtbl.find txn.touched rn) ~on:[ on ]))
+        stale;
+      unreserve m txn;
+      Mutex.unlock m.mu;
+      txn.state <- Committed;
+      Obs.Metrics.incr "txn.commits"
+    end
+end
+
+let begin_read db = Txn.begin_txn Txn.Read db
+let begin_write db = Txn.begin_txn Txn.Write db
+
+let with_txn begin_kind db f =
+  let txn = begin_kind db in
+  match f txn with
+  | v ->
+    if Txn.state txn = Txn.Open then Txn.commit txn;
+    v
+  | exception e ->
+    Txn.abort txn;
+    raise e
+
+let with_read db f = with_txn begin_read db f
+let with_write db f = with_txn begin_write db f
+
+(* ------------------------------------------------------------------ *)
+(* Durability: WAL attach, recovery, checkpoint. *)
+
+let wal_path path = path ^ ".wal"
+let wal_attached db = db.mvcc.wal <> None
+let durable db = db.mvcc.durable
+
+(* Replay application is an upsert: a crash between a checkpoint's
+   snapshot save and its WAL truncation leaves a log whose prefix is
+   already inside the snapshot, so replaying the whole log must
+   converge rather than trip the key constraint. *)
+let apply_op db = function
+  | Wal.Insert (name, bytes) ->
+    let rel = find_relation db name in
+    let schema = Relation.schema rel in
+    let tup = Codec.decode_tuple schema bytes in
+    let key = Tuple.key_of schema tup in
+    (match Relation.find_key rel key with
+    | Some existing when Tuple.equal existing tup -> ()
+    | Some _ ->
+      Relation.delete_key rel key;
+      Relation.insert rel tup
+    | None -> Relation.insert rel tup)
+  | Wal.Delete (name, key) -> Relation.delete_key (find_relation db name) key
+  | Wal.Clear name -> Relation.clear (find_relation db name)
+
+let make_durable db ~path w =
+  let m = db.mvcc in
+  Mutex.lock m.mu;
+  m.wal <- Some w;
+  m.snapshot_path <- Some path;
+  m.durable <- true;
+  Mutex.unlock m.mu;
+  Hashtbl.iter (fun _ r -> Relation.freeze r) db.rels
+
+let attach_wal db ~path =
+  if wal_attached db then
+    Errors.io_error "attach_wal: %s already has a wal attached" path;
+  save db ~path;
+  make_durable db ~path (Wal.create (wal_path path))
+
+let open_durable ~path =
+  let db = load ~path in
+  let replayed =
+    Wal.replay (wal_path path) ~apply:(fun ops -> List.iter (apply_op db) ops)
+  in
+  if replayed > 0 then refresh_indexes db;
+  (* Checkpoint the recovered state before going live: the snapshot
+     absorbs the replayed transactions and the log restarts empty. *)
+  save db ~path;
+  make_durable db ~path (Wal.create (wal_path path));
+  Obs.Metrics.incr "db.recoveries";
+  db
+
+let checkpoint db =
+  let m = db.mvcc in
+  match m.wal, m.snapshot_path with
+  | Some w, Some path ->
+    Mutex.lock m.mu;
+    (* Block new reservations and wait out in-flight commits: a commit
+       past its conflict check but not yet installed must not fall
+       between a truncated WAL and a snapshot that missed it. *)
+    m.checkpointing <- true;
+    while Hashtbl.length m.reserved > 0 do
+      Condition.wait m.cond m.mu
+    done;
+    let finish () =
+      m.checkpointing <- false;
+      Condition.broadcast m.cond;
+      Mutex.unlock m.mu
+    in
+    (try
+       (* Crash point 1: nothing written yet — snapshot and WAL intact. *)
+       if Failpoint.should_fire "wal.checkpoint.crash" then begin
+         Obs.Metrics.incr "wal.checkpoint_crashes";
+         Errors.io_error "wal.checkpoint.crash: before snapshot %s" path
+       end;
+       save db ~path;
+       (* Crash point 2: new snapshot durable, WAL not yet truncated —
+          recovery replays a log whose effects the snapshot already
+          holds, which upsert replay absorbs. *)
+       if Failpoint.should_fire "wal.checkpoint.crash" then begin
+         Obs.Metrics.incr "wal.checkpoint_crashes";
+         Errors.io_error "wal.checkpoint.crash: before truncating %s"
+           (Wal.path w)
+       end;
+       Wal.truncate w;
+       Obs.Metrics.incr "db.checkpoints"
+     with e ->
+       finish ();
+       raise e);
+    finish ()
+  | _ -> Errors.io_error "checkpoint: no wal attached"
+
+let close db =
+  match db.mvcc.wal with
+  | None -> ()
+  | Some w ->
+    checkpoint db;
+    Wal.close w;
+    db.mvcc.wal <- None

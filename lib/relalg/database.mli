@@ -83,3 +83,92 @@ val load : path:string -> t
 (** Rebuild a database from a snapshot, re-registering permanent
     indexes.  @raise Errors.Corruption on bad magic, checksum mismatch
     or truncated content. *)
+
+(** {2 Snapshot-isolated transactions}
+
+    MVCC at relation granularity: a transaction pins a snapshot — a
+    facade database sharing the committed {!Relation.t} handles at one
+    commit point — and a write transaction works on private copies that
+    commit installs atomically, with first-committer-wins conflict
+    detection.  Pins and installs synchronize on the store's internal
+    lock, so transactions from concurrent domains are safe; one
+    transaction value itself is single-domain. *)
+
+module Txn : sig
+  type db := t
+
+  type kind = Read | Write
+  type state = Open | Committed | Aborted
+  type t
+
+  val view : t -> db
+  (** The pinned snapshot: every relation at one commit point, plus this
+      transaction's own uncommitted writes.  Run any executor against
+      it; do not mutate it directly. *)
+
+  val kind : t -> kind
+  val state : t -> state
+
+  val insert : t -> string -> Tuple.t -> unit
+  (** Buffer an insertion into the named relation: applied to the
+      transaction's private copy now, logged and installed at commit.
+      @raise Errors.Duplicate_key / Errors.Type_error as
+      {!Relation.insert} (the transaction stays open).
+      @raise Invalid_argument on a read-only or closed transaction
+      (all three mutators do). *)
+
+  val delete_key : t -> string -> Value.t list -> unit
+  val clear : t -> string -> unit
+
+  val commit : t -> unit
+  (** Make the write set durable (WAL append + fsync, when attached) and
+      install it.  @raise Errors.Txn_conflict if a concurrent
+      transaction committed first to a written relation (this
+      transaction is aborted; retry on a fresh snapshot).
+      @raise Errors.Io_error if an injected WAL crash lost the record. *)
+
+  val abort : t -> unit
+  (** Drop the write set.  Idempotent; a no-op on closed transactions. *)
+end
+
+val begin_read : t -> Txn.t
+val begin_write : t -> Txn.t
+
+val with_read : t -> (Txn.t -> 'a) -> 'a
+(** Run [f] against a pinned snapshot; commits (a no-op for reads) on
+    return, aborts if [f] raises. *)
+
+val with_write : t -> (Txn.t -> 'a) -> 'a
+(** Run [f] in a write transaction and commit on return (unless [f]
+    already committed or aborted); aborts and re-raises if [f] raises. *)
+
+(** {2 Write-ahead logging}
+
+    [attach_wal db ~path] snapshots the database to [path], opens a WAL
+    at [path ^ ".wal"] and freezes the committed relation states: from
+    then on all content mutation must go through write transactions,
+    whose operations are appended (group commit) and fsynced before
+    installation.  A checkpoint saves a fresh snapshot and truncates
+    the log; {!open_durable} is crash recovery. *)
+
+val attach_wal : t -> path:string -> unit
+(** @raise Errors.Io_error if a WAL is already attached (or via the
+    [db.save.crash] failpoint during the initial snapshot). *)
+
+val open_durable : path:string -> t
+(** Load the snapshot at [path], replay the intact records of
+    [path ^ ".wal"] on top (upsert semantics — idempotent over a
+    checkpoint that crashed before truncating), checkpoint, and return
+    the database with the WAL attached. *)
+
+val checkpoint : t -> unit
+(** Save the current committed state and truncate the WAL.  Waits out
+    in-flight commits.  Consults the [wal.checkpoint.crash] failpoint at
+    two crash points (before the snapshot and before the truncation);
+    recovery is correct after either.  @raise Errors.Io_error *)
+
+val close : t -> unit
+(** Checkpoint and close the WAL; subsequent write commits fail. *)
+
+val wal_attached : t -> bool
+val durable : t -> bool

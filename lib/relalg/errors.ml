@@ -36,7 +36,20 @@ exception Corruption of string
     read, or undecodable record bytes.  Raised instead of crashing so
     the storage layer can invalidate, refetch and rebuild. *)
 
+exception Frozen of string
+(** Direct mutation of a frozen relation.  Committed relation states of
+    a durable (WAL-attached) database are frozen — snapshot readers may
+    be iterating them — so all mutation must go through a write
+    transaction, which works on private copies. *)
+
+exception Txn_conflict of string
+(** First-committer-wins: between this transaction's snapshot and its
+    commit, another transaction committed to a relation it wrote.  The
+    transaction is aborted; the caller may retry on a fresh snapshot. *)
+
 let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 let schema_error fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
 let io_error fmt = Format.kasprintf (fun s -> raise (Io_error s)) fmt
 let corruption fmt = Format.kasprintf (fun s -> raise (Corruption s)) fmt
+let frozen fmt = Format.kasprintf (fun s -> raise (Frozen s)) fmt
+let txn_conflict fmt = Format.kasprintf (fun s -> raise (Txn_conflict s)) fmt

@@ -53,6 +53,9 @@ let standard_sites =
     "pool.evict.io";
     "codec.decode.corrupt";
     "db.save.crash";
+    "wal.append.crash";
+    "wal.fsync.crash";
+    "wal.checkpoint.crash";
   ]
 
 type armed_site = {

@@ -22,7 +22,8 @@ val trigger_of_string : string -> trigger
 val standard_sites : string list
 (** The catalogue of instrumented sites: [heap.write.partial],
     [heap.read.short], [pool.evict.io], [codec.decode.corrupt],
-    [db.save.crash]. *)
+    [db.save.crash], [wal.append.crash], [wal.fsync.crash],
+    [wal.checkpoint.crash]. *)
 
 val arm : string -> trigger -> unit
 (** Arm a site (re-arming resets its hit count and PRNG stream). *)

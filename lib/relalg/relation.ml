@@ -31,6 +31,10 @@ type t = {
       (* bumped on every content change (insert/delete/clear); feeds the
          database stats epoch that invalidates cached plans *)
   mutable backing : backing option;
+  mutable frozen : bool;
+      (* committed state of a durable database: snapshot readers may be
+         iterating this relation, so content mutation must go through a
+         write transaction's private copy *)
 }
 
 (* [size_hint] presizes the key table: operators that know their output
@@ -47,9 +51,26 @@ let create ?(name = "") ?(size_hint = 0) schema =
     probes = 0;
     version = 0;
     backing = None;
+    frozen = false;
   }
 
 let version r = r.version
+
+(* MVCC lineage continuation: a write transaction's private copy starts
+   at the version of the relation state it was copied from, so the
+   database stats epoch stays strictly monotone across installs (a
+   fresh copy's version would otherwise reset to its cardinality and
+   collide with an earlier epoch, letting a stale cached plan hit). *)
+let set_version r v = r.version <- v
+let freeze r = r.frozen <- true
+let frozen r = r.frozen
+
+let check_unfrozen r op =
+  if r.frozen then
+    Errors.frozen
+      "relation %s: %s on a frozen (snapshot-visible) state; mutate through \
+       a write transaction"
+      r.name op
 
 let name r = r.name
 let schema r = r.schema
@@ -68,6 +89,7 @@ let check_tuple r t =
    no-op; inserting a different element with the same key violates the
    key constraint. *)
 let insert r t =
+  check_unfrozen r "insert";
   check_tuple r t;
   let key = Tuple.key_of r.schema t in
   match Key_table.find_opt r.tbl key with
@@ -106,6 +128,7 @@ let insert_list r ts = List.iter (insert r) ts
    [replace] hashes the key once where a mem-then-replace pair would
    hash twice; growth is detected by the table's length. *)
 let insert_unchecked r t =
+  check_unfrozen r "insert";
   let key = Tuple.key_of r.schema t in
   let before = Key_table.length r.tbl in
   Key_table.replace r.tbl key t;
@@ -122,6 +145,7 @@ let insert_unchecked r t =
   end
 
 let delete_key r key =
+  check_unfrozen r "delete";
   r.probes <- r.probes + 1;
   Obs.Metrics.incr "relation.probes";
   if Key_table.mem r.tbl key then begin
@@ -131,6 +155,7 @@ let delete_key r key =
   match r.backing with Some b -> b.dirty <- true | None -> ()
 
 let clear r =
+  check_unfrozen r "clear";
   if Key_table.length r.tbl > 0 then r.version <- r.version + 1;
   Key_table.reset r.tbl;
   match r.backing with Some b -> b.dirty <- true | None -> ()

@@ -20,7 +20,8 @@ val is_empty : t -> bool
 val insert : t -> Tuple.t -> unit
 (** PASCAL/R [:+].  Idempotent on identical elements.
     @raise Errors.Duplicate_key if the key is bound to a different element.
-    @raise Errors.Type_error if the tuple does not fit the schema. *)
+    @raise Errors.Type_error if the tuple does not fit the schema.
+    @raise Errors.Frozen if the relation is frozen (all mutators do). *)
 
 val insert_unchecked : t -> Tuple.t -> unit
 (** Fast-path insertion for operator outputs whose tuples are well typed
@@ -84,6 +85,21 @@ val version : t -> int
 (** Content version: bumped on every effective insertion, deletion and
     clear.  Feeds {!Database.stats_epoch}, which invalidates cached
     plans whose cardinality assumptions the change may break. *)
+
+val set_version : t -> int -> unit
+(** MVCC lineage continuation: start a write transaction's private
+    {!copy} at the version of the state it was copied from, keeping the
+    stats epoch strictly monotone across installs.  Internal to
+    {!Database}'s transaction layer. *)
+
+val freeze : t -> unit
+(** Mark this relation state immutable: every subsequent content
+    mutation raises {!Errors.Frozen}.  Applied to the committed states
+    of a durable (WAL-attached) database, whose snapshot readers may be
+    iterating them concurrently; scan/probe counters still move.
+    Irreversible; {!copy} of a frozen relation is unfrozen. *)
+
+val frozen : t -> bool
 
 val to_list : t -> Tuple.t list
 (** Sorted, for deterministic output. *)

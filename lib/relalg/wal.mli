@@ -1,0 +1,46 @@
+(** Write-ahead log: incremental group-commit durability between
+    {!Database.save} checkpoints.
+
+    A committed transaction's logical operations are encoded through
+    {!Codec} into one Adler-32-checksummed record, appended and fsynced
+    before the in-memory install.  {!replay} applies the intact records
+    on top of the last snapshot; a checkpoint {!truncate}s the log.
+    Appends serialize under a mutex but the fsync runs outside it —
+    commits that find a sync in flight piggyback on the next one
+    (group commit, counted by [wal.group_commits]).
+
+    Fault injection: the [wal.append.crash] site tears a record
+    mid-write; [wal.fsync.crash] drops the un-fsynced tail (the bytes a
+    power cut would lose).  Either poisons the log — further commits
+    raise — modelling a dead process; recovery is reopening from disk. *)
+
+type op =
+  | Insert of string * Bytes.t
+      (** target relation, schema-directed [Codec.encode_tuple] bytes *)
+  | Delete of string * Value.t list  (** target relation, key values *)
+  | Clear of string
+
+type t
+
+val create : string -> t
+(** Create (or truncate) the log file and write the magic header. *)
+
+val path : t -> string
+
+val commit : t -> op list -> unit
+(** Append one transaction's record and return once an fsync covers it.
+    @raise Errors.Io_error on an injected crash; the commit did not
+    happen and the log refuses further commits until reopened. *)
+
+val replay : string -> apply:(op list -> unit) -> int
+(** Apply every intact committed record in order; a torn or corrupt
+    tail ends replay silently, a missing file replays nothing.  Returns
+    the number of transactions applied.
+    @raise Errors.Corruption on a damaged header or out-of-order
+    commit sequence (not mere tail damage). *)
+
+val truncate : t -> unit
+(** Reset to empty after a checkpoint made the log's effects durable in
+    the snapshot. *)
+
+val close : t -> unit

@@ -36,6 +36,7 @@ type action =
   | Adhoc of Calculus.query
   | Execute of Calculus.query * (string * Value.t) list
   | Replan of Calculus.query
+  | Write of Tuple.t
 
 type scenario = {
   sc_class : string;
@@ -135,11 +136,78 @@ let suppliers_mix db =
     };
   ]
 
-let mix_for db ~kind =
-  match kind with
-  | "university" -> university_mix db
-  | "suppliers" -> suppliers_mix db
-  | other -> failwith ("Driver.mix_for: unknown database kind " ^ other)
+(* ---- writes -------------------------------------------------------- *)
+
+(* Write requests insert into a dedicated append-only relation that no
+   query of either mix reads.  That split is what keeps the determinism
+   contract intact under concurrency: reads can never observe a write's
+   effect, writes are commutative (every request draws a unique key),
+   and a first-committer-wins conflict only costs a retry, never a
+   different answer.  The multiset witness stays (class, rows) with
+   rows = 1 per committed write. *)
+let traffic_log_name = "traffic_log"
+
+let traffic_log_schema =
+  Schema.make
+    [
+      Schema.attr "wid" (Vtype.int_range 0 max_int);
+      Schema.attr "wclass" (Vtype.string_width 16);
+      Schema.attr "wval" (Vtype.int_range 0 1_000_000);
+    ]
+    ~key:[ "wid" ]
+
+let ensure_traffic_log db =
+  match Database.find_relation_opt db traffic_log_name with
+  | Some r -> r
+  | None -> Database.declare_relation db ~name:traffic_log_name traffic_log_schema
+
+(* The write scenario's weight, sized so roughly [write_pct] percent of
+   requests are writes given the read mix's total weight. *)
+let write_scenario base_weight ~write_pct =
+  if write_pct < 0 || write_pct > 90 then
+    failwith "Driver: --write-pct must be between 0 and 90";
+  if write_pct = 0 then []
+  else begin
+    let weight =
+      max 1
+        (int_of_float
+           (Float.round
+              (float_of_int (base_weight * write_pct)
+              /. float_of_int (100 - write_pct))))
+    in
+    (* The key counter makes every scheduled write unique; the schedule
+       is generated serially before any client starts, so the counter
+       draw order is deterministic. *)
+    let next_wid = ref 0 in
+    [
+      {
+        sc_class = "write/traffic-log";
+        sc_weight = weight;
+        sc_make =
+          (fun rng ->
+            let wid = !next_wid in
+            incr next_wid;
+            Write
+              (Tuple.of_list
+                 [
+                   Value.int wid;
+                   Value.str "traffic";
+                   Value.int (Prng.in_range rng 0 999_999);
+                 ]));
+      };
+    ]
+  end
+
+let mix_for ?(write_pct = 0) db ~kind =
+  let reads =
+    match kind with
+    | "university" -> university_mix db
+    | "suppliers" -> suppliers_mix db
+    | other -> failwith ("Driver.mix_for: unknown database kind " ^ other)
+  in
+  let base_weight = List.fold_left (fun a s -> a + s.sc_weight) 0 reads in
+  if write_pct > 0 then ignore (ensure_traffic_log db : Relation.t);
+  reads @ write_scenario base_weight ~write_pct
 
 (* ---- schedule ------------------------------------------------------ *)
 
@@ -248,6 +316,20 @@ let exec_action session opts = function
   | Replan q ->
     Session.clear_cache session;
     Relation.cardinality (Session.exec ~opts session q)
+  | Write tup ->
+    (* First-committer-wins: every concurrent write touches the same
+       relation, so losers retry.  Keys are unique per request, so the
+       retries commute and each request commits exactly one row. *)
+    let rec attempt n =
+      if n > 10_000 then failwith "Driver: write retry budget exhausted"
+      else
+        try
+          Session.write session (fun txn ->
+              Session.Txn.insert txn traffic_log_name tup);
+          1
+        with Errors.Txn_conflict _ -> attempt (n + 1)
+    in
+    attempt 0
 
 (* One client: walk the requests whose index maps to this client, in
    schedule order.  Open loop sleeps until the scheduled arrival and
@@ -302,6 +384,10 @@ let run cfg db mix =
     schedule cfg.mode ~requests:cfg.requests ~warmup:cfg.warmup ~seed:cfg.seed
       mix
   in
+  (* Declare the write target before any client domain starts, so the
+     clients only ever mutate through transactions. *)
+  if Array.exists (fun r -> match r.rq_action with Write _ -> true | _ -> false) reqs
+  then ignore (ensure_traffic_log db : Relation.t);
   let t0 = now_ms () in
   let accs =
     if cfg.clients = 1 then [| run_client ~cfg ~db ~t0 reqs 0 |]

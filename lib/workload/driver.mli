@@ -43,6 +43,10 @@ type action =
   | Replan of Calculus.query
       (** analyze-style replan: the client's plan cache is cleared
           first, so the full planning pipeline runs again *)
+  | Write of Tuple.t
+      (** commit this tuple into {!traffic_log_name} through a write
+          transaction, retrying first-committer-wins conflicts; counts
+          as one result row *)
 
 type scenario = {
   sc_class : string;  (** reporting label, e.g. ["adhoc/running"] *)
@@ -61,8 +65,21 @@ val suppliers_mix : Database.t -> scenario list
 (** Ad-hoc division queries, a prepared [$minqty] shipment sweep, and
     a forced replan. *)
 
-val mix_for : Database.t -> kind:string -> scenario list
-(** ["university"] or ["suppliers"]. @raise Failure otherwise. *)
+val traffic_log_name : string
+(** The dedicated write-target relation, ["traffic_log"].  No query of
+    either mix reads it, so the (class, rows) determinism witness
+    survives any interleaving of writes: unique keys make the inserts
+    commutative, and conflicts only cost retries. *)
+
+val ensure_traffic_log : Database.t -> Relation.t
+(** Declare {!traffic_log_name} (wid key, wclass, wval) if absent. *)
+
+val mix_for : ?write_pct:int -> Database.t -> kind:string -> scenario list
+(** ["university"] or ["suppliers"]; [write_pct] (default 0) adds a
+    ["write/traffic-log"] scenario weighted so roughly that percentage
+    of requests commit a uniquely-keyed insert through a write
+    transaction.  @raise Failure on an unknown kind or a [write_pct]
+    outside 0-90. *)
 
 (** {2 Schedule} *)
 
@@ -136,8 +153,10 @@ val run : config -> Database.t -> scenario list -> report
 (** Execute the schedule.  Requests are partitioned statically —
     request [i] belongs to client [i mod clients] — so the work each
     client performs is independent of timing.  The database must not
-    be mutated for the duration of the run; per-relation scan/probe
-    tallies may race benignly (they are diagnostics, not answers).
+    be mutated outside the driver for the duration of the run; the
+    driver's own writes go through snapshot-isolated transactions into
+    {!traffic_log_name} only.  Per-relation scan/probe tallies may
+    race benignly (they are diagnostics, not answers).
     @raise Invalid_argument on [clients <= 0] or a bad schedule. *)
 
 val report_to_json : report -> Obs.Json.t

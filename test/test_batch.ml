@@ -9,6 +9,11 @@
 
 open Relalg
 open Pascalr
+
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+
 module Stream = Algebra.Stream
 
 let seq_of r = Array.to_list (Relation.to_array_uncounted r)
@@ -104,7 +109,7 @@ let batch_independent_on seed =
     List.for_all
       (fun (sname, strategy) ->
         let run ~jobs ~batch_size =
-          Phased_eval.run
+          exec_q
             ~opts:
               (Exec_opts.make ~strategy ~jobs ~par_threshold:0 ~batch_size ())
             db q
@@ -150,7 +155,7 @@ let test_batch_counters_move () =
   let run batch_size =
     let before = Obs.Metrics.counter_value "algebra.batch.rows_in" in
     ignore
-      (Phased_eval.run
+      (exec_q
          ~opts:(Exec_opts.make ~strategy:Strategy.s123 ~batch_size ())
          db q);
     Obs.Metrics.counter_value "algebra.batch.rows_in" - before

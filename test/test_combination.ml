@@ -12,6 +12,12 @@
 open Relalg
 open Pascalr
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+let exec_q_report ?opts db q = Session.exec_report ?opts (Session.create db) q
+
+
 (* Scale-2 university database, byte-identical to the benchmark's
    [uni_params 2] so the hardcoded baseline figures apply. *)
 let uni_db () =
@@ -33,31 +39,31 @@ let check_engines_agree ~pin db q strategies =
   List.iter
     (fun (sname, strategy) ->
       let ordered =
-        Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Cost_ordered ())
+        exec_q_report ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Cost_ordered ())
           db q
       in
       let decl =
-        Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Declaration ())
+        exec_q_report ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Declaration ())
           db q
       in
       Alcotest.(check bool)
         (sname ^ ": ordered engine agrees with naive")
         true
-        (Relation.equal_set ordered.Phased_eval.result naive);
+        (Relation.equal_set ordered.Exec_result.result naive);
       Alcotest.(check bool)
         (sname ^ ": declaration engine agrees with naive")
         true
-        (Relation.equal_set decl.Phased_eval.result naive);
+        (Relation.equal_set decl.Exec_result.result naive);
       Alcotest.(check bool)
         (Fmt.str "%s: eager elimination max_ntuple %d <= baseline %d" sname
-           ordered.Phased_eval.max_ntuple decl.Phased_eval.max_ntuple)
+           ordered.Exec_result.max_ntuple decl.Exec_result.max_ntuple)
         true
-        (ordered.Phased_eval.max_ntuple <= decl.Phased_eval.max_ntuple);
+        (ordered.Exec_result.max_ntuple <= decl.Exec_result.max_ntuple);
       Alcotest.(check bool)
         (Fmt.str "%s: max_ntuple %d below the seed-engine figure %d" sname
-           ordered.Phased_eval.max_ntuple pin)
+           ordered.Exec_result.max_ntuple pin)
         true
-        (ordered.Phased_eval.max_ntuple < pin))
+        (ordered.Exec_result.max_ntuple < pin))
     strategies
 
 let strategies =
@@ -97,7 +103,7 @@ let test_s1_scans_engine_independent () =
   let db = uni_db () in
   let q = Workload.Queries.running_query db in
   let counts join_order =
-    let _ = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1 ~join_order ()) db q in
+    let _ = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s1 ~join_order ()) db q in
     List.map
       (fun r -> (Relation.name r, Relation.scan_count r))
       (Database.relations db)

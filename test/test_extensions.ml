@@ -9,6 +9,12 @@ open Pascalr
 open Pascalr.Calculus
 open Relalg
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+let exec_q_report ?opts db q = Session.exec_report ?opts (Session.create db) q
+
+
 (* --------------------------------------------------------------- *)
 (* Permanent indexes *)
 
@@ -28,15 +34,15 @@ let test_permanent_index_saves_scans () =
   let db = Workload.University.generate Workload.University.small_params in
   let q = Workload.Queries.existential_query db in
   (* Without permanent indexes. *)
-  let before = (Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q).Phased_eval.scans in
+  let before = (exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q).Exec_result.scans in
   (* Example 4.3's indexes, registered permanently. *)
   ignore (Database.register_index db "timetable" ~on:"tcnr");
   ignore (Database.register_index db "timetable" ~on:"tenr");
-  let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
+  let report = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
   Alcotest.(check bool)
-    (Printf.sprintf "scans drop (%d -> %d)" before report.Phased_eval.scans)
+    (Printf.sprintf "scans drop (%d -> %d)" before report.Exec_result.scans)
     true
-    (report.Phased_eval.scans < before);
+    (report.Exec_result.scans < before);
   (* timetable itself is never scanned: both its uses go through the
      permanent indexes. *)
   Alcotest.(check int) "timetable not scanned" 0
@@ -44,7 +50,7 @@ let test_permanent_index_saves_scans () =
   (* And the answer is still right. *)
   let expected = Naive_eval.run db q in
   Alcotest.(check bool) "answer unchanged" true
-    (Relation.equal_set expected report.Phased_eval.result)
+    (Relation.equal_set expected report.Exec_result.result)
 
 let test_permanent_index_all_strategies_agree () =
   let db = Workload.University.generate Workload.University.small_params in
@@ -59,7 +65,7 @@ let test_permanent_index_all_strategies_agree () =
           Alcotest.(check bool)
             (Printf.sprintf "%s / %s" qname sname)
             true
-            (Relation.equal_set expected (Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q)))
+            (Relation.equal_set expected (exec_q ~opts:(Exec_opts.make ~strategy ()) db q)))
         Strategy.all_presets)
     [
       ("running", Workload.Queries.running_query db);
@@ -76,7 +82,7 @@ let test_permanent_index_not_used_for_restricted_range () =
   let q = Workload.Queries.example_4_5 db in
   let expected = Naive_eval.run db q in
   Alcotest.(check bool) "restricted ranges still correct" true
-    (Relation.equal_set expected (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q))
+    (Relation.equal_set expected (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s123 ()) db q))
 
 let test_refresh_indexes () =
   let db = Fixtures.make () in
@@ -138,7 +144,7 @@ let test_cnf_absorbs_multi_atom_conjunction () =
   let expected = Naive_eval.run db q in
   Alcotest.(check bool) "answers agree" true
     (Relation.equal_set expected
-       (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q))
+       (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q))
 
 (* SOME c with different monadic terms in different conjunctions: the
    CNF clause (freshman OR senior) shrinks the range. *)
@@ -175,7 +181,7 @@ let test_cnf_clause_extension () =
   let expected = Naive_eval.run db q in
   Alcotest.(check bool) "answers agree" true
     (Relation.equal_set expected
-       (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q))
+       (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q))
 
 (* CNF on random queries: full_cnf must agree with naive everywhere. *)
 let test_cnf_random =
@@ -187,9 +193,9 @@ let test_cnf_random =
       let q = Workload.Random_query.generate db (seed + 5) in
       let expected = Naive_eval.run db q in
       Relation.equal_set expected
-        (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q)
+        (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.full_cnf ()) db q)
       && Relation.equal_set expected
-           (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q))
+           (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s123c ()) db q))
 
 let suite =
   [

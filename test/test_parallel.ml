@@ -7,6 +7,11 @@
 open Relalg
 open Pascalr
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+
+
 (* Unsorted contents in iteration order — the strongest determinism
    observation: parallel chunk replay must reproduce the serial
    insertion sequence exactly, so even hashtable iteration order is
@@ -188,7 +193,7 @@ let jobs_independent_on seed =
     List.for_all
       (fun (sname, strategy) ->
         let run jobs =
-          Phased_eval.run
+          exec_q
             ~opts:(Exec_opts.make ~strategy ~jobs ~par_threshold:0 ())
             db q
         in

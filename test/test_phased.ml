@@ -1,6 +1,12 @@
 open Pascalr
 open Relalg
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+let exec_q_report ?opts db q = Session.exec_report ?opts (Session.create db) q
+
+
 let queries db =
   [
     ("running (Ex 2.1)", Workload.Queries.running_query db);
@@ -32,7 +38,7 @@ let test_all_strategies_agree () =
       let expected = Naive_eval.run db q in
       List.iter
         (fun (sname, strategy) ->
-          let actual = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
+          let actual = exec_q ~opts:(Exec_opts.make ~strategy ()) db q in
           Alcotest.(check bool)
             (Printf.sprintf "%s / %s" qname sname)
             true
@@ -47,7 +53,7 @@ let test_all_strategies_agree_suppliers () =
       let expected = Naive_eval.run db q in
       List.iter
         (fun (sname, strategy) ->
-          let actual = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
+          let actual = exec_q ~opts:(Exec_opts.make ~strategy ()) db q in
           Alcotest.(check bool)
             (Printf.sprintf "%s / %s" qname sname)
             true
@@ -59,7 +65,7 @@ let test_exact_answer_fixture () =
   let db = Fixtures.make () in
   List.iter
     (fun (sname, strategy) ->
-      let r = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db (Workload.Queries.running_query db) in
+      let r = exec_q ~opts:(Exec_opts.make ~strategy ()) db (Workload.Queries.running_query db) in
       Alcotest.(check (list string))
         ("fixture answer / " ^ sname)
         Fixtures.running_query_answer (Helpers.strings r))
@@ -71,7 +77,7 @@ let test_empty_papers_all_strategies () =
   Relation.clear (Database.find_relation db "papers");
   List.iter
     (fun (sname, strategy) ->
-      let r = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db (Workload.Queries.running_query db) in
+      let r = exec_q ~opts:(Exec_opts.make ~strategy ()) db (Workload.Queries.running_query db) in
       Alcotest.(check (list string))
         ("empty papers / " ^ sname)
         Fixtures.running_query_answer_empty_papers (Helpers.strings r))
@@ -92,7 +98,7 @@ let test_each_relation_empty () =
           let expected = Naive_eval.run db q in
           List.iter
             (fun (sname, strategy) ->
-              let actual = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
+              let actual = exec_q ~opts:(Exec_opts.make ~strategy ()) db q in
               Alcotest.(check bool)
                 (Printf.sprintf "%s empty / %s / %s" victim qname sname)
                 true
@@ -107,7 +113,7 @@ let test_each_relation_empty () =
 let test_s1_scan_counts () =
   let db = Workload.University.generate Workload.University.small_params in
   let q = Workload.Queries.existential_query db in
-  let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
+  let report = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s12 ()) db q in
   List.iter
     (fun rel_name ->
       let rel = Database.find_relation db rel_name in
@@ -122,13 +128,13 @@ let test_s1_scan_counts () =
 let test_s1_reduces_scans () =
   let db = Workload.University.generate Workload.University.small_params in
   let q = Workload.Queries.running_query db in
-  let r_palermo = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.palermo ()) db q in
-  let r_s1 = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1 ()) db q in
+  let r_palermo = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.palermo ()) db q in
+  let r_s1 = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s1 ()) db q in
   Alcotest.(check bool)
-    (Printf.sprintf "S1 scans (%d) < palermo scans (%d)" r_s1.Phased_eval.scans
-       r_palermo.Phased_eval.scans)
+    (Printf.sprintf "S1 scans (%d) < palermo scans (%d)" r_s1.Exec_result.scans
+       r_palermo.Exec_result.scans)
     true
-    (r_s1.Phased_eval.scans < r_palermo.Phased_eval.scans)
+    (r_s1.Exec_result.scans < r_palermo.Exec_result.scans)
 
 (* Strategy 4 on Example 4.7's input empties the quantifier prefix: all
    three quantified variables are evaluated in the collection phase. *)
@@ -170,7 +176,7 @@ let test_s3_conjunction_count () =
 let test_intermediate_shrinkage () =
   let db = Workload.University.generate Workload.University.small_params in
   let q = Workload.Queries.running_query db in
-  let m strategy = (Phased_eval.run_report ~opts:(Exec_opts.make ~strategy ()) db q).Phased_eval.max_ntuple in
+  let m strategy = (exec_q_report ~opts:(Exec_opts.make ~strategy ()) db q).Exec_result.max_ntuple in
   let palermo = m Strategy.palermo in
   let s123 = m Strategy.s123 in
   Alcotest.(check bool)

@@ -6,6 +6,11 @@
 open Pascalr
 open Relalg
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+
+
 let strategies_agree_on seed =
   let db = Workload.Random_query.tiny_db (seed * 7919) in
   let q = Workload.Random_query.generate db seed in
@@ -17,7 +22,7 @@ let strategies_agree_on seed =
     let expected = Naive_eval.run db q in
     List.for_all
       (fun (sname, strategy) ->
-        let actual = Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q in
+        let actual = exec_q ~opts:(Exec_opts.make ~strategy ()) db q in
         Relation.equal_set expected actual
         ||
         QCheck.Test.fail_reportf
@@ -72,7 +77,7 @@ let empty_range_agree_on seed =
   let expected = Naive_eval.run db q in
   List.for_all
     (fun (sname, strategy) ->
-      Relation.equal_set expected (Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q)
+      Relation.equal_set expected (exec_q ~opts:(Exec_opts.make ~strategy ()) db q)
       ||
       QCheck.Test.fail_reportf
         "empty range over %s: %s differs on seed %d:@.%a" victim sname seed
@@ -106,7 +111,7 @@ let torture seed =
   let expected = Naive_eval.run db q in
   List.for_all
     (fun (sname, strategy) ->
-      Relation.equal_set expected (Phased_eval.run ~opts:(Exec_opts.make ~strategy ()) db q)
+      Relation.equal_set expected (exec_q ~opts:(Exec_opts.make ~strategy ()) db q)
       ||
       QCheck.Test.fail_reportf "torture: %s differs on seed %d:@.%a" sname seed
         Calculus.pp_query q)
@@ -129,10 +134,10 @@ let engines_agree_on seed =
   List.for_all
     (fun (sname, strategy) ->
       let ordered =
-        Phased_eval.run ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Cost_ordered ()) db q
+        exec_q ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Cost_ordered ()) db q
       in
       let decl =
-        Phased_eval.run ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Declaration ()) db q
+        exec_q ~opts:(Exec_opts.make ~strategy ~join_order:Combination.Declaration ()) db q
       in
       (Relation.equal_set expected ordered && Relation.equal_set expected decl)
       ||

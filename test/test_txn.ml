@@ -1,0 +1,167 @@
+(* The transactional Session surface: snapshot visibility, own-write
+   reads, abort semantics, first-committer-wins conflicts, and the
+   frozen committed states of a durable database. *)
+
+open Pascalr
+open Relalg
+
+let mk_db () = Workload.Suppliers.generate Workload.Suppliers.default_params
+
+(* All supplier numbers — snr is the key, so the result cardinality
+   counts suppliers exactly. *)
+let all_snrs =
+  {
+    Calculus.free = [ ("s", Calculus.base "suppliers") ];
+    select = [ ("s", "snr") ];
+    body = Calculus.F_true;
+  }
+
+let supplier n name db =
+  Tuple.of_list [ Value.int n; Value.str name; Workload.Suppliers.london db ]
+
+let count txn = Relation.cardinality (Session.Txn.exec txn all_snrs)
+
+(* ---------------------------------------------------------------- *)
+
+let test_write_then_read () =
+  let db = mk_db () in
+  let s = Session.create db in
+  let before = Session.read s count in
+  Session.write s (fun txn ->
+      Session.Txn.insert txn "suppliers" (supplier 900 "newcomer" db));
+  Alcotest.(check int)
+    "committed write visible to a later read" (before + 1)
+    (Session.read s count);
+  Alcotest.(check int)
+    "and to autocommit exec" (before + 1)
+    (Relation.cardinality (Session.exec s all_snrs))
+
+let test_own_writes_visible_buffered () =
+  let db = mk_db () in
+  let s = Session.create db in
+  let before = Session.read s count in
+  Session.write s (fun txn ->
+      Session.Txn.insert txn "suppliers" (supplier 901 "insider" db);
+      Alcotest.(check int)
+        "own buffered write visible inside the transaction" (before + 1)
+        (count txn);
+      (* A concurrent reader pins the committed state: the buffered
+         insert is invisible until commit. *)
+      Alcotest.(check int)
+        "uncommitted write invisible to other sessions" before
+        (Session.read (Session.create db) count));
+  Alcotest.(check int) "visible after commit" (before + 1) (Session.read s count)
+
+exception Changed_my_mind
+
+let test_abort_discards () =
+  let db = mk_db () in
+  let s = Session.create db in
+  let before = Session.read s count in
+  (try
+     Session.write s (fun txn ->
+         Session.Txn.insert txn "suppliers" (supplier 902 "phantom" db);
+         raise Changed_my_mind)
+   with Changed_my_mind -> ());
+  Alcotest.(check int)
+    "aborted write left no trace" before (Session.read s count);
+  (* delete + clear buffer and abort the same way *)
+  (try
+     Session.write s (fun txn ->
+         Session.Txn.clear txn "suppliers";
+         Alcotest.(check int) "buffered clear empties own view" 0 (count txn);
+         raise Changed_my_mind)
+   with Changed_my_mind -> ());
+  Alcotest.(check int) "aborted clear left no trace" before (Session.read s count)
+
+let test_first_committer_wins () =
+  let db = mk_db () in
+  let s = Session.create db in
+  let before = Session.read s count in
+  (match
+     Session.write s (fun txn ->
+         Session.Txn.insert txn "suppliers" (supplier 903 "loser" db);
+         (* A second transaction commits the same relation while ours
+            is still open: ours must lose at commit. *)
+         Database.with_write db (fun other ->
+             Database.Txn.insert other "suppliers" (supplier 904 "winner" db)))
+   with
+  | () -> Alcotest.fail "expected Txn_conflict"
+  | exception Errors.Txn_conflict _ -> ());
+  let after = Session.read s count in
+  Alcotest.(check int) "only the winner committed" (before + 1) after;
+  Alcotest.(check bool) "winner's row present" true
+    (Relation.find_key (Database.find_relation db "suppliers")
+       [ Value.int 904 ]
+    <> None);
+  Alcotest.(check bool) "loser's row absent" true
+    (Relation.find_key (Database.find_relation db "suppliers")
+       [ Value.int 903 ]
+    = None)
+
+let test_disjoint_writers_both_commit () =
+  let db = mk_db () in
+  let s = Session.create db in
+  (* Writes to different relations do not conflict. *)
+  Session.write s (fun txn ->
+      Session.Txn.insert txn "suppliers" (supplier 905 "alice" db);
+      Database.with_write db (fun other ->
+          Database.Txn.delete_key other "shipments"
+            (Tuple.key_of
+               (Relation.schema (Database.find_relation db "shipments"))
+               (List.hd
+                  (Relation.to_list (Database.find_relation db "shipments"))))));
+  Alcotest.(check bool) "snapshot writer committed" true
+    (Relation.find_key (Database.find_relation db "suppliers")
+       [ Value.int 905 ]
+    <> None)
+
+let test_durable_states_frozen () =
+  let path = Filename.temp_file "pascalr_txn" ".pascalrdb" in
+  let cleanup () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ path; path ^ ".tmp"; path ^ ".wal" ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let db = mk_db () in
+      Database.attach_wal db ~path;
+      let suppliers = Database.find_relation db "suppliers" in
+      (match Relation.insert suppliers (supplier 906 "intruder" db) with
+      | () -> Alcotest.fail "expected Frozen"
+      | exception Errors.Frozen _ -> ());
+      (* The transactional path is the only mutation route. *)
+      let s = Session.create db in
+      Session.write s (fun txn ->
+          Session.Txn.insert txn "suppliers" (supplier 907 "legit" db));
+      Alcotest.(check bool) "txn write landed" true
+        (Relation.find_key (Database.find_relation db "suppliers")
+           [ Value.int 907 ]
+        <> None);
+      Database.close db;
+      (* Reopen: the committed transaction survived the WAL round trip. *)
+      let db2 = Database.open_durable ~path in
+      Alcotest.(check bool) "txn write durable across reopen" true
+        (Relation.find_key (Database.find_relation db2 "suppliers")
+           [ Value.int 907 ]
+        <> None);
+      Database.close db2)
+
+let suite =
+  [
+    ( "txn",
+      [
+        Alcotest.test_case "committed write visible to later reads" `Quick
+          test_write_then_read;
+        Alcotest.test_case "own writes buffered, isolated until commit" `Quick
+          test_own_writes_visible_buffered;
+        Alcotest.test_case "exception aborts and discards the buffer" `Quick
+          test_abort_discards;
+        Alcotest.test_case "first committer wins on overlap" `Quick
+          test_first_committer_wins;
+        Alcotest.test_case "disjoint writers both commit" `Quick
+          test_disjoint_writers_both_commit;
+        Alcotest.test_case "durable states frozen outside transactions" `Quick
+          test_durable_states_frozen;
+      ] );
+  ]
