@@ -50,7 +50,10 @@ let time_median ?(repeat = 3) f =
    Returns [f]'s first result, the exact median (kept as the wall_ms
    figure so every existing comparison — including the regression
    guard's prepared-vs-cold check — stays on the same estimator), and
-   the histogram's (p50, p95, p99). *)
+   the histogram's (p50, p95, p99) — [None] when there is only one
+   sample: a single pass has no tail, and duplicating its time into
+   p95/p99 would hand the regression gate a percentile that was never
+   measured. *)
 let time_percentiles ?(repeat = 3) f =
   let h = Obs.Histogram.create () in
   let r0, ms0 = time f in
@@ -61,11 +64,15 @@ let time_percentiles ?(repeat = 3) f =
     | [] -> 0.0
     | ts -> List.nth ts (List.length ts / 2)
   in
-  ( r0,
-    median,
-    ( Obs.Histogram.quantile h 0.5,
-      Obs.Histogram.quantile h 0.95,
-      Obs.Histogram.quantile h 0.99 ) )
+  let percentiles =
+    if List.length times < 2 then None
+    else
+      Some
+        ( Obs.Histogram.quantile h 0.5,
+          Obs.Histogram.quantile h 0.95,
+          Obs.Histogram.quantile h 0.99 )
+  in
+  (r0, median, percentiles)
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results.  Selected experiments record one row per
@@ -163,12 +170,19 @@ let bench_scale () =
     (fun s ->
       let db = Workload.University.generate (uni_params s) in
       let q = Workload.Queries.running_query db in
+      (* Page the relations through a buffer pool so every row carries a
+         real hit rate (the pool is generous: the effect measured here
+         is strategy wall time, not pool thrash — that is B-PAGE). *)
+      let pool = Database.attach_storage db ~pool_pages:64 in
+      let hit_rate () = Buffer_pool.hit_rate (Buffer_pool.stats pool) in
       Database.reset_counters db;
+      Buffer_pool.reset_stats pool;
       let naive_ms = time_median ~repeat:1 (fun () -> Naive_eval.run db q) in
       let naive_scans = Database.total_scans db in
       record ~experiment:"B-SCALE" ~query:"running" ~strategy:"naive" ~scale:s
         ~wall_ms:naive_ms ~scans:naive_scans
-        ~probes:(Database.total_probes db) ~max_ntuple:0 ();
+        ~probes:(Database.total_probes db) ~max_ntuple:0
+        ~pool_hit_rate:(hit_rate ()) ();
       let cell (sname, st) =
         let feasible =
           s <= max_palermo_scale
@@ -176,6 +190,7 @@ let bench_scale () =
           || st.Strategy.quantifier_push
         in
         if feasible then begin
+          Buffer_pool.reset_stats pool;
           let report, ms, percentiles =
             time_percentiles (fun () ->
                 exec_q_report ~opts:(Exec_opts.make ~strategy:st ()) db q)
@@ -183,7 +198,8 @@ let bench_scale () =
           record ~experiment:"B-SCALE" ~query:"running" ~strategy:sname
             ~scale:s ~wall_ms:ms ~scans:report.Exec_result.scans
             ~probes:report.Exec_result.probes
-            ~max_ntuple:report.Exec_result.max_ntuple ~percentiles ();
+            ~max_ntuple:report.Exec_result.max_ntuple
+            ~pool_hit_rate:(hit_rate ()) ?percentiles ();
           Some (ms, report.Exec_result.scans)
         end
         else None
@@ -431,7 +447,7 @@ let bench_division () =
             record ~experiment:"B-DIV" ~query:qname ~strategy:sname ~scale:s
               ~wall_ms:ms ~scans:report.Exec_result.scans
               ~probes:report.Exec_result.probes
-              ~max_ntuple:report.Exec_result.max_ntuple ~percentiles ();
+              ~max_ntuple:report.Exec_result.max_ntuple ?percentiles ();
             ms
           in
           let palermo =
@@ -465,9 +481,11 @@ let bench_order () =
     [ ("ordered", Combination.Cost_ordered); ("declaration", Combination.Declaration) ]
   in
   let case qname scale strategy db q =
+    let pool = Database.attach_storage db ~pool_pages:64 in
     List.iter
       (fun (ename, join_order) ->
         let repeat = 3 in
+        Buffer_pool.reset_stats pool;
         let in0 = Obs.Metrics.counter_value "combination.join_rows_in" in
         let out0 = Obs.Metrics.counter_value "combination.join_rows_out" in
         let report, ms, percentiles =
@@ -490,7 +508,9 @@ let bench_order () =
         record ~experiment:"B-ORDER" ~query:qname ~strategy:ename ~scale
           ~wall_ms:ms ~scans:report.Exec_result.scans
           ~probes:report.Exec_result.probes
-          ~max_ntuple:report.Exec_result.max_ntuple ~percentiles
+          ~max_ntuple:report.Exec_result.max_ntuple
+          ~pool_hit_rate:(Buffer_pool.hit_rate (Buffer_pool.stats pool))
+          ?percentiles
           ~extra:
             [
               ("join_rows_in", Obs.Json.Int join_in);
@@ -728,7 +748,7 @@ let bench_parallel () =
         record ~experiment:"B-PAR" ~query:qname
           ~strategy:(Fmt.str "jobs=%d" jobs) ~scale ~wall_ms:ms
           ~scans:report.Exec_result.scans ~probes:report.Exec_result.probes
-          ~max_ntuple:report.Exec_result.max_ntuple ~percentiles
+          ~max_ntuple:report.Exec_result.max_ntuple ?percentiles
           ~extra:
             [
               ("jobs", Obs.Json.Int jobs);
@@ -834,12 +854,12 @@ let bench_prepared () =
     in
     record ~experiment:"B-PREP" ~query:qname ~strategy:"cold" ~scale
       ~wall_ms:cold_ms ~scans:0 ~probes:0 ~max_ntuple:0
-      ~percentiles:cold_percentiles
+      ?percentiles:cold_percentiles
       ~extra:[ ("repeats", Obs.Json.Int repeats) ]
       ();
     record ~experiment:"B-PREP" ~query:qname ~strategy:"prepared" ~scale
       ~wall_ms:prep_ms ~scans:0 ~probes:0 ~max_ntuple:0
-      ~percentiles:prep_percentiles ~extra ();
+      ?percentiles:prep_percentiles ~extra ();
     Fmt.pr "%-22s %-6d | %10.2f %10.2f %8.1fx | %10.2f | %5d %6d@." qname
       scale cold_ms prep_ms
       (cold_ms /. Float.max prep_ms 0.001)
@@ -887,11 +907,13 @@ let bench_vec () =
                 ~opts:(Exec_opts.make ~strategy ~batch_size ())
                 db q)
         in
-        let p50, p95, p99 = percentiles in
+        let p50, p95, p99 =
+          match percentiles with Some p -> p | None -> (ms, ms, ms)
+        in
         record ~experiment:"B-VEC" ~query:qname ~strategy:ename ~scale
           ~wall_ms:ms ~scans:report.Exec_result.scans
           ~probes:report.Exec_result.probes
-          ~max_ntuple:report.Exec_result.max_ntuple ~percentiles
+          ~max_ntuple:report.Exec_result.max_ntuple ?percentiles
           ~extra:[ ("batch_size", Obs.Json.Int batch_size) ]
           ();
         Fmt.pr "%-14s %-6d %-12s | %10.2f %10.2f %10.2f %10.2f@." qname scale
@@ -911,6 +933,82 @@ let bench_vec () =
       case "no red part" s Strategy.s123 db
         (Workload.Suppliers.ships_no_red_part db))
     (scales [ 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* B-INDEX: persistent secondary indexes as collection access paths.
+   An equality restriction selecting ~1/1000 of shipments, executed
+   prepared (the plan cache pays planning once, so the cells compare
+   access paths, not planners): the "indexed" leg drives the range from
+   a declared secondary hash index on hqty — one bucket probe per
+   execution — while the "scan" leg (use_index=false) walks the whole
+   heap.  Same database, same plan, identical results (the QCheck
+   differential in the test suite proves it); the gap is the access
+   path, and it widens linearly with the relation. *)
+
+let selective_shipments_query =
+  let open Calculus in
+  {
+    free = [ ("h", base "shipments") ];
+    select = [ ("h", "hsnr"); ("h", "hpnr") ];
+    body = eq (attr "h" "hqty") (cint 500);
+  }
+
+let bench_index () =
+  section "B-INDEX" "secondary-index probe vs heap scan (hqty = 500)";
+  Fmt.pr "(secondary hash index on shipments.hqty; median of 5 passes)@.";
+  Fmt.pr "%-6s %-10s | %-6s | %10s %8s %8s %6s | %8s@." "scale" "|ship|"
+    "leg" "wall_ms" "scans" "probes" "rows" "speedup";
+  List.iter
+    (fun s ->
+      let db =
+        Workload.Suppliers.generate
+          (Workload.Suppliers.scaled ~seed:(11 + s) s)
+      in
+      ignore
+        (Database.declare_index db "shipments" ~on:[ "hqty" ]
+          : Secondary_index.t);
+      let n_ship =
+        Relation.cardinality (Database.find_relation db "shipments")
+      in
+      let leg name use_index =
+        let opts = Exec_opts.make ~strategy:Strategy.s1234 ~use_index () in
+        let report = exec_q_report ~opts db selective_shipments_query in
+        let session = Session.create db in
+        let prep = Session.prepare ~opts session selective_shipments_query in
+        ignore (Prepared.exec prep : Relation.t);
+        let (), ms, percentiles =
+          time_percentiles ~repeat:5 (fun () ->
+              ignore (Prepared.exec prep : Relation.t))
+        in
+        let access =
+          match report.Exec_result.access_paths with
+          | (_, p) :: _ -> p
+          | [] -> "-"
+        in
+        record ~experiment:"B-INDEX" ~query:"hqty=500" ~strategy:name ~scale:s
+          ~wall_ms:ms ~scans:report.Exec_result.scans
+          ~probes:report.Exec_result.probes
+          ~max_ntuple:report.Exec_result.max_ntuple ?percentiles
+          ~extra:
+            [
+              ("rows", Obs.Json.Int report.Exec_result.rows);
+              ("access_path", Obs.Json.Str access);
+              ("shipments", Obs.Json.Int n_ship);
+            ]
+          ();
+        (ms, report)
+      in
+      let scan_ms, scan_r = leg "scan" false in
+      let indexed_ms, indexed_r = leg "indexed" true in
+      let row name ms (r : Exec_result.t) speedup =
+        Fmt.pr "%-6d %-10d | %-6s | %10.3f %8d %8d %6d | %8s@." s n_ship name
+          ms r.Exec_result.scans r.Exec_result.probes r.Exec_result.rows
+          speedup
+      in
+      row "scan" scan_ms scan_r "-";
+      row "indexed" indexed_ms indexed_r
+        (Fmt.str "%.1fx" (scan_ms /. Float.max indexed_ms 0.001)))
+    (scales [ 1; 2; 64; 512 ])
 
 (* ------------------------------------------------------------------ *)
 (* B-TRAFFIC: the workload driver under concurrent clients — the same
@@ -1031,6 +1129,7 @@ let experiments =
     ("B-CNF", bench_cnf);
     ("B-JOIN", bench_joins);
     ("B-VEC", bench_vec);
+    ("B-INDEX", bench_index);
     ("B-MICRO", bench_bechamel);
     (* The two multi-domain experiments run last: the serial experiments
        must not share their process phase with extra domains, which tax

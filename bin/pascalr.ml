@@ -327,6 +327,60 @@ let param_arg =
           "Bind the query's \\$NAME placeholder (repeatable).  VAL is an \
            integer, true/false, or an enumeration label.")
 
+(* --index REL:ATTR[,ATTR..][:KIND]: declare persistent secondary
+   indexes before evaluating, so the collection phase can serve
+   restrictions by probe/range scan instead of heap scans. *)
+let index_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "index" ] ~docv:"REL:ATTR[:KIND]"
+        ~doc:
+          "Declare a secondary index on relation REL's component ATTR \
+           before evaluating (repeatable; ATTR may be a comma-separated \
+           component list).  KIND is $(b,hash) (default; equality \
+           probes) or $(b,sorted) (equality and range scans).")
+
+let no_index_arg =
+  Arg.(
+    value & flag
+    & info [ "no-index" ]
+        ~doc:
+          "Force heap scans: ignore declared secondary indexes when \
+           choosing collection-phase access paths (the environment \
+           variable PASCALR_NO_INDEX=1 has the same effect).")
+
+let declare_indexes db specs =
+  List.iter
+    (fun spec ->
+      let fail () =
+        failwith
+          (Fmt.str
+             "bad --index spec %S (expected REL:ATTR[,ATTR..][:hash|sorted])"
+             spec)
+      in
+      let rel, on, kind =
+        match String.split_on_char ':' spec with
+        | [ rel; attrs ] -> (rel, attrs, Relalg.Secondary_index.Hash)
+        | [ rel; attrs; kind ] -> (
+          ( rel,
+            attrs,
+            match String.lowercase_ascii kind with
+            | "hash" -> Relalg.Secondary_index.Hash
+            | "sorted" -> Relalg.Secondary_index.Sorted
+            | _ -> fail () ))
+        | _ -> fail ()
+      in
+      let on =
+        List.filter (fun a -> a <> "") (String.split_on_char ',' on)
+      in
+      if rel = "" || on = [] then fail ();
+      try ignore (Database.declare_index ~kind db rel ~on : Secondary_index.t)
+      with
+      | Errors.Unknown_relation m -> failwith ("--index: unknown relation " ^ m)
+      | Errors.Unknown_attribute m -> failwith ("--index: unknown component " ^ m)
+      | Errors.Schema_error m -> failwith ("--index: " ^ m))
+    specs
+
 (* ----------------------------------------------------------------- *)
 (* Subcommands *)
 
@@ -396,8 +450,8 @@ let pool_pages_arg =
 
 let run_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      jobs batch_size params verbose trace slow_ms trace_out pool_pages
-      verbosity failpoints =
+      jobs batch_size indexes no_index params verbose trace slow_ms trace_out
+      pool_pages verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
     Obs.Flight_recorder.set_slow_ms slow_ms;
@@ -406,6 +460,7 @@ let run_cmd =
         | Some n when n <= 0 -> failwith "--pool-pages must be positive"
         | Some n -> ignore (Database.attach_storage db ~pool_pages:n)
         | None -> ());
+        declare_indexes db indexes;
         Fmt.pr "query: %a@.@." Calculus.pp_query q;
         let t0 = Unix.gettimeofday () in
         let decision, st =
@@ -417,7 +472,8 @@ let run_cmd =
         in
         let opts =
           Exec_opts.make ~strategy:st
-            ~join_order:(join_order_of_flag join_order) ?jobs ?batch_size ()
+            ~join_order:(join_order_of_flag join_order) ?jobs ?batch_size
+            ~use_index:(Exec_opts.default_use_index && not no_index) ()
         in
         let params = parse_params db params in
         let session = Session.create db in
@@ -458,8 +514,8 @@ let run_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
-      $ jobs_arg $ batch_size_arg $ param_arg $ verbose $ trace_arg
-      $ slow_ms_arg
+      $ jobs_arg $ batch_size_arg $ index_arg $ no_index_arg $ param_arg
+      $ verbose $ trace_arg $ slow_ms_arg
       $ trace_out_arg $ pool_pages_arg $ verbosity_arg $ failpoint_arg)
 
 (* ----------------------------------------------------------------- *)
@@ -470,12 +526,13 @@ let run_cmd =
 
 let analyze_cmd =
   let go kind scale seed schema loads query file example strategy join_order
-      jobs batch_size params repeat json show_trace slow_ms trace_out
-      pool_pages verbosity failpoints =
+      jobs batch_size indexes no_index params repeat json show_trace slow_ms
+      trace_out pool_pages verbosity failpoints =
     setup_logs verbosity;
     arm_failpoints failpoints;
     Obs.Flight_recorder.set_slow_ms slow_ms;
     with_setup kind scale seed schema loads query file example (fun db q ->
+        declare_indexes db indexes;
         let st =
           match strategy with
           | Some s -> strategy_of_string s
@@ -483,7 +540,8 @@ let analyze_cmd =
         in
         let opts =
           Exec_opts.make ~strategy:st
-            ~join_order:(join_order_of_flag join_order) ?jobs ?batch_size ()
+            ~join_order:(join_order_of_flag join_order) ?jobs ?batch_size
+            ~use_index:(Exec_opts.default_use_index && not no_index) ()
         in
         let params = parse_params db params in
         let a =
@@ -552,8 +610,8 @@ let analyze_cmd =
     Term.(
       const go $ db_arg $ scale_arg $ seed_arg $ schema_arg $ load_arg
       $ query_arg $ file_arg $ example_arg $ strategy_arg $ join_order_arg
-      $ jobs_arg $ batch_size_arg $ param_arg $ repeat_arg $ json_arg
-      $ trace_arg
+      $ jobs_arg $ batch_size_arg $ index_arg $ no_index_arg $ param_arg
+      $ repeat_arg $ json_arg $ trace_arg
       $ slow_ms_arg $ trace_out_arg $ pool_pages_arg $ verbosity_arg
       $ failpoint_arg)
 

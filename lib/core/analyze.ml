@@ -280,8 +280,11 @@ let plan_cache_json a =
    "combination.batch" counters and "parallel.batch_size" of the
    vectorized execution path.  4: the "exec" section (the unified
    {!Exec_result.t}: rows, phase split, plan-cache outcome, txn/WAL
-   activity) and the WAL/txn fault counters. *)
-let schema_version = 4
+   activity) and the WAL/txn fault counters.  5: exec.access_paths
+   (per collection structure: probe/range/scan) and exec.join_algos
+   (per streaming join step: nlj/hash/batched-nlj) of the adaptive
+   access-path and join-algorithm selection. *)
+let schema_version = 5
 
 (* The last execution's unified result, as the executor reported it:
    the phase split from the execution clock, the plan-cache outcome of
@@ -300,6 +303,11 @@ let exec_json (r : Exec_result.t) =
             ("combination", Float r.Exec_result.combination_ms);
             ("construction", Float r.Exec_result.construction_ms);
           ] );
+      ( "access_paths",
+        Obj
+          (List.map (fun (k, p) -> (k, Str p)) r.Exec_result.access_paths) );
+      ( "join_algos",
+        Obj (List.map (fun (k, a) -> (k, Str a)) r.Exec_result.join_algos) );
       ( "cache",
         Str (Exec_result.cache_outcome_to_string r.Exec_result.cache) );
       ( "txn",

@@ -51,6 +51,12 @@ type t = {
       (* one interning pool per query: every stream chain of the
          combination phase shares it, so a base single list padded into
          several disjuncts is column-encoded exactly once *)
+  use_index : bool;
+      (* serve structure builds from declared secondary indexes when a
+         restriction allows it; false = heap scans everywhere *)
+  access : (string, string) Hashtbl.t;
+      (* spec key -> "probe" | "range" | "scan", recorded as each
+         structure is built — the per-term access-path report *)
 }
 
 type component =
@@ -70,7 +76,7 @@ let var_schemas db (plan : Plan.t) =
     (fun acc e -> bind acc (e.Normalize.v, e.Normalize.range))
     acc plan.Plan.prefix
 
-let create ?par ?(batch_size = 1) db strategy plan =
+let create ?par ?(batch_size = 1) ?(use_index = true) db strategy plan =
   {
     db;
     strategy;
@@ -81,6 +87,8 @@ let create ?par ?(batch_size = 1) db strategy plan =
     par;
     batch_size = max 1 batch_size;
     batch_pool = Batch.create_pool ();
+    use_index;
+    access = Hashtbl.create 16;
   }
 
 let par t = t.par
@@ -156,14 +164,6 @@ let find_vlist t key =
    lazy mode and the strategy-1 scheduler execute specs; the only
    difference is how scans are shared. *)
 
-type spec = {
-  sp_key : string;
-  sp_rel : string;  (* relation scanned to build this structure *)
-  sp_deps : string list;
-  sp_safe : bool;  (* per-tuple action may run on a pool worker *)
-  sp_start : t -> (Tuple.t -> unit) * (unit -> entry);
-}
-
 (* A structure build may run on a pool worker iff its per-tuple action
    touches no shared mutable state beyond the atomic index-probe
    counters: it inserts into structures private to the spec, reads
@@ -183,6 +183,95 @@ let range_safe (range : range) =
   match range.restriction with
   | None -> true
   | Some (_, f) -> quantifier_free f
+
+(* Access paths.
+
+   A structure build is driven either by the heap scan of its source
+   relation or — when a declared secondary index can enumerate a
+   superset-free candidate set — by an index probe (equality) or range
+   scan (order comparison).  Soundness: the build's per-tuple action
+   re-checks EVERY predicate (range restriction, monadic atoms, derived
+   predicates), so the index may serve any single atom that every
+   qualifying tuple must satisfy; the index merely shrinks the driving
+   enumeration from the whole heap to the matching tuples. *)
+
+type drive =
+  | Drive_scan
+  | Drive_index of Secondary_index.t * Value.comparison * Value.t
+
+(* Atoms any qualifying tuple of the build must satisfy: the monadic
+   atoms its per-tuple action tests, plus the top-level conjuncts of
+   the range restriction.  Each is normalized to (component, op,
+   constant) with the component on the left. *)
+let served_candidates v (range : range) atoms =
+  let rec conjuncts = function
+    | F_and (a, b) -> conjuncts a @ conjuncts b
+    | (F_atom _ | F_true | F_false | F_not _ | F_or _ | F_some _ | F_all _)
+      as f -> [ f ]
+  in
+  let of_atom over (a : atom) =
+    match a.lhs, a.rhs with
+    | O_attr (v', at), O_const c when String.equal v' over -> Some (at, a.op, c)
+    | O_const c, O_attr (v', at) when String.equal v' over ->
+      Some (at, Value.flip_comparison a.op, c)
+    | _ -> None
+  in
+  let restr =
+    match range.restriction with
+    | Some (rv, f) ->
+      List.filter_map
+        (function F_atom a -> of_atom rv a | _ -> None)
+        (conjuncts f)
+    | None -> []
+  in
+  restr @ List.filter_map (of_atom v) atoms
+
+(* Pick the best index drive for a build over [v]'s range: an equality
+   candidate always prefers a probe; an order candidate uses a sorted
+   index's range scan only while its exact matching fraction stays at
+   or below {!Cost.range_scan_max_fraction}.  Among eligible drives the
+   one enumerating the smallest fraction of the heap wins. *)
+let choose_drive t v (range : range) atoms =
+  if not t.use_index then Drive_scan
+  else begin
+    let best = ref None in
+    List.iter
+      (fun (attr, op, c) ->
+        List.iter
+          (fun idx ->
+            let eligible =
+              match op, Secondary_index.kind idx with
+              | Value.Eq, _ -> true
+              | ( (Value.Lt | Value.Le | Value.Gt | Value.Ge),
+                  Secondary_index.Sorted ) ->
+                Secondary_index.matching_fraction idx op c
+                <= Cost.range_scan_max_fraction
+              | _ -> false
+            in
+            if eligible then begin
+              let frac = Secondary_index.matching_fraction idx op c in
+              match !best with
+              | Some (bf, _) when bf <= frac -> ()
+              | _ -> best := Some (frac, Drive_index (idx, op, c))
+            end)
+          (Database.secondary_on t.db range.range_rel attr))
+      (served_candidates v range atoms);
+    match !best with Some (_, d) -> d | None -> Drive_scan
+  end
+
+let access_label = function
+  | Drive_scan -> "scan"
+  | Drive_index (_, Value.Eq, _) -> "probe"
+  | Drive_index _ -> "range"
+
+type spec = {
+  sp_key : string;
+  sp_rel : string;  (* relation scanned to build this structure *)
+  sp_deps : string list;
+  sp_safe : bool;  (* per-tuple action may run on a pool worker *)
+  sp_drive : drive;  (* heap scan or secondary-index enumeration *)
+  sp_start : t -> (Tuple.t -> unit) * (unit -> entry);
+}
 
 (* Storage policy of a value list, from the paper's Section 4.4 special
    cases. *)
@@ -251,6 +340,10 @@ let rec vlist_specs t (p : Plan.pushed) : spec list =
         sp_rel = range.range_rel;
         sp_deps = List.map (fun n -> vlist_key n) p.Plan.p_nested;
         sp_safe = range_safe range;
+        (* Value lists must see every range element (a Q_all list's
+           monadics-hold-for-all flag inspects even non-qualifying
+           tuples), so they always build from the heap scan. *)
+        sp_drive = Drive_scan;
         sp_start = start;
       };
     ]
@@ -276,6 +369,7 @@ let base_spec t v : spec =
     sp_rel = range.range_rel;
     sp_deps = [];
     sp_safe = range_safe range;
+    sp_drive = choose_drive t v range [];
     sp_start = start;
   }
 
@@ -320,6 +414,7 @@ let single_spec t v atoms (derived : (var * Plan.pushed) list) : spec list =
         sp_rel = range.range_rel;
         sp_deps = List.map (fun (_, p) -> vlist_key p) derived;
         sp_safe = range_safe range;
+        sp_drive = choose_drive t v range atoms;
         sp_start = start;
       };
     ]
@@ -388,6 +483,7 @@ let index_spec t v attr atoms derived : spec list =
         sp_rel = range.range_rel;
         sp_deps = List.map (fun (_, p) -> vlist_key p) derived;
         sp_safe = range_safe range;
+        sp_drive = choose_drive t v range atoms;
         sp_start = start;
       };
     ]
@@ -595,6 +691,7 @@ let pair_spec t shape ~probe_atoms ~probe_derived ~index_atoms ~index_derived
           (idx_key :: List.map (fun (_, k, _) -> k) mutual_with_keys)
           @ List.map (fun (_, p) -> vlist_key p) probe_derived;
         sp_safe = range_safe range;
+        sp_drive = choose_drive t v range probe_atoms;
         sp_start = start;
       };
     ]
@@ -759,8 +856,39 @@ let all_specs t =
 (* ------------------------------------------------------------------ *)
 (* Execution *)
 
+(* Record which access path actually built a structure, for the
+   per-term report ({!access_paths}) and the run counters. *)
+let record_access t (sp : spec) =
+  let path = access_label sp.sp_drive in
+  Hashtbl.replace t.access sp.sp_key path;
+  Obs.Metrics.incr ("collection.access." ^ path)
+
+(* Build one structure alone, driven by its access path: the heap scan
+   of its source relation, or the matching enumeration of a secondary
+   index (which replaces the counted scan with counted probes — the
+   whole point of the index). *)
+let build_one t (sp : spec) =
+  let span_name, run_build =
+    match sp.sp_drive with
+    | Drive_scan ->
+      ( "scan " ^ sp.sp_rel,
+        fun per_tuple ->
+          Relation.scan per_tuple (Database.find_relation t.db sp.sp_rel) )
+    | Drive_index (idx, op, c) ->
+      ( (match op with Value.Eq -> "probe " | _ -> "range ") ^ sp.sp_rel,
+        fun per_tuple -> Secondary_index.iter_matching idx op c per_tuple )
+  in
+  Obs.Trace.with_span
+    ~attrs:[ ("structure", Obs.Json.Str sp.sp_key) ]
+    span_name
+    (fun () ->
+      let per_tuple, finish = sp.sp_start t in
+      run_build per_tuple;
+      Hashtbl.replace t.cache sp.sp_key (finish ()));
+  record_access t sp
+
 (* Lazy execution of one spec: recursively ensure dependencies (each
-   with its own scan), then scan this spec's relation alone. *)
+   with its own scan), then build this spec alone. *)
 let rec execute_lazy t (specs_by_key : (string, spec) Hashtbl.t) (sp : spec) =
   if not (Hashtbl.mem t.cache sp.sp_key) then begin
     List.iter
@@ -771,14 +899,7 @@ let rec execute_lazy t (specs_by_key : (string, spec) Hashtbl.t) (sp : spec) =
           if not (Hashtbl.mem t.cache dep) then
             invalid_arg ("Collection: unknown dependency " ^ dep))
       sp.sp_deps;
-    let rel = Database.find_relation t.db sp.sp_rel in
-    Obs.Trace.with_span
-      ~attrs:[ ("structure", Obs.Json.Str sp.sp_key) ]
-      ("scan " ^ sp.sp_rel)
-      (fun () ->
-        let per_tuple, finish = sp.sp_start t in
-        Relation.scan per_tuple rel;
-        Hashtbl.replace t.cache sp.sp_key (finish ()))
+    build_one t sp
   end
 
 (* Strategy-1 execution: repeatedly pick the relation with the most
@@ -794,6 +915,23 @@ let execute_grouped t specs =
   while !pending <> [] do
     let ready = List.filter executable !pending in
     if ready = [] then invalid_arg "Collection: dependency cycle";
+    (* Index-served structures never join a grouped scan — sharing the
+       heap pass would forfeit exactly the scan the index avoids — so
+       each builds individually from its index enumeration first; their
+       completion may unblock dependents for the next round. *)
+    let idx_ready, ready =
+      List.partition
+        (fun sp ->
+          match sp.sp_drive with Drive_index _ -> true | Drive_scan -> false)
+        ready
+    in
+    if idx_ready <> [] then begin
+      List.iter (build_one t) idx_ready;
+      let done_keys = List.map (fun sp -> sp.sp_key) idx_ready in
+      pending :=
+        List.filter (fun sp -> not (List.mem sp.sp_key done_keys)) !pending
+    end
+    else begin
     (* Group by relation; pick the relation with the most ready specs. *)
     let by_rel = Hashtbl.create 8 in
     List.iter
@@ -850,9 +988,11 @@ let execute_grouped t specs =
           (fun (sp, (_, finish)) ->
             Hashtbl.replace t.cache sp.sp_key (finish ()))
           started);
+    List.iter (record_access t) best;
     let done_keys = List.map (fun sp -> sp.sp_key) best in
     pending :=
       List.filter (fun sp -> not (List.mem sp.sp_key done_keys)) !pending
+    end
   done
 
 let specs_table specs =
@@ -910,4 +1050,10 @@ let intermediate_sizes t =
       in
       (key, size) :: acc)
     t.cache []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* The access path that built each structure, by memo key — what
+   [analyze --json] reports per term. *)
+let access_paths t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.access []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -23,6 +23,7 @@ type component =
 val create :
   ?par:Domain_pool.par ->
   ?batch_size:int ->
+  ?use_index:bool ->
   Database.t ->
   Strategy.t ->
   Plan.t ->
@@ -31,7 +32,13 @@ val create :
     [jobs = 1] upstream) keeps every phase on the untouched serial
     path.  [?batch_size] (clamped to at least 1; default 1) is the
     window size of the combination phase's vectorized stream kernels —
-    [1] keeps the scalar per-tuple emit. *)
+    [1] keeps the scalar per-tuple emit.  [?use_index] (default true)
+    lets structure builds be driven by declared secondary indexes:
+    an equality restriction becomes an index probe, an order
+    restriction a sorted range scan while its exact matching fraction
+    stays at or below [Cost.range_scan_max_fraction]; every predicate
+    is still re-checked per enumerated tuple, so indexed and scanned
+    builds produce the same structures. *)
 
 val par : t -> Domain_pool.par option
 (** The budget given to {!create} — the combination phase inherits it
@@ -70,3 +77,8 @@ val var_schema : t -> var -> Schema.t
 val intermediate_sizes : t -> (string * int) list
 (** Cardinality (or stored size) of every materialized structure, by
     memo key — the intermediate-growth metric of the experiments. *)
+
+val access_paths : t -> (string * string) list
+(** The access path that built each structure, by memo key, sorted:
+    ["probe"] (secondary-index equality), ["range"] (sorted-index range
+    scan) or ["scan"] (heap scan). *)

@@ -237,7 +237,14 @@ let pad_to coll target rel =
    then project the eagerly eliminable variables away in the same
    streaming pass.  Returns [None] for a component-less conjunction
    (constant TRUE). *)
-let combine_streaming coll (plan : Plan.t) order components =
+(* Map the cost model's choice onto the stream kernel's scalar arm. *)
+let impl_of_algo = function
+  | Cost.J_nlj -> Stream.Jnlj
+  | Cost.J_hash -> Stream.Jhash
+  | Cost.J_batched_nlj -> Stream.Jshared_nlj
+
+let combine_streaming ?force_join ~label ~record coll (plan : Plan.t) order
+    components =
   let par = Collection.par coll in
   match List.map rel_of components with
   | [] -> None
@@ -252,12 +259,17 @@ let combine_streaming coll (plan : Plan.t) order components =
           })
         rels
     in
-    let arr = Array.of_list rels in
-    let ordered = List.map (fun i -> arr.(i)) (Cost.greedy_join_order inputs) in
-    let first = List.hd ordered and rest = List.tl ordered in
+    let arr = Array.of_list rels
+    and inputs_arr = Array.of_list inputs in
+    let ordered =
+      List.map
+        (fun i -> (arr.(i), inputs_arr.(i)))
+        (Cost.greedy_join_order inputs)
+    in
+    let first = fst (List.hd ordered) and rest = List.tl ordered in
     let cols =
       List.fold_left
-        (fun acc r ->
+        (fun acc (r, _) ->
           acc @ List.filter (fun c -> not (List.mem c acc)) (columns r))
         (columns first) rest
     in
@@ -272,8 +284,51 @@ let combine_streaming coll (plan : Plan.t) order components =
     if rest = [] && List.equal String.equal (columns first) out_cols then
       Some first (* already in shape: share the collection structure *)
     else begin
+      (* Adaptive per-step algorithm over the TRUE build-side
+         statistics (the inputs are materialized): build cardinality
+         and the distinct count of the join key — approximated from
+         below by the largest per-column distinct count over the shared
+         columns, which is conservative (it can only under-report
+         distinctness, steering borderline builds toward the shared
+         probe walk rather than an oversized hash table). *)
+      let step = ref 0 in
       let stream =
-        List.fold_left Stream.natural_join
+        List.fold_left
+          (fun s (r, (ji : Cost.join_input)) ->
+            incr step;
+            let shared =
+              List.filter
+                (fun c -> Schema.mem (Stream.schema s) c)
+                ji.Cost.ji_cols
+            in
+            if shared = [] then Stream.natural_join s r
+            else begin
+              let build_distinct =
+                List.fold_left
+                  (fun acc c ->
+                    match List.assoc_opt c ji.Cost.ji_distinct with
+                    | Some d -> max acc d
+                    | None -> acc)
+                  1 shared
+              in
+              let algo =
+                match force_join with
+                | Some a -> a
+                | None ->
+                  Cost.choose_join_algo ~build_card:ji.Cost.ji_card
+                    ~build_distinct
+              in
+              Obs.Metrics.incr
+                ("combination.join."
+                ^ (match algo with
+                  | Cost.J_nlj -> "nlj"
+                  | Cost.J_hash -> "hash"
+                  | Cost.J_batched_nlj -> "batched_nlj"));
+              record
+                (Fmt.str "%s.j%d:%s" label !step (Relation.name r))
+                (Cost.join_algo_to_string algo);
+              Stream.natural_join ~impl:(impl_of_algo algo) s r
+            end)
           (Stream.of_relation ~pool:(Collection.batch_pool coll) first)
           rest
       in
@@ -599,7 +654,7 @@ let eliminate_streaming coll (plan : Plan.t) grow disjuncts =
     disjuncts
     (List.rev plan.Plan.prefix)
 
-let evaluate_streaming coll (plan : Plan.t) grow =
+let evaluate_streaming ?force_join ~record coll (plan : Plan.t) grow =
   let order = Plan.variable_order plan in
   let free_names = List.map fst plan.Plan.free in
   let disjuncts =
@@ -608,7 +663,11 @@ let evaluate_streaming coll (plan : Plan.t) grow =
         Obs.Trace.with_span (Fmt.str "conjunction %d" i) (fun () ->
             let components = Collection.components coll conj in
             let r =
-              match combine_streaming coll plan order components with
+              match
+                combine_streaming ?force_join
+                  ~label:(Fmt.str "conj%d" i)
+                  ~record coll plan order components
+              with
               | Some r -> r
               | None -> true_disjunct coll plan
             in
@@ -638,21 +697,40 @@ let evaluate_streaming coll (plan : Plan.t) grow =
 (* ------------------------------------------------------------------ *)
 
 (* Full combination phase.  Returns the reference relation over the
-   free variables (declaration order) and the cardinality of the
-   largest n-tuple relation built on the way — the combinatorial-growth
-   metric of the experiments. *)
-let evaluate_with_stats ?(join_order = Cost_ordered) coll (plan : Plan.t) =
+   free variables (declaration order), the cardinality of the largest
+   n-tuple relation built on the way — the combinatorial-growth metric
+   of the experiments — and the join algorithm chosen per streaming
+   join step (empty under the Declaration engine, whose joins are the
+   literal baseline and take no adaptive choice). *)
+type outcome = {
+  o_result : Relation.t;
+  o_max_ntuple : int;
+  o_join_algos : (string * string) list;
+}
+
+let evaluate_outcome ?(join_order = Cost_ordered) ?force_join coll
+    (plan : Plan.t) =
   let max_ntuple = ref 0 in
   let grow n =
     max_ntuple := max !max_ntuple n;
     Obs.Metrics.gauge_max "combination.max_ntuple" (float_of_int !max_ntuple)
   in
+  let joins = ref [] in
+  let record step algo = joins := (step, algo) :: !joins in
   let result =
     match join_order with
-    | Cost_ordered -> evaluate_streaming coll plan grow
+    | Cost_ordered -> evaluate_streaming ?force_join ~record coll plan grow
     | Declaration -> evaluate_declaration coll plan grow
   in
-  (result, !max_ntuple)
+  {
+    o_result = result;
+    o_max_ntuple = !max_ntuple;
+    o_join_algos = List.rev !joins;
+  }
 
-let evaluate ?join_order coll plan =
-  fst (evaluate_with_stats ?join_order coll plan)
+let evaluate_with_stats ?join_order ?force_join coll plan =
+  let o = evaluate_outcome ?join_order ?force_join coll plan in
+  (o.o_result, o.o_max_ntuple)
+
+let evaluate ?join_order ?force_join coll plan =
+  fst (evaluate_with_stats ?join_order ?force_join coll plan)

@@ -8,9 +8,19 @@ type t = {
   jobs : int;
   par_threshold : int;
   batch_size : int;
+  use_index : bool;
+  force_join : Cost.join_algo option;
 }
 
 let default_par_threshold = 4096
+
+(* Secondary-index access paths are on unless PASCALR_NO_INDEX is set
+   to something truthy — the forced-heap-scan CI leg and the
+   differential oracle both run under PASCALR_NO_INDEX=1. *)
+let default_use_index =
+  match Sys.getenv_opt "PASCALR_NO_INDEX" with
+  | Some ("" | "0") | None -> true
+  | Some _ -> false
 
 (* Default window size of the vectorized stream kernels.  Big enough to
    amortize the per-batch dispatch, small enough that the gather buffers
@@ -42,18 +52,23 @@ let default =
     jobs = default_jobs;
     par_threshold = default_par_threshold;
     batch_size = default_batch_size;
+    use_index = default_use_index;
+    force_join = None;
   }
 
 let make ?(strategy = Strategy.full)
     ?(join_order = Combination.Cost_ordered) ?(jobs = default_jobs)
     ?(par_threshold = default_par_threshold)
-    ?(batch_size = default_batch_size) () =
+    ?(batch_size = default_batch_size) ?(use_index = default_use_index)
+    ?force_join () =
   {
     strategy;
     join_order;
     jobs = max 1 jobs;
     par_threshold = max 0 par_threshold;
     batch_size = max 1 batch_size;
+    use_index;
+    force_join;
   }
 
 let par t =
@@ -74,11 +89,18 @@ let join_order_of_string = function
    parallelism and batching knobs.  jobs, par_threshold and batch_size
    are part of the fingerprint — and hence of every plan-cache key — so
    plans prepared under different execution settings never collide in
-   the cache. *)
+   the cache.  The physical-choice overrides append tokens only when
+   set off their defaults (no index / forced join algorithm), keeping
+   default fingerprints stable across versions while still separating
+   overridden plans in the cache. *)
 let fingerprint t =
-  Fmt.str "%s/%s/j%d/t%d/b%d"
+  Fmt.str "%s/%s/j%d/t%d/b%d%s%s"
     (Strategy.to_string t.strategy)
     (join_order_to_string t.join_order)
     t.jobs t.par_threshold t.batch_size
+    (if t.use_index then "" else "/ix0")
+    (match t.force_join with
+    | None -> ""
+    | Some a -> "/fj:" ^ Cost.join_algo_to_string a)
 
 let pp ppf t = Fmt.string ppf (fingerprint t)

@@ -14,6 +14,14 @@ type t = {
   batch_size : int;
       (** window size of the vectorized stream kernels; [1] runs the
           scalar per-tuple emit (the differential oracle) *)
+  use_index : bool;
+      (** let the collection phase serve restrictions from declared
+          secondary indexes; [false] forces heap scans everywhere (the
+          differential oracle and the [PASCALR_NO_INDEX] CI leg) *)
+  force_join : Cost.join_algo option;
+      (** override the adaptive per-step join-algorithm choice of the
+          combination phase; [None] (the default) lets the cost model
+          decide per {!Cost.choose_join_algo} *)
 }
 
 val default : t
@@ -21,7 +29,8 @@ val default : t
     from the [PASCALR_JOBS] environment variable if set to a positive
     integer, else [Domain.recommended_domain_count ()]; [par_threshold]
     4096; [batch_size] from [PASCALR_BATCH_SIZE] if set to a positive
-    integer, else 2048. *)
+    integer, else 2048; [use_index] true unless [PASCALR_NO_INDEX] is
+    set truthy; [force_join] [None]. *)
 
 val default_jobs : int
 (** The resolved [jobs] default described under {!default}. *)
@@ -29,12 +38,17 @@ val default_jobs : int
 val default_batch_size : int
 (** The resolved [batch_size] default described under {!default}. *)
 
+val default_use_index : bool
+(** The resolved [use_index] default described under {!default}. *)
+
 val make :
   ?strategy:Strategy.t ->
   ?join_order:Combination.join_order ->
   ?jobs:int ->
   ?par_threshold:int ->
   ?batch_size:int ->
+  ?use_index:bool ->
+  ?force_join:Cost.join_algo ->
   unit ->
   t
 (** [jobs] and [batch_size] are clamped to at least 1, [par_threshold]

@@ -43,6 +43,10 @@ type t = {
   max_ntuple : int;  (* largest combined n-tuple relation *)
   intermediates : (string * int) list;
       (* sizes of all collection-phase structures *)
+  access_paths : (string * string) list;
+      (* collection structure key -> "probe" | "range" | "scan" *)
+  join_algos : (string * string) list;
+      (* streaming join step -> "nlj" | "hash" | "batched-nlj" *)
   collection_ms : float;
   combination_ms : float;
   construction_ms : float;

@@ -33,6 +33,13 @@ type t = {
   max_ntuple : int;  (** largest combined n-tuple relation *)
   intermediates : (string * int) list;
       (** sizes of all collection-phase structures *)
+  access_paths : (string * string) list;
+      (** access path per collection structure: ["probe"]
+          (secondary-index equality), ["range"] (sorted-index range
+          scan) or ["scan"] (heap scan) *)
+  join_algos : (string * string) list;
+      (** join algorithm per streaming combination step: ["nlj"],
+          ["hash"] or ["batched-nlj"] *)
   collection_ms : float;
   combination_ms : float;
   construction_ms : float;

@@ -140,6 +140,20 @@ let choose db query =
       end
     end
   in
+  (* Access paths are chosen per structure at collection time (over
+     exact matching fractions); the decision just records what is
+     available so `pascalr plan` explains why a run probes or scans. *)
+  (match Relalg.Database.secondary_index_list db with
+  | [] -> add "IX" "no secondary indexes declared: heap scans only"
+  | l ->
+    add "IX"
+      (Fmt.str "%d secondary index(es) available: %s" (List.length l)
+         (String.concat ", "
+            (List.map
+               (fun (rel, on, kind) ->
+                 Fmt.str "%s(%s):%s" rel (String.concat "," on)
+                   (Relalg.Secondary_index.kind_to_string kind))
+               l))));
   let strategy =
     {
       Strategy.parallel_scan;

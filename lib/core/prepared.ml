@@ -159,7 +159,8 @@ let exec_in ?name ~params (clock : Observe.clock) db t =
   let coll =
     Collection.create
       ?par:(Exec_opts.par t.p_opts)
-      ~batch_size:t.p_opts.Exec_opts.batch_size db t.p_opts.Exec_opts.strategy
+      ~batch_size:t.p_opts.Exec_opts.batch_size
+      ~use_index:t.p_opts.Exec_opts.use_index db t.p_opts.Exec_opts.strategy
       plan
   in
   clock.time Observe.Collection (fun () ->
@@ -168,7 +169,7 @@ let exec_in ?name ~params (clock : Observe.clock) db t =
     clock.time Observe.Combination (fun () ->
         Obs.Trace.with_span "combination" (fun () ->
             Combination.evaluate ~join_order:t.p_opts.Exec_opts.join_order
-              coll plan))
+              ?force_join:t.p_opts.Exec_opts.force_join coll plan))
   in
   clock.time Observe.Construction (fun () ->
       Obs.Trace.with_span "construction" (fun () ->
@@ -191,17 +192,20 @@ let exec_report_in ?name ~params ~since (clock : Observe.clock) db t =
   let coll =
     Collection.create
       ?par:(Exec_opts.par t.p_opts)
-      ~batch_size:t.p_opts.Exec_opts.batch_size db t.p_opts.Exec_opts.strategy
+      ~batch_size:t.p_opts.Exec_opts.batch_size
+      ~use_index:t.p_opts.Exec_opts.use_index db t.p_opts.Exec_opts.strategy
       plan
   in
   clock.time Observe.Collection (fun () ->
       Obs.Trace.with_span "collection" (fun () -> Collection.run coll));
-  let refs, max_ntuple =
+  let outcome =
     clock.time Observe.Combination (fun () ->
         Obs.Trace.with_span "combination" (fun () ->
-            Combination.evaluate_with_stats
-              ~join_order:t.p_opts.Exec_opts.join_order coll plan))
+            Combination.evaluate_outcome
+              ~join_order:t.p_opts.Exec_opts.join_order
+              ?force_join:t.p_opts.Exec_opts.force_join coll plan))
   in
+  let refs = outcome.Combination.o_result in
   let result =
     clock.time Observe.Construction (fun () ->
         Obs.Trace.with_span "construction" (fun () ->
@@ -213,8 +217,10 @@ let exec_report_in ?name ~params ~since (clock : Observe.clock) db t =
     rows = Relation.cardinality result;
     scans = Database.total_scans db;
     probes = Database.total_probes db;
-    max_ntuple;
+    max_ntuple = outcome.Combination.o_max_ntuple;
     intermediates = Collection.intermediate_sizes coll;
+    access_paths = Collection.access_paths coll;
+    join_algos = outcome.Combination.o_join_algos;
     collection_ms = clock.elapsed Observe.Collection;
     combination_ms = clock.elapsed Observe.Combination;
     construction_ms = clock.elapsed Observe.Construction;

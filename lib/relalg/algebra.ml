@@ -739,11 +739,30 @@ module Stream = struct
       bat;
     }
 
-  (* Natural hash join with the stream as probe side and a materialized
+  (* Which physical algorithm the scalar arm of {!natural_join} runs.
+     The choice is the caller's (the combination phase's cost model);
+     the operator guarantees identical output for all three. *)
+  type join_impl = Jhash | Jnlj | Jshared_nlj
+
+  (* Natural join with the stream as probe side and a materialized
      relation as build side.  When the build side contributes no new
      columns this degenerates to a semijoin: one emission per matching
-     probe tuple, regardless of the bucket size. *)
-  let natural_join s rel =
+     probe tuple, regardless of the bucket/match-list size.
+
+     Three scalar implementations share the operator: the hash join
+     (build a key table, probe per tuple), plain nested loops (walk the
+     build side per probe — no build cost, wins on tiny builds), and
+     shared nested loops (memoize the inner walk per distinct probe
+     key, so duplicate-heavy probe streams pay one walk per key).  All
+     three emit the SAME sequence: the hash table's buckets are
+     cons-built in iteration order and walked front-first — reverse
+     iteration order — and the nested-loop inner list is built by a
+     consing fold over the same iteration, so per-probe matches surface
+     in the identical order whichever algorithm runs.  The partitioned
+     and batched arms therefore always run the hash machinery: output
+     is byte-identical, and those arms are only active at cardinalities
+     where hashing wins anyway. *)
+  let natural_join ?(impl = Jhash) s rel =
     let sa = s.schema and sb = Relation.schema rel in
     let shared = List.filter (fun n -> Schema.mem sa n) (Schema.names sb) in
     match shared with
@@ -883,10 +902,37 @@ module Stream = struct
                  }))
         | _ -> None
       in
-      {
-        schema = out_schema;
-        emit =
-          (fun k ->
+      (* The nested-loop arms' inner list: (key, tuple) pairs consed in
+         iteration order, so its head is the LAST iterated tuple — the
+         exact order the hash table's buckets are walked in. *)
+      let keyed_inner =
+        lazy (Relation.fold (fun acc tb -> (join_key pb tb, tb) :: acc) [] rel)
+      in
+      let keys_equal ka kb =
+        let n = Array.length ka in
+        Array.length kb = n
+        &&
+        let rec go i = i >= n || (Value.equal ka.(i) kb.(i) && go (i + 1)) in
+        go 0
+      in
+      let emit_matches ta matches n_out k =
+        if keep_b = [] then begin
+          if matches <> [] then begin
+            incr n_out;
+            k ta
+          end
+        end
+        else
+          List.iter
+            (fun tb ->
+              incr n_out;
+              k (Tuple.concat_project ta keep_positions tb))
+            matches
+      in
+      let scalar_emit =
+        match impl with
+        | Jhash ->
+          fun k ->
             fused "join";
             let tbl = Lazy.force table in
             let n_in = ref (Relation.cardinality rel) and n_out = ref 0 in
@@ -896,7 +942,63 @@ module Stream = struct
                     incr n_out;
                     k t));
             Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
-            Obs.Metrics.incr ~by:!n_out "combination.join_rows_out");
+            Obs.Metrics.incr ~by:!n_out "combination.join_rows_out"
+        | Jnlj ->
+          fun k ->
+            fused "join";
+            let inner = Lazy.force keyed_inner in
+            let n_in = ref (Relation.cardinality rel) and n_out = ref 0 in
+            s.emit (fun ta ->
+                incr n_in;
+                let ka = join_key pa ta in
+                if keep_b = [] then begin
+                  if List.exists (fun (kb, _) -> keys_equal ka kb) inner
+                  then begin
+                    incr n_out;
+                    k ta
+                  end
+                end
+                else
+                  List.iter
+                    (fun (kb, tb) ->
+                      if keys_equal ka kb then begin
+                        incr n_out;
+                        k (Tuple.concat_project ta keep_positions tb)
+                      end)
+                    inner);
+            Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
+            Obs.Metrics.incr ~by:!n_out "combination.join_rows_out"
+        | Jshared_nlj ->
+          fun k ->
+            fused "join";
+            let inner = Lazy.force keyed_inner in
+            let memo : Tuple.t list Value_key.atable =
+              Value_key.acreate 64
+            in
+            let n_in = ref (Relation.cardinality rel) and n_out = ref 0 in
+            s.emit (fun ta ->
+                incr n_in;
+                let ka = join_key pa ta in
+                let matches =
+                  match Value_key.Atable.find_opt memo ka with
+                  | Some ms -> ms
+                  | None ->
+                    let ms =
+                      List.filter_map
+                        (fun (kb, tb) ->
+                          if keys_equal ka kb then Some tb else None)
+                        inner
+                    in
+                    Value_key.Atable.replace memo ka ms;
+                    ms
+                in
+                emit_matches ta matches n_out k);
+            Obs.Metrics.incr ~by:!n_in "combination.join_rows_in";
+            Obs.Metrics.incr ~by:!n_out "combination.join_rows_out"
+      in
+      {
+        schema = out_schema;
+        emit = scalar_emit;
         par =
           Option.map
             (extend_par

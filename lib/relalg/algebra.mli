@@ -131,10 +131,20 @@ module Stream : sig
   val dedup : t -> t
   (** Streaming duplicate elimination (hash set over whole tuples). *)
 
-  val natural_join : t -> Relation.t -> t
-  (** Hash join: the stream probes, the relation is the build side.
-      Degenerates to a semijoin when the build side adds no columns,
-      and to {!product} when no attribute names are shared. *)
+  type join_impl =
+    | Jhash  (** build a key table, probe per stream tuple *)
+    | Jnlj  (** walk the build side per probe — no build cost *)
+    | Jshared_nlj
+        (** memoize the inner walk per distinct probe key: duplicate
+            probes share one pass *)
+
+  val natural_join : ?impl:join_impl -> t -> Relation.t -> t
+  (** Natural join: the stream probes, the relation is the build side.
+      [?impl] (default {!Jhash}) selects the scalar algorithm; all
+      three emit the identical tuple sequence, so the partitioned and
+      batched arms always run the hash machinery.  Degenerates to a
+      semijoin when the build side adds no columns, and to {!product}
+      when no attribute names are shared. *)
 
   val product : t -> Relation.t -> t
 

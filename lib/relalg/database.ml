@@ -45,6 +45,10 @@ type t = {
       (* permanent indexes, keyed by (relation, component) — paper
          Section 3.2: "The first step can be omitted, if permanent
          indexes exist", maintained as in Example 3.1 *)
+  sec_indexes : (string, Secondary_index.t list) Hashtbl.t;
+      (* secondary indexes per relation name: persistent access paths,
+         maintained incrementally through Relation observers and copied
+         on first write by MVCC transactions *)
   mutable catalog_version : int;
       (* bumped when the set of catalogued relations changes, so the
          stats epoch moves even before the new relation is populated *)
@@ -56,6 +60,7 @@ let create () =
     rels = Hashtbl.create 16;
     enums = Hashtbl.create 16;
     perm_indexes = Hashtbl.create 8;
+    sec_indexes = Hashtbl.create 8;
     catalog_version = 0;
     mvcc = fresh_mvcc ();
   }
@@ -143,6 +148,57 @@ let permanent_index_list db =
   List.sort compare
     (Hashtbl.fold (fun (r, a) _ acc -> (r, a) :: acc) db.perm_indexes [])
 
+(* --- Secondary indexes (persistent access paths) -------------------- *)
+
+(* Maintenance hook: every effective mutation of [rel] updates [idx]
+   incrementally.  Attached to the catalogued handle at declaration and
+   to each transaction's private copy at copy-on-write time. *)
+let hook_index rel idx =
+  Relation.add_observer rel (function
+    | Relation.Inserted t -> Secondary_index.on_insert idx t
+    | Relation.Deleted t -> Secondary_index.on_delete idx t
+    | Relation.Cleared -> Secondary_index.on_clear idx)
+
+let secondary_indexes db rel_name =
+  Option.value (Hashtbl.find_opt db.sec_indexes rel_name) ~default:[]
+
+let install_secondary db idx =
+  let rel_name = Secondary_index.source idx in
+  Hashtbl.replace db.sec_indexes rel_name (secondary_indexes db rel_name @ [ idx ])
+
+let declare_index ?(kind = Secondary_index.Hash) db rel_name ~on =
+  let rel = find_relation db rel_name in
+  if
+    List.exists
+      (fun i -> List.equal String.equal (Secondary_index.on i) on)
+      (secondary_indexes db rel_name)
+  then
+    Errors.schema_error "relation %s: index on (%s) already declared" rel_name
+      (String.concat ", " on);
+  let idx = Secondary_index.build ~kind rel ~on in
+  hook_index rel idx;
+  install_secondary db idx;
+  idx
+
+let secondary_index_list db =
+  Hashtbl.fold
+    (fun rel idxs acc ->
+      List.map
+        (fun i -> (rel, Secondary_index.on i, Secondary_index.kind i))
+        idxs
+      @ acc)
+    db.sec_indexes []
+  |> List.sort compare
+
+(* The declared single-component indexes over [attr], for access-path
+   selection.  [Sorted] first, so a range-capable index wins ties. *)
+let secondary_on db rel_name attr =
+  List.filter
+    (fun i -> match Secondary_index.on i with [ a ] -> String.equal a attr | _ -> false)
+    (secondary_indexes db rel_name)
+  |> List.stable_sort (fun a b ->
+         compare (Secondary_index.kind b) (Secondary_index.kind a))
+
 (* Dereference: regain the selected variable from a reference value
    (paper Section 3.1, the postfix @ operator). *)
 let deref db (r : Value.reference) =
@@ -172,7 +228,10 @@ let reset_counters db =
       | Some pool -> Buffer_pool.reset_stats pool
       | None -> ())
     db.rels;
-  Hashtbl.iter (fun _ idx -> Index.reset_counters idx) db.perm_indexes
+  Hashtbl.iter (fun _ idx -> Index.reset_counters idx) db.perm_indexes;
+  Hashtbl.iter
+    (fun _ idxs -> List.iter Secondary_index.reset_counters idxs)
+    db.sec_indexes
 
 let total_probes db =
   Hashtbl.fold (fun _ r acc -> acc + Relation.probe_count r) db.rels 0
@@ -224,13 +283,22 @@ let pp ppf db =
 
    A database is saved as one self-contained binary file:
 
-     magic "PASCALRDB1"
+     magic "PASCALRDB2"
      u16 #enums;      each: name, u16 #labels, labels
      u16 #relations;  each (sorted by name): name, schema (u16 arity;
                       each attribute: name, domain; u16 #key, key
                       names), i64 cardinality, tuples (u16 length +
                       schema-directed record, in Tuple.compare order)
      u16 #permanent indexes; each: relation name, component name
+     u16 #secondary indexes; each (sorted by (relation, components,
+                      kind)): relation name, kind tag 'H'|'S', u16
+                      #components, components, i64 #tuples, the index
+                      pages (u16 length + schema-directed record, in
+                      Tuple.compare order), u32 Adler-32 of this
+                      index's section alone — a per-index page
+                      checksum, verified on load; a damaged section is
+                      discarded and the index rebuilt from its
+                      (already checksum-verified) relation
      u32 Adler-32 of everything above
 
    Everything is emitted in a deterministic order, so saving the same
@@ -242,7 +310,7 @@ let pp ppf db =
    the injected [db.save.crash]) at any point leaves the previous
    committed snapshot untouched. *)
 
-let snapshot_magic = "PASCALRDB1"
+let snapshot_magic = "PASCALRDB2"
 
 let put_vtype buf (ty : Vtype.t) =
   match ty with
@@ -322,6 +390,51 @@ let snapshot_bytes db =
       Codec.put_string buf rel;
       Codec.put_string buf on)
     indexes;
+  let secondaries =
+    List.concat_map
+      (fun r ->
+        List.map (fun i -> (Relation.name r, i)) (secondary_indexes db (Relation.name r)))
+      rels
+    |> List.sort (fun (ra, a) (rb, b) ->
+           compare
+             (ra, Secondary_index.on a, Secondary_index.kind a)
+             (rb, Secondary_index.on b, Secondary_index.kind b))
+  in
+  (* Crash point at the index I/O boundary: serialization aborts before
+     any byte of the snapshot reaches disk, so the committed file is
+     untouched. *)
+  if secondaries <> [] && Failpoint.should_fire "index.save.crash" then begin
+    Obs.Metrics.incr "index.save_crashes";
+    Errors.io_error "index.save.crash: crash while serializing indexes"
+  end;
+  Codec.put_u16 buf (List.length secondaries);
+  List.iter
+    (fun (rel_name, idx) ->
+      let schema = Relation.schema (find_relation db rel_name) in
+      let section = Buffer.create 256 in
+      Codec.put_string section rel_name;
+      Buffer.add_char section
+        (match Secondary_index.kind idx with
+        | Secondary_index.Hash -> 'H'
+        | Secondary_index.Sorted -> 'S');
+      let on = Secondary_index.on idx in
+      Codec.put_u16 section (List.length on);
+      List.iter (Codec.put_string section) on;
+      let tuples = Secondary_index.to_list idx in
+      Codec.put_i64 section (List.length tuples);
+      List.iter
+        (fun t ->
+          let record = Codec.encode_tuple schema t in
+          Codec.put_u16 section (Bytes.length record);
+          Buffer.add_bytes section record)
+        tuples;
+      let page = Buffer.to_bytes section in
+      Buffer.add_bytes buf page;
+      let sum = Codec.adler32 page ~pos:0 ~len:(Bytes.length page) in
+      for i = 0 to 3 do
+        Buffer.add_char buf (Char.chr ((sum lsr (8 * i)) land 0xFF))
+      done)
+    secondaries;
   let body = Buffer.to_bytes buf in
   let sum = Codec.adler32 body ~pos:0 ~len:(Bytes.length body) in
   let tail = Buffer.create 4 in
@@ -436,6 +549,57 @@ let load ~path =
     let on = Codec.get_string c in
     ignore (register_index db rel ~on)
   done;
+  let n_sec = Codec.get_u16 c in
+  for _ = 1 to n_sec do
+    let start = c.Codec.pos in
+    let rel_name = Codec.get_string c in
+    let kind =
+      match Char.chr (Codec.get_u8 c) with
+      | 'H' -> Secondary_index.Hash
+      | 'S' -> Secondary_index.Sorted
+      | tag -> Errors.corruption "snapshot %s: unknown index kind %C" path tag
+    in
+    let n_on = Codec.get_u16 c in
+    let on = List.init n_on (fun _ -> Codec.get_string c) in
+    let rel = find_relation db rel_name in
+    let schema = Relation.schema rel in
+    let card = Codec.get_i64 c in
+    let tuples = ref [] in
+    for _ = 1 to card do
+      let len = Codec.get_u16 c in
+      if c.Codec.pos + len > Bytes.length c.Codec.bytes then
+        Errors.corruption "snapshot %s: truncated index page for %s" path
+          rel_name;
+      let record = Bytes.sub c.Codec.bytes c.Codec.pos len in
+      c.Codec.pos <- c.Codec.pos + len;
+      tuples := Codec.decode_tuple schema record :: !tuples
+    done;
+    let computed =
+      Codec.adler32 c.Codec.bytes ~pos:start ~len:(c.Codec.pos - start)
+    in
+    let stored =
+      let b = ref 0 in
+      for _ = 1 to 4 do
+        b := (!b lsr 8) lor (Codec.get_u8 c lsl 24)
+      done;
+      !b
+    in
+    (* A damaged index page never fails the load: the relation content
+       above already passed the snapshot checksum, so the index is
+       rebuilt from it and the recovery counted. *)
+    let damaged =
+      stored <> computed || Failpoint.should_fire "index.load.corrupt"
+    in
+    let idx =
+      if damaged then begin
+        Obs.Metrics.incr "index.recovery_rebuilds";
+        Secondary_index.build ~kind rel ~on
+      end
+      else Secondary_index.of_tuples ~kind rel ~on (List.rev !tuples)
+    in
+    hook_index rel idx;
+    install_secondary db idx
+  done;
   if c.Codec.pos <> Bytes.length c.Codec.bytes then
     Errors.corruption "snapshot %s: %d trailing bytes" path
       (Bytes.length c.Codec.bytes - c.Codec.pos);
@@ -482,6 +646,9 @@ module Txn = struct
     id : int;
     read_seqs : (string, int) Hashtbl.t;  (* last_commit at pin time *)
     touched : (string, Relation.t) Hashtbl.t;  (* private copies *)
+    touched_idx : (string, Secondary_index.t list) Hashtbl.t;
+        (* private secondary-index copies, pinned with the relation
+           copy at first write and installed together at commit *)
     mutable ops : Wal.op list;  (* reversed write set *)
     mutable state : state;
   }
@@ -498,6 +665,7 @@ module Txn = struct
         rels = Hashtbl.copy store.rels;
         enums = Hashtbl.copy store.enums;
         perm_indexes = Hashtbl.copy store.perm_indexes;
+        sec_indexes = Hashtbl.copy store.sec_indexes;
         catalog_version = store.catalog_version;
         mvcc = fresh_mvcc ();
       }
@@ -517,6 +685,7 @@ module Txn = struct
       id;
       read_seqs;
       touched = Hashtbl.create 4;
+      touched_idx = Hashtbl.create 4;
       ops = [];
       state = Open;
     }
@@ -534,7 +703,12 @@ module Txn = struct
     | Read -> invalid_arg ("Txn." ^ op ^ ": read-only transaction")
 
   (* Copy-on-first-write: swap a private copy into the view so the
-     transaction reads its own writes through the normal executors. *)
+     transaction reads its own writes through the normal executors.
+     Secondary indexes ride along — each gets a private {!
+     Secondary_index.copy} (sharing bucket spines with the committed
+     state) hooked to the relation copy, so the transaction's writes
+     maintain its own indexes incrementally while the committed ones
+     stay pinned for concurrent snapshot readers. *)
   let touch txn name =
     match Hashtbl.find_opt txn.touched name with
     | Some c -> c
@@ -544,6 +718,13 @@ module Txn = struct
       Relation.set_version c (Relation.version orig);
       Hashtbl.replace txn.touched name c;
       Hashtbl.replace txn.view_db.rels name c;
+      (match secondary_indexes txn.view_db name with
+      | [] -> ()
+      | idxs ->
+        let copies = List.map Secondary_index.copy idxs in
+        List.iter (hook_index c) copies;
+        Hashtbl.replace txn.touched_idx name copies;
+        Hashtbl.replace txn.view_db.sec_indexes name copies);
       c
 
   let insert txn name tup =
@@ -650,6 +831,12 @@ module Txn = struct
         (fun name c ->
           if m.durable then Relation.freeze c;
           Hashtbl.replace txn.store.rels name c;
+          (* The index copies install with their relation: they were
+             maintained through every write of this transaction, so no
+             rebuild is needed; pinned readers keep the old pair. *)
+          (match Hashtbl.find_opt txn.touched_idx name with
+          | Some idxs -> Hashtbl.replace txn.store.sec_indexes name idxs
+          | None -> ());
           Hashtbl.replace m.last_commit name m.commit_seq)
         txn.touched;
       (* Refresh permanent indexes over the installed states; pinned
@@ -735,7 +922,36 @@ let open_durable ~path =
   let replayed =
     Wal.replay (wal_path path) ~apply:(fun ops -> List.iter (apply_op db) ops)
   in
-  if replayed > 0 then refresh_indexes db;
+  if replayed > 0 then begin
+    refresh_indexes db;
+    (* Replay mutations already maintained the secondary indexes
+       through the observers [load] attached; verify and rebuild any
+       index the replay nevertheless left inconsistent. *)
+    let indexed =
+      Hashtbl.fold (fun n idxs acc -> (n, idxs) :: acc) db.sec_indexes []
+    in
+    List.iter
+      (fun (rel_name, idxs) ->
+        let rel = find_relation db rel_name in
+        if
+          List.exists
+            (fun i -> not (Secondary_index.consistent_with i rel))
+            idxs
+        then begin
+          let rebuilt =
+            List.map
+              (fun i ->
+                Obs.Metrics.incr "index.recovery_rebuilds";
+                Secondary_index.build ~kind:(Secondary_index.kind i) rel
+                  ~on:(Secondary_index.on i))
+              idxs
+          in
+          Relation.clear_observers rel;
+          List.iter (hook_index rel) rebuilt;
+          Hashtbl.replace db.sec_indexes rel_name rebuilt
+        end)
+      indexed
+  end;
   (* Checkpoint the recovered state before going live: the snapshot
      absorbs the replayed transactions and the log restarts empty. *)
   save db ~path;

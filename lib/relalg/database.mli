@@ -32,6 +32,27 @@ val permanent_index : t -> string -> on:string -> Index.t option
 val refresh_indexes : t -> unit
 val permanent_index_list : t -> (string * string) list
 
+val declare_index :
+  ?kind:Secondary_index.kind -> t -> string -> on:string list -> Secondary_index.t
+(** Declare a persistent secondary index (default [Hash]) on the named
+    relation's component list; built by one counted scan and from then
+    on maintained incrementally through every mutation — direct handle
+    writes, transaction copies (which clone the index on first write
+    and install the clone at commit), and WAL replay.  Persisted by
+    {!save} as checksummed pages.
+    @raise Errors.Schema_error on a duplicate component list.
+    @raise Errors.Unknown_relation *)
+
+val secondary_indexes : t -> string -> Secondary_index.t list
+(** All secondary indexes declared on the named relation. *)
+
+val secondary_on : t -> string -> string -> Secondary_index.t list
+(** [secondary_on db rel attr]: the single-component indexes over
+    [attr], range-capable ([Sorted]) first. *)
+
+val secondary_index_list : t -> (string * string list * Secondary_index.kind) list
+(** Every declaration, sorted — the catalog the snapshot persists. *)
+
 val deref : t -> Value.reference -> Tuple.t
 (** Regain the selected variable from a reference.
     @raise Errors.Dangling_reference if the element is gone. *)

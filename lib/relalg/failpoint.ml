@@ -56,6 +56,8 @@ let standard_sites =
     "wal.append.crash";
     "wal.fsync.crash";
     "wal.checkpoint.crash";
+    "index.save.crash";
+    "index.load.corrupt";
   ]
 
 type armed_site = {

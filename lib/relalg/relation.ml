@@ -21,6 +21,14 @@ type backing = {
   mutable dirty : bool;  (* deletions force a rebuild before the next scan *)
 }
 
+(* Content-change events, delivered to registered observers on every
+   *effective* mutation (an idempotent re-insert or a miss delete fires
+   nothing).  The database layer hooks secondary indexes in through
+   these, so index maintenance rides every mutation path — direct
+   handle writes, transaction copies, WAL replay — without the relation
+   knowing what an index is. *)
+type event = Inserted of Tuple.t | Deleted of Tuple.t | Cleared
+
 type t = {
   name : string;
   schema : Schema.t;
@@ -35,6 +43,9 @@ type t = {
       (* committed state of a durable database: snapshot readers may be
          iterating this relation, so content mutation must go through a
          write transaction's private copy *)
+  mutable observers : (event -> unit) list;
+      (* not carried by [copy]: a transaction's private copy starts
+         unobserved and the database layer attaches its own hooks *)
 }
 
 (* [size_hint] presizes the key table: operators that know their output
@@ -52,7 +63,14 @@ let create ?(name = "") ?(size_hint = 0) schema =
     version = 0;
     backing = None;
     frozen = false;
+    observers = [];
   }
+
+let add_observer r f = r.observers <- f :: r.observers
+let clear_observers r = r.observers <- []
+
+let notify r ev =
+  match r.observers with [] -> () | obs -> List.iter (fun f -> f ev) obs
 
 let version r = r.version
 
@@ -97,6 +115,7 @@ let insert r t =
     Key_table.replace r.tbl key t;
     r.version <- r.version + 1;
     Obs.Metrics.incr "relation.inserts";
+    notify r (Inserted t);
     (match r.backing with
     | Some b -> (
       (* A failed append (torn write) leaves the heap file damaged while
@@ -135,6 +154,7 @@ let insert_unchecked r t =
   if Key_table.length r.tbl <> before then begin
     r.version <- r.version + 1;
     Obs.Metrics.incr "relation.inserts";
+    notify r (Inserted t);
     match r.backing with
     | Some b -> (
       try Heap_file.append b.hf (Codec.encode_tuple r.schema t)
@@ -148,16 +168,22 @@ let delete_key r key =
   check_unfrozen r "delete";
   r.probes <- r.probes + 1;
   Obs.Metrics.incr "relation.probes";
-  if Key_table.mem r.tbl key then begin
+  (match Key_table.find_opt r.tbl key with
+  | Some victim ->
     Key_table.remove r.tbl key;
-    r.version <- r.version + 1
-  end;
+    r.version <- r.version + 1;
+    notify r (Deleted victim)
+  | None -> ());
   match r.backing with Some b -> b.dirty <- true | None -> ()
 
 let clear r =
   check_unfrozen r "clear";
-  if Key_table.length r.tbl > 0 then r.version <- r.version + 1;
-  Key_table.reset r.tbl;
+  if Key_table.length r.tbl > 0 then begin
+    r.version <- r.version + 1;
+    Key_table.reset r.tbl;
+    notify r Cleared
+  end
+  else Key_table.reset r.tbl;
   match r.backing with Some b -> b.dirty <- true | None -> ()
 
 (* Selected variable rel[keyval]. *)

@@ -8,6 +8,11 @@
 
 type t
 
+type event = Inserted of Tuple.t | Deleted of Tuple.t | Cleared
+(** Content-change events, fired on every {e effective} mutation (an
+    idempotent re-insert or a miss delete fires nothing).  The database
+    layer maintains secondary indexes through these. *)
+
 val create : ?name:string -> ?size_hint:int -> Schema.t -> t
 (** [size_hint] presizes the key table for operators that know their
     output bound; capacity only, never semantics. *)
@@ -100,6 +105,12 @@ val freeze : t -> unit
     Irreversible; {!copy} of a frozen relation is unfrozen. *)
 
 val frozen : t -> bool
+
+val add_observer : t -> (event -> unit) -> unit
+(** Register a mutation observer.  Observers are not carried by
+    {!copy}: a transaction's private copy starts unobserved. *)
+
+val clear_observers : t -> unit
 
 val to_list : t -> Tuple.t list
 (** Sorted, for deterministic output. *)

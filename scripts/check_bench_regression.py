@@ -34,7 +34,18 @@ Two checks:
    process, so machine speed cancels out; rows whose scalar median is
    under 5 ms are skipped as timer noise.
 
-5. B-TRAFFIC, baseline vs new, only when BOTH runs carry rows (older
+5. The B-INDEX experiment of the NEW run alone: for every (query,
+   scale) pair, the indexed leg (secondary-index probes) must not be
+   slower than the scan leg (heap scans, use_index=false); rows whose
+   scan median is under 5 ms are held only to an absolute 5 ms bound
+   (timer noise).  At the largest scale clearing the noise floor, the
+   scan must cost at least 3x the probe — the selective restriction is
+   exactly where access-path selection must win.  Percentile columns
+   are optional everywhere: the harness omits wall_ms_p95/p99 when a
+   cell was measured with a single pass, and every p95 guard here
+   compares only when both sides carry the column.
+
+6. B-TRAFFIC, baseline vs new, only when BOTH runs carry rows (older
    baselines predate the traffic experiment).  Rows are keyed by
    (strategy, pass) — the A-B-A-B interleave records two closed-loop
    and two open-loop passes.  Each new row's achieved throughput must
@@ -221,6 +232,79 @@ def check_vectorized(path):
     return failed
 
 
+INDEX_NOISE_FLOOR_MS = 5.0
+INDEX_FACTOR = 3.0
+
+
+def index_rows(path):
+    """B-INDEX rows of one run: {(query, scale): {strategy: wall_ms}}."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for r in doc.get("results", doc if isinstance(doc, list) else []):
+        if r.get("experiment") == "B-INDEX":
+            rows.setdefault((r.get("query", ""), r.get("scale", 0)), {})[
+                r.get("strategy")
+            ] = r["wall_ms"]
+    return rows
+
+
+def check_index(path):
+    """Secondary-index probes must beat heap scans, within the new run.
+
+    Two rules over the indexed/scan leg pairs, both legs prepared
+    executions of the same plan against the same database so machine
+    speed cancels out: (1) at every scale the indexed leg must not
+    lose to the scan leg (5 ms noise floor on the scan side — tiny
+    relations are timer noise); (2) at the largest scale whose scan
+    clears the noise floor, the scan must cost at least INDEX_FACTOR
+    times the probe — the selective restriction is the index's home
+    ground, and losing the 3x there means access-path selection broke."""
+    rows = index_rows(path)
+    if not rows:
+        print("B-INDEX: no rows in the new run, skipping the index check")
+        return []
+    failed = []
+    by_query = {}
+    for (query, scale), cells in sorted(rows.items()):
+        if "indexed" not in cells or "scan" not in cells:
+            failed.append((query, scale))
+            print(f"B-INDEX  {query:22s} scale={scale}  missing indexed/scan row")
+            continue
+        indexed, scan = cells["indexed"], cells["scan"]
+        if scan < INDEX_NOISE_FLOOR_MS:
+            ok = indexed <= scan + INDEX_NOISE_FLOOR_MS
+            print(
+                f"B-INDEX  {query:22s} scale={scale}  "
+                f"scan={scan:9.3f}ms  indexed={indexed:9.3f}ms  "
+                f"{'ok (below noise floor)' if ok else 'SLOWER THAN SCAN'}"
+            )
+            if not ok:
+                failed.append((query, scale))
+            continue
+        by_query.setdefault(query, []).append((scale, indexed, scan))
+        ok = indexed <= scan
+        print(
+            f"B-INDEX  {query:22s} scale={scale}  "
+            f"scan={scan:9.3f}ms  indexed={indexed:9.3f}ms  "
+            f"({scan / max(indexed, 0.001):6.1f}x)  "
+            f"{'ok' if ok else 'SLOWER THAN SCAN'}"
+        )
+        if not ok:
+            failed.append((query, scale))
+    for query, points in sorted(by_query.items()):
+        scale, indexed, scan = max(points)
+        ok = scan >= INDEX_FACTOR * indexed
+        print(
+            f"B-INDEX  {query:22s} largest scale={scale}  "
+            f"probe wins {scan / max(indexed, 0.001):6.1f}x  "
+            f"{'ok' if ok else f'BELOW {INDEX_FACTOR}x'}"
+        )
+        if not ok:
+            failed.append((query, scale, "factor"))
+    return failed
+
+
 TRAFFIC_THROUGHPUT_FLOOR = 3.0
 
 
@@ -310,6 +394,7 @@ def main():
     prep_failed = check_prepared(sys.argv[2])
     par_failed = check_parallel(sys.argv[2])
     vec_failed = check_vectorized(sys.argv[2])
+    index_failed = check_index(sys.argv[2])
     traffic_failed = check_traffic(sys.argv[1], sys.argv[2])
     if failed:
         sys.exit(f"{len(failed)}/{compared} rows regressed beyond {FACTOR}x")
@@ -327,6 +412,11 @@ def main():
         sys.exit(
             f"{len(vec_failed)} B-VEC rows where batched execution "
             "was slower than the scalar engine"
+        )
+    if index_failed:
+        sys.exit(
+            f"{len(index_failed)} B-INDEX rows where the secondary-index "
+            "probe did not beat the heap scan"
         )
     if traffic_failed:
         sys.exit(

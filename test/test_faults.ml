@@ -367,6 +367,21 @@ let fault_differential ?(jobs = 1) seed0 =
       let rng = Workload.Prng.create (seed * 131) in
       let db = Workload.Random_query.tiny_db ((seed * 48611) + 5) in
       ignore (Database.attach_storage db ~pool_pages:(2 + Workload.Prng.int rng 6));
+      (* Half the runs declare secondary indexes, so the armed
+         index.save.crash / index.load.corrupt sites fire against real
+         catalog state — and the indexed access paths run under the
+         same heap/pool faults as the scans. *)
+      if Workload.Prng.flip rng 0.5 then
+        List.iter
+          (fun rel ->
+            match Workload.Random_query.rel_attrs rel with
+            | (a, _) :: _ ->
+              ignore
+                (Database.declare_index ~kind:Secondary_index.Sorted db rel
+                   ~on:[ a ]
+                  : Secondary_index.t)
+            | [] -> ())
+          Workload.Random_query.relations;
       let q = Workload.Random_query.generate db (seed + 17) in
       let sname, strategy =
         Workload.Prng.pick rng Pascalr.Strategy.all_presets
@@ -423,7 +438,21 @@ let fault_differential ?(jobs = 1) seed0 =
             | db2 ->
               if not (db_equal db db2) then
                 QCheck.Test.fail_reportf
-                  "committed snapshot diverges from database, seed %d" seed
+                  "committed snapshot diverges from database, seed %d" seed;
+              (* Persisted (or damage-rebuilt) secondary indexes must
+                 describe exactly the loaded heaps. *)
+              List.iter
+                (fun (rel_name, on, _) ->
+                  let rel = Database.find_relation db2 rel_name in
+                  List.iter
+                    (fun ix ->
+                      if not (Secondary_index.consistent_with ix rel) then
+                        QCheck.Test.fail_reportf
+                          "loaded index %s(%s) inconsistent with its heap, \
+                           seed %d"
+                          rel_name (String.concat "," on) seed)
+                    (Database.secondary_indexes db2 rel_name))
+                (Database.secondary_index_list db2)
             | exception e ->
               QCheck.Test.fail_reportf
                 "completed save unreadable (%s), seed %d"

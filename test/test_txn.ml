@@ -147,6 +147,100 @@ let test_durable_states_frozen () =
         <> None);
       Database.close db2)
 
+(* ---------------------------------------------------------------- *)
+(* Secondary indexes across the transaction lifecycle: commits carry
+   the incremental maintenance, aborts discard it, WAL crash replay
+   rebuilds it. *)
+
+let all_indexes_consistent db =
+  List.for_all
+    (fun (rel_name, _, _) ->
+      let rel = Database.find_relation db rel_name in
+      List.for_all
+        (fun ix -> Secondary_index.consistent_with ix rel)
+        (Database.secondary_indexes db rel_name))
+    (Database.secondary_index_list db)
+
+let test_index_survives_commit () =
+  let db = mk_db () in
+  ignore
+    (Database.declare_index db "suppliers" ~on:[ "scity" ] : Secondary_index.t);
+  let s = Session.create db in
+  Session.write s (fun txn ->
+      Session.Txn.insert txn "suppliers" (supplier 910 "alice" db);
+      Session.Txn.insert txn "suppliers" (supplier 911 "bob" db);
+      Session.Txn.delete_key txn "suppliers" [ Value.int 910 ]);
+  (* Commit installs the transaction's copy-on-write clone, so the
+     catalog is consulted after the fact — a pre-transaction handle is
+     a stale snapshot by design. *)
+  let ix =
+    match Database.secondary_on db "suppliers" "scity" with
+    | ix :: _ -> ix
+    | [] -> Alcotest.fail "index vanished from the catalog"
+  in
+  Alcotest.(check bool) "committed writes maintained the index" true
+    (Secondary_index.consistent_with ix
+       (Database.find_relation db "suppliers"));
+  Alcotest.(check bool) "new tuple probeable by city" true
+    (List.exists
+       (fun t -> Value.equal (Tuple.get t 0) (Value.int 911))
+       (Secondary_index.probe1 ix (Workload.Suppliers.london db)))
+
+let test_index_survives_abort () =
+  let db = mk_db () in
+  let ix = Database.declare_index db "suppliers" ~on:[ "scity" ] in
+  let entries = Secondary_index.entry_count ix in
+  let s = Session.create db in
+  (try
+     Session.write s (fun txn ->
+         Session.Txn.insert txn "suppliers" (supplier 912 "ghost" db);
+         failwith "abort")
+   with Failure _ -> ());
+  Alcotest.(check int) "aborted insert left the entry count" entries
+    (Secondary_index.entry_count ix);
+  Alcotest.(check bool) "aborted txn left the index consistent" true
+    (Secondary_index.consistent_with ix
+       (Database.find_relation db "suppliers"));
+  Alcotest.(check bool) "ghost tuple not probeable" false
+    (List.exists
+       (fun t -> Value.equal (Tuple.get t 0) (Value.int 912))
+       (Secondary_index.probe1 ix (Workload.Suppliers.london db)))
+
+let test_index_survives_wal_replay () =
+  let path = Filename.temp_file "pascalr_txn_ix" ".pascalrdb" in
+  let cleanup () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ path; path ^ ".tmp"; path ^ ".wal" ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let db = mk_db () in
+      ignore
+        (Database.declare_index db "suppliers" ~on:[ "scity" ]
+          : Secondary_index.t);
+      Database.attach_wal db ~path;
+      let s = Session.create db in
+      Session.write s (fun txn ->
+          Session.Txn.insert txn "suppliers" (supplier 913 "durable" db));
+      (* No close, no checkpoint: the reopen is crash recovery — the
+         insert lives only in the WAL tail and must be replayed into
+         both the heap and the secondary index. *)
+      let db2 = Database.open_durable ~path in
+      Alcotest.(check bool) "replayed write visible" true
+        (Relation.find_key (Database.find_relation db2 "suppliers")
+           [ Value.int 913 ]
+        <> None);
+      Alcotest.(check bool) "every index consistent after replay" true
+        (all_indexes_consistent db2);
+      Alcotest.(check bool) "replayed tuple probeable" true
+        (List.exists
+           (fun t -> Value.equal (Tuple.get t 0) (Value.int 913))
+           (List.concat_map
+              (fun ix -> Secondary_index.probe1 ix (Workload.Suppliers.london db2))
+              (Database.secondary_on db2 "suppliers" "scity")));
+      Database.close db2;
+      Database.close db)
+
 let suite =
   [
     ( "txn",
@@ -163,5 +257,11 @@ let suite =
           test_disjoint_writers_both_commit;
         Alcotest.test_case "durable states frozen outside transactions" `Quick
           test_durable_states_frozen;
+        Alcotest.test_case "secondary index maintained across commit" `Quick
+          test_index_survives_commit;
+        Alcotest.test_case "secondary index untouched by abort" `Quick
+          test_index_survives_abort;
+        Alcotest.test_case "secondary index rebuilt by WAL crash replay" `Quick
+          test_index_survives_wal_replay;
       ] );
   ]
